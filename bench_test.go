@@ -1,0 +1,512 @@
+// Benchmarks regenerating the paper's evaluation (§7) plus ablations of
+// the design choices DESIGN.md calls out.
+//
+//	go test -bench=Table1 .        # Table 1 / Figure 8 throughput cells
+//	go test -bench=Fig9 .          # Figure 9 CPU cost cells
+//	go test -bench=Table2 .        # Table 2 optimization savings
+//	go test -bench=Ablate .        # design-choice ablations (real library)
+//
+// Table 1 / Figure 8 / Figure 9 cells charge a calibrated virtual clock
+// (see internal/tpca); the reported custom metrics — vtx/s and
+// vcpu-ms/tx — are virtual-time results and deterministic on any host.
+// Table 2 and the ablations run the real engine; their custom metrics are
+// real measurements.
+package rvm_test
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	rvm "github.com/rvm-go/rvm"
+	"github.com/rvm-go/rvm/birrell"
+	"github.com/rvm-go/rvm/internal/camelot"
+	"github.com/rvm-go/rvm/internal/codasim"
+	"github.com/rvm-go/rvm/internal/tpca"
+)
+
+// benchRatios samples Table 1's Rmem/Pmem axis: low, knee, and maximum.
+var benchRatios = []int{32768, 262144, 458752}
+
+var benchPatterns = []tpca.Pattern{tpca.Sequential, tpca.Random, tpca.Localized}
+
+// simCell runs one simulation cell under the benchmark loop.
+func simCell(b *testing.B, system string, acct int, pat tpca.Pattern, metric string) {
+	b.Helper()
+	p := tpca.DefaultParams()
+	var last tpca.Result
+	for i := 0; i < b.N; i++ {
+		cfg := tpca.Config{Accounts: acct, Pattern: pat, Seed: 42, WarmupTx: 15000, MeasureTx: 15000}
+		if system == "rvm" {
+			last = tpca.Run(cfg, tpca.NewRVM(p, tpca.RmemBytes(acct)))
+		} else {
+			last = tpca.Run(cfg, camelot.New(p, tpca.RmemBytes(acct)))
+		}
+	}
+	switch metric {
+	case "tps":
+		b.ReportMetric(last.TPS, "vtx/s")
+	case "cpu":
+		b.ReportMetric(last.CPUMsPerT, "vcpu-ms/tx")
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (and thereby Figure 8): virtual
+// throughput for both systems across patterns and memory ratios.
+func BenchmarkTable1(b *testing.B) {
+	p := tpca.DefaultParams()
+	for _, system := range []string{"rvm", "camelot"} {
+		for _, pat := range benchPatterns {
+			for _, acct := range benchRatios {
+				ratio := float64(tpca.RmemBytes(acct)) / float64(p.PmemBytes) * 100
+				name := fmt.Sprintf("%s/%s/Rmem=%.0f%%", system, pat, ratio)
+				b.Run(name, func(b *testing.B) { simCell(b, system, acct, pat, "tps") })
+			}
+		}
+	}
+}
+
+// BenchmarkFig8 is the figure-8 alias of Table 1's data, sweeping the full
+// ratio axis for the worst case so the curve shape is visible in output.
+func BenchmarkFig8(b *testing.B) {
+	p := tpca.DefaultParams()
+	for _, acct := range []int{32768, 131072, 262144, 360448, 458752} {
+		ratio := float64(tpca.RmemBytes(acct)) / float64(p.PmemBytes) * 100
+		b.Run(fmt.Sprintf("rvm/Random/Rmem=%.0f%%", ratio), func(b *testing.B) {
+			simCell(b, "rvm", acct, tpca.Random, "tps")
+		})
+		b.Run(fmt.Sprintf("camelot/Random/Rmem=%.0f%%", ratio), func(b *testing.B) {
+			simCell(b, "camelot", acct, tpca.Random, "tps")
+		})
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9: amortized CPU cost per transaction.
+func BenchmarkFig9(b *testing.B) {
+	p := tpca.DefaultParams()
+	for _, system := range []string{"rvm", "camelot"} {
+		for _, pat := range benchPatterns {
+			for _, acct := range benchRatios {
+				ratio := float64(tpca.RmemBytes(acct)) / float64(p.PmemBytes) * 100
+				name := fmt.Sprintf("%s/%s/Rmem=%.0f%%", system, pat, ratio)
+				b.Run(name, func(b *testing.B) { simCell(b, system, acct, pat, "cpu") })
+			}
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 on the real engine: per-machine
+// optimizer savings, reported as custom metrics.
+func BenchmarkTable2(b *testing.B) {
+	for _, p := range codasim.Profiles() {
+		b.Run(p.Name, func(b *testing.B) {
+			var row codasim.Row
+			for i := 0; i < b.N; i++ {
+				dir := b.TempDir()
+				var err error
+				row, err = codasim.Run(p, 300, dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.IntraPct, "intra-%")
+			b.ReportMetric(row.InterPct, "inter-%")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations on the real library.
+// ---------------------------------------------------------------------------
+
+// benchStore opens a fresh store for ablation benchmarks.  NoSync keeps
+// the numbers about code paths, not the host's fsync latency, except
+// where a bench explicitly wants durability costs.
+func benchStore(b *testing.B, opts rvm.Options) (*rvm.RVM, *rvm.Region) {
+	b.Helper()
+	dir := b.TempDir()
+	logPath := filepath.Join(dir, "b.log")
+	segPath := filepath.Join(dir, "b.seg")
+	if err := rvm.CreateLog(logPath, 64<<20); err != nil {
+		b.Fatal(err)
+	}
+	if err := rvm.CreateSegment(segPath, 1, 1<<20); err != nil {
+		b.Fatal(err)
+	}
+	opts.LogPath = logPath
+	if opts.TruncateThreshold == 0 {
+		opts.TruncateThreshold = -1 // manual truncation only
+	}
+	db, err := rvm.Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	reg, err := db.Map(segPath, 0, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, reg
+}
+
+// BenchmarkAblateCommitMode compares flush against no-flush commit
+// latency — the paper's motivation for lazy transactions (§4.2).  Run
+// without NoSync: the difference IS the log force.
+func BenchmarkAblateCommitMode(b *testing.B) {
+	payload := bytes.Repeat([]byte{7}, 256)
+	for _, mode := range []struct {
+		name string
+		m    rvm.CommitMode
+	}{{"Flush", rvm.Flush}, {"NoFlush", rvm.NoFlush}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, reg := benchStore(b, rvm.Options{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx, _ := db.Begin(rvm.Restore)
+				if err := tx.Modify(reg, int64(i%1024)*256, payload); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(mode.m); err != nil {
+					b.Fatal(err)
+				}
+				if i%512 == 511 {
+					db.Flush() // bound the spool
+				}
+			}
+			b.StopTimer()
+			db.Flush()
+		})
+	}
+}
+
+// BenchmarkAblateTxMode compares restore against no-restore transactions:
+// no-restore skips the old-value copies on set-range (§5.1.1).
+func BenchmarkAblateTxMode(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    rvm.TxMode
+	}{{"Restore", rvm.Restore}, {"NoRestore", rvm.NoRestore}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, reg := benchStore(b, rvm.Options{NoSync: true})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx, _ := db.Begin(mode.m)
+				if err := tx.SetRange(reg, 0, 64<<10); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(rvm.NoFlush); err != nil {
+					b.Fatal(err)
+				}
+				if i%64 == 63 {
+					db.Flush()
+					db.Truncate()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblateIntraOpt measures the log traffic of a defensively
+// written transaction (every range declared three times) with and without
+// intra-transaction optimization.
+func BenchmarkAblateIntraOpt(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		off  bool
+	}{{"On", false}, {"Off", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			db, reg := benchStore(b, rvm.Options{NoSync: true, NoIntraOpt: variant.off})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx, _ := db.Begin(rvm.NoRestore)
+				off := int64(i%512) * 512
+				for rep := 0; rep < 3; rep++ { // defensive duplicates
+					if err := tx.SetRange(reg, off, 400); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := tx.Commit(rvm.NoFlush); err != nil {
+					b.Fatal(err)
+				}
+				if i%128 == 127 {
+					db.Flush()
+					db.Truncate()
+				}
+			}
+			b.StopTimer()
+			db.Flush()
+			st := db.Stats()
+			b.ReportMetric(float64(st.LogBytes)/float64(b.N), "log-B/tx")
+		})
+	}
+}
+
+// BenchmarkAblateInterOpt measures log traffic under a bursty no-flush
+// workload (the paper's "cp d1/* d2") with and without inter-transaction
+// optimization.
+func BenchmarkAblateInterOpt(b *testing.B) {
+	payload := bytes.Repeat([]byte{3}, 300)
+	for _, variant := range []struct {
+		name string
+		off  bool
+	}{{"On", false}, {"Off", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			db, reg := benchStore(b, rvm.Options{NoSync: true, NoInterOpt: variant.off})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx, _ := db.Begin(rvm.NoRestore)
+				// Eight consecutive txs rewrite the same directory entry.
+				if err := tx.Modify(reg, int64((i/8)%256)*1024, payload); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(rvm.NoFlush); err != nil {
+					b.Fatal(err)
+				}
+				if i%256 == 255 {
+					db.Flush()
+					db.Truncate()
+				}
+			}
+			b.StopTimer()
+			db.Flush()
+			st := db.Stats()
+			b.ReportMetric(float64(st.LogBytes)/float64(b.N), "log-B/tx")
+		})
+	}
+}
+
+// BenchmarkAblateTruncation compares epoch truncation against incremental
+// truncation for reclaiming the same log population (§5.1.2).
+func BenchmarkAblateTruncation(b *testing.B) {
+	fill := func(db *rvm.RVM, reg *rvm.Region) {
+		payload := bytes.Repeat([]byte{9}, 512)
+		for i := 0; i < 64; i++ {
+			tx, _ := db.Begin(rvm.NoRestore)
+			tx.Modify(reg, int64(i%128)*4096, payload)
+			tx.Commit(rvm.NoFlush)
+		}
+		db.Flush()
+	}
+	b.Run("Epoch", func(b *testing.B) {
+		db, reg := benchStore(b, rvm.Options{NoSync: true})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fill(db, reg)
+			b.StartTimer()
+			if err := db.Truncate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Incremental", func(b *testing.B) {
+		db, reg := benchStore(b, rvm.Options{NoSync: true, Incremental: true})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fill(db, reg)
+			b.StartTimer()
+			if err := db.TruncateIncremental(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSetRange measures the basic set-range path (with old-value
+// copy) — the operation the paper calls out as RVM's per-modification
+// overhead.
+func BenchmarkSetRange(b *testing.B) {
+	db, reg := benchStore(b, rvm.Options{NoSync: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, _ := db.Begin(rvm.Restore)
+		if err := tx.SetRange(reg, int64(i%1024)*256, 128); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(rvm.NoFlush); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			db.Flush()
+			db.Truncate()
+		}
+	}
+}
+
+// BenchmarkAblateVsBirrell compares RVM against the Birrell et al. simple
+// database (§9's closest relative): single-item durable updates, and the
+// cost of reclaiming log space (RVM's truncation vs the full-database
+// checkpoint).  Both run on real files with real fsyncs.
+func BenchmarkAblateVsBirrell(b *testing.B) {
+	const items = 2048
+	const valSize = 128
+	payload := bytes.Repeat([]byte{5}, valSize)
+
+	b.Run("Update/Birrell", func(b *testing.B) {
+		db, err := birrell.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.Update(fmt.Sprintf("k%d", i%items), payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Update/RVM", func(b *testing.B) {
+		db, reg := benchStore(b, rvm.Options{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tx, _ := db.Begin(rvm.NoRestore)
+			if err := tx.Modify(reg, int64(i%items)*valSize, payload); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(rvm.Flush); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Log-space reclamation: Birrell must rewrite the whole image; RVM
+	// truncates incrementally/epoch-wise proportional to live log, not
+	// database size.
+	b.Run("Reclaim/BirrellCheckpoint", func(b *testing.B) {
+		db, err := birrell.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		for i := 0; i < items; i++ {
+			db.Update(fmt.Sprintf("k%d", i), payload)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			db.Update(fmt.Sprintf("k%d", i%items), payload)
+			b.StartTimer()
+			if err := db.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Reclaim/RVMTruncate", func(b *testing.B) {
+		db, reg := benchStore(b, rvm.Options{})
+		// Same database size: populate the region.
+		tx, _ := db.Begin(rvm.NoRestore)
+		if err := tx.SetRange(reg, 0, items*valSize); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(rvm.Flush); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Truncate(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			tx, _ := db.Begin(rvm.NoRestore)
+			tx.Modify(reg, int64(i%items)*valSize, payload)
+			tx.Commit(rvm.Flush)
+			b.StartTimer()
+			if err := db.Truncate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMapStartup measures mapping latency versus region size — the
+// startup cost §3.2 concedes for RVM's simplicity: "a process' recoverable
+// memory must be read in en masse rather than being paged in on demand."
+func BenchmarkMapStartup(b *testing.B) {
+	for _, demand := range []bool{false, true} {
+		for _, mb := range []int64{1, 4, 16} {
+			name := fmt.Sprintf("CopyAtMap/%dMiB", mb)
+			if demand {
+				name = fmt.Sprintf("DemandPaged/%dMiB", mb)
+			}
+			demand := demand
+			b.Run(name, func(b *testing.B) {
+				dir := b.TempDir()
+				logPath := filepath.Join(dir, "m.log")
+				segPath := filepath.Join(dir, "m.seg")
+				if err := rvm.CreateLog(logPath, 1<<20); err != nil {
+					b.Fatal(err)
+				}
+				if err := rvm.CreateSegment(segPath, 1, mb<<20); err != nil {
+					b.Fatal(err)
+				}
+				db, err := rvm.Open(rvm.Options{LogPath: logPath, NoSync: true, DemandPaging: demand})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				b.SetBytes(mb << 20)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					reg, err := db.Map(segPath, 0, mb<<20)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					if err := db.Unmap(reg); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRecovery measures crash recovery of a log holding 2000
+// committed transactions.  Population happens outside the timer; the
+// timed section is exactly the Open that replays the log.
+func BenchmarkRecovery(b *testing.B) {
+	payload := bytes.Repeat([]byte{1}, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		logPath := filepath.Join(dir, "r.log")
+		segPath := filepath.Join(dir, "r.seg")
+		if err := rvm.CreateLog(logPath, 64<<20); err != nil {
+			b.Fatal(err)
+		}
+		if err := rvm.CreateSegment(segPath, 1, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+		db, err := rvm.Open(rvm.Options{LogPath: logPath, NoSync: true, TruncateThreshold: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg, err := db.Map(segPath, 0, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 2000; j++ {
+			tx, _ := db.Begin(rvm.NoRestore)
+			tx.Modify(reg, int64(j%4096)*200, payload)
+			tx.Commit(rvm.NoFlush)
+		}
+		if err := db.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		// Crash: abandon db without Close.
+		b.StartTimer()
+		db2, err := rvm.Open(rvm.Options{LogPath: logPath, NoSync: true, TruncateThreshold: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if st := db2.Stats(); st.Recoveries != 1 || st.RecoveredBytes == 0 {
+			b.Fatalf("no recovery happened: %+v", st)
+		}
+		db2.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,325 @@
+// Package birrell implements the simple-database design of Birrell, Jones
+// & Wobber, "A Simple and Efficient Implementation for Small Databases"
+// (SOSP 1987) — the closest relative the RVM paper compares itself
+// against (§9):
+//
+//	"Their design is even simpler than RVM's, and is based upon
+//	new-value logging and full-database checkpointing.  Each transaction
+//	is constrained to update only a single data item.  There is no
+//	support for explicit transaction abort.  Updates are recorded in a
+//	log file on disk, then reflected in the in-memory database image.
+//	Periodically, the entire memory image is checkpointed to disk, the
+//	log file deleted, and the new checkpoint file renamed to be the
+//	current version of the database.  Log truncation occurs only during
+//	crash recovery, not during normal operation."
+//
+// It exists as a working baseline for the ablation benchmarks: the paper
+// argues RVM is "more versatile without being substantially more complex"
+// — multi-item transactions, explicit abort, and truncation during normal
+// operation are exactly what this design lacks, and the full-image
+// checkpoint is what makes it practical only for small databases with
+// moderate update rates.
+package birrell
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+const (
+	ckptMagic = 0x42444231 // "BDB1"
+	recMagic  = 0x42444C47 // "BDLG"
+)
+
+// ErrNotDatabase is returned when the checkpoint file is unrecognizable.
+var ErrNotDatabase = errors.New("birrell: not a database checkpoint")
+
+// DB is an open database: a full in-memory image, a new-value update log,
+// and a checkpoint file.
+type DB struct {
+	mu       sync.Mutex
+	dir      string
+	image    map[string][]byte
+	log      *os.File
+	logBytes int64
+	updates  uint64
+	ckpts    uint64
+}
+
+func (db *DB) ckptPath() string { return filepath.Join(db.dir, "checkpoint") }
+func (db *DB) logPath() string  { return filepath.Join(db.dir, "update.log") }
+
+// Open loads (or creates) the database in dir.  Recovery — replaying the
+// update log over the checkpoint image and writing a fresh checkpoint —
+// happens here; this is the design's only form of log truncation.
+func Open(dir string) (*DB, error) {
+	db := &DB{dir: dir, image: make(map[string][]byte)}
+	if err := db.loadCheckpoint(); err != nil {
+		return nil, err
+	}
+	replayed, err := db.replayLog()
+	if err != nil {
+		return nil, err
+	}
+	if replayed > 0 {
+		// Crash recovery checkpoint: fold the log into the image and
+		// truncate it.
+		if err := db.checkpointLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(db.logPath(), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	db.log = f
+	db.logBytes = st.Size()
+	return db, nil
+}
+
+// loadCheckpoint reads the image file if present.
+func (db *DB) loadCheckpoint() error {
+	f, err := os.Open(db.ckptPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: short header", ErrNotDatabase)
+	}
+	if binary.BigEndian.Uint32(hdr[:]) != ckptMagic {
+		return ErrNotDatabase
+	}
+	n := binary.BigEndian.Uint32(hdr[4:])
+	for i := uint32(0); i < n; i++ {
+		k, v, err := readKV(r)
+		if err != nil {
+			return fmt.Errorf("birrell: corrupt checkpoint: %w", err)
+		}
+		db.image[k] = v
+	}
+	return nil
+}
+
+func readKV(r io.Reader) (string, []byte, error) {
+	var lens [8]byte
+	if _, err := io.ReadFull(r, lens[:]); err != nil {
+		return "", nil, err
+	}
+	kl := binary.BigEndian.Uint32(lens[:])
+	vl := binary.BigEndian.Uint32(lens[4:])
+	if kl > 1<<20 || vl > 1<<30 {
+		return "", nil, fmt.Errorf("implausible lengths %d/%d", kl, vl)
+	}
+	buf := make([]byte, kl+vl)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", nil, err
+	}
+	return string(buf[:kl]), buf[kl:], nil
+}
+
+// replayLog applies intact log records to the image, stopping at the
+// first torn record, and returns how many applied.
+func (db *DB) replayLog() (int, error) {
+	data, err := os.ReadFile(db.logPath())
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	pos := 0
+	for pos+16 <= len(data) {
+		if binary.BigEndian.Uint32(data[pos:]) != recMagic {
+			break
+		}
+		kl := int(binary.BigEndian.Uint32(data[pos+4:]))
+		vl := int(binary.BigEndian.Uint32(data[pos+8:]))
+		end := pos + 16 + kl + vl
+		if kl > 1<<20 || vl > 1<<30 || end > len(data) {
+			break
+		}
+		crc := binary.BigEndian.Uint32(data[pos+12:])
+		if crc32.ChecksumIEEE(data[pos+16:end]) != crc {
+			break // torn write: the update was never acknowledged
+		}
+		key := string(data[pos+16 : pos+16+kl])
+		val := append([]byte(nil), data[pos+16+kl:end]...)
+		if vl == 0 {
+			delete(db.image, key)
+		} else {
+			db.image[key] = val
+		}
+		pos = end
+		n++
+	}
+	return n, nil
+}
+
+// Update durably sets key to value — ONE data item per transaction, the
+// design's core constraint.  There is no abort.
+func (db *DB) Update(key string, value []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec := make([]byte, 16+len(key)+len(value))
+	binary.BigEndian.PutUint32(rec[0:], recMagic)
+	binary.BigEndian.PutUint32(rec[4:], uint32(len(key)))
+	binary.BigEndian.PutUint32(rec[8:], uint32(len(value)))
+	copy(rec[16:], key)
+	copy(rec[16+len(key):], value)
+	binary.BigEndian.PutUint32(rec[12:], crc32.ChecksumIEEE(rec[16:]))
+	if _, err := db.log.Write(rec); err != nil {
+		return err
+	}
+	if err := db.log.Sync(); err != nil {
+		return err
+	}
+	db.logBytes += int64(len(rec))
+	if len(value) == 0 {
+		delete(db.image, key)
+	} else {
+		db.image[key] = append([]byte(nil), value...)
+	}
+	db.updates++
+	return nil
+}
+
+// Delete removes a key (an Update with an empty value).
+func (db *DB) Delete(key string) error { return db.Update(key, nil) }
+
+// Get returns a copy of the value for key.
+func (db *DB) Get(key string) ([]byte, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v, ok := db.image[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Len returns the number of keys.
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.image)
+}
+
+// LogBytes returns the current update-log size — the cost that only a
+// checkpoint can reclaim.
+func (db *DB) LogBytes() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.logBytes
+}
+
+// Checkpoint writes the ENTIRE memory image to a new checkpoint file,
+// renames it over the old one, and deletes the log — the full-database
+// checkpoint that limits this design to small databases.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	tmp := db.ckptPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:], ckptMagic)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(db.image)))
+	w.Write(hdr[:])
+	keys := make([]string, 0, len(db.image))
+	for k := range db.image {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var lens [8]byte
+	for _, k := range keys {
+		v := db.image[k]
+		binary.BigEndian.PutUint32(lens[:], uint32(len(k)))
+		binary.BigEndian.PutUint32(lens[4:], uint32(len(v)))
+		w.Write(lens[:])
+		w.WriteString(k)
+		w.Write(v)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, db.ckptPath()); err != nil {
+		return err
+	}
+	// The checkpoint is durable; the log can go.
+	if db.log != nil {
+		db.log.Close()
+	}
+	if err := os.Remove(db.logPath()); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	f2, err := os.OpenFile(db.logPath(), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	db.log = f2
+	db.logBytes = 0
+	db.ckpts++
+	return nil
+}
+
+// Close releases the log file handle (no checkpoint is taken).
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.log == nil {
+		return nil
+	}
+	err := db.log.Close()
+	db.log = nil
+	return err
+}
+
+// Stats describes database activity since Open.
+type Stats struct {
+	Updates     uint64
+	Checkpoints uint64
+	Keys        int
+	LogBytes    int64
+}
+
+// Stats returns a snapshot.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return Stats{Updates: db.updates, Checkpoints: db.ckpts, Keys: len(db.image), LogBytes: db.logBytes}
+}

@@ -1,0 +1,174 @@
+package birrell
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func open(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestUpdateGetDelete(t *testing.T) {
+	db := open(t, t.TempDir())
+	if err := db.Update("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := db.Get("k"); !ok || string(v) != "v1" {
+		t.Fatalf("got %q %v", v, ok)
+	}
+	if err := db.Update("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := db.Get("k"); string(v) != "v2" {
+		t.Fatalf("got %q", v)
+	}
+	if err := db.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Get("k"); ok {
+		t.Fatal("deleted key present")
+	}
+}
+
+func TestDurabilityAcrossCrash(t *testing.T) {
+	dir := t.TempDir()
+	db := open(t, dir)
+	for i := 0; i < 20; i++ {
+		if err := db.Update(fmt.Sprintf("key%02d", i), []byte(fmt.Sprintf("val%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash (no checkpoint, no close).
+	db2 := open(t, dir)
+	if db2.Len() != 20 {
+		t.Fatalf("recovered %d keys", db2.Len())
+	}
+	for i := 0; i < 20; i++ {
+		v, ok := db2.Get(fmt.Sprintf("key%02d", i))
+		if !ok || string(v) != fmt.Sprintf("val%02d", i) {
+			t.Fatalf("key%02d: %q %v", i, v, ok)
+		}
+	}
+	// Recovery checkpointed and truncated the log.
+	if db2.LogBytes() != 0 {
+		t.Fatalf("log not truncated by recovery: %d bytes", db2.LogBytes())
+	}
+}
+
+func TestCheckpointTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	db := open(t, dir)
+	for i := 0; i < 10; i++ {
+		db.Update("k", bytes.Repeat([]byte{byte(i)}, 100))
+	}
+	if db.LogBytes() == 0 {
+		t.Fatal("log empty before checkpoint")
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if db.LogBytes() != 0 {
+		t.Fatal("checkpoint did not truncate the log")
+	}
+	// Updates continue to work after the log swap.
+	if err := db.Update("k2", []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	db3 := open(t, dir)
+	if v, _ := db3.Get("k2"); string(v) != "post" {
+		t.Fatal("post-checkpoint update lost")
+	}
+	if v, _ := db3.Get("k"); v[0] != 9 {
+		t.Fatal("checkpointed value wrong")
+	}
+}
+
+func TestTornLogRecordIgnored(t *testing.T) {
+	dir := t.TempDir()
+	db := open(t, dir)
+	db.Update("good", []byte("kept"))
+	db.Close()
+	// Tear the last record by appending garbage, then a truncated record.
+	f, err := os.OpenFile(filepath.Join(dir, "update.log"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x42, 0x44, 0x4C, 0x47, 0, 0, 0, 4}) // magic + partial header
+	f.Close()
+	db2 := open(t, dir)
+	if v, ok := db2.Get("good"); !ok || string(v) != "kept" {
+		t.Fatalf("intact record lost: %q %v", v, ok)
+	}
+	if db2.Len() != 1 {
+		t.Fatalf("torn record materialized: %d keys", db2.Len())
+	}
+}
+
+func TestOpenRejectsGarbageCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "checkpoint"), []byte("junk data here"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+}
+
+func TestRandomizedModel(t *testing.T) {
+	dir := t.TempDir()
+	db := open(t, dir)
+	rng := rand.New(rand.NewSource(8))
+	model := map[string]string{}
+	for step := 0; step < 300; step++ {
+		key := fmt.Sprintf("k%d", rng.Intn(40))
+		switch rng.Intn(10) {
+		case 0: // delete
+			db.Delete(key)
+			delete(model, key)
+		case 1: // checkpoint
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		case 2: // crash + reopen
+			db.Close()
+			db = open(t, dir)
+		default:
+			val := fmt.Sprintf("v%d-%d", step, rng.Int63())
+			if err := db.Update(key, []byte(val)); err != nil {
+				t.Fatal(err)
+			}
+			model[key] = val
+		}
+		if db.Len() != len(model) {
+			t.Fatalf("step %d: %d keys, model %d", step, db.Len(), len(model))
+		}
+	}
+	for k, want := range model {
+		v, ok := db.Get(k)
+		if !ok || string(v) != want {
+			t.Fatalf("key %s: %q %v want %q", k, v, ok, want)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := open(t, t.TempDir())
+	db.Update("a", []byte("1"))
+	db.Update("b", []byte("2"))
+	db.Checkpoint()
+	st := db.Stats()
+	if st.Updates != 2 || st.Checkpoints != 1 || st.Keys != 2 || st.LogBytes != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -1,0 +1,72 @@
+package rvm_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	rvm "github.com/rvm-go/rvm"
+)
+
+// Example shows the complete life of a recoverable store: create, map,
+// commit, abort, and reopen after a simulated crash.
+func Example() {
+	dir, _ := os.MkdirTemp("", "rvm-example-*")
+	defer os.RemoveAll(dir)
+	logPath := filepath.Join(dir, "example.log")
+	segPath := filepath.Join(dir, "example.seg")
+
+	rvm.CreateLog(logPath, 1<<20)
+	rvm.CreateSegment(segPath, 1, 1<<16)
+
+	db, _ := rvm.Open(rvm.Options{LogPath: logPath})
+	reg, _ := db.Map(segPath, 0, int64(rvm.PageSize))
+
+	tx, _ := db.Begin(rvm.Restore)
+	tx.SetRange(reg, 0, 5)
+	copy(reg.Data(), "hello")
+	tx.Commit(rvm.Flush)
+
+	tx2, _ := db.Begin(rvm.Restore)
+	tx2.Modify(reg, 0, []byte("XXXXX"))
+	tx2.Abort() // memory restored in place
+
+	fmt.Printf("%s\n", reg.Data()[:5])
+
+	// Crash: drop db without Close, then recover.
+	db2, _ := rvm.Open(rvm.Options{LogPath: logPath})
+	defer db2.Close()
+	reg2, _ := db2.Map(segPath, 0, int64(rvm.PageSize))
+	fmt.Printf("%s\n", reg2.Data()[:5])
+	// Output:
+	// hello
+	// hello
+}
+
+// ExampleTx_Commit_noFlush demonstrates lazy transactions: commits spool
+// until a Flush bounds their persistence (paper §4.2).
+func ExampleTx_Commit_noFlush() {
+	dir, _ := os.MkdirTemp("", "rvm-example-*")
+	defer os.RemoveAll(dir)
+	logPath := filepath.Join(dir, "lazy.log")
+	segPath := filepath.Join(dir, "lazy.seg")
+	rvm.CreateLog(logPath, 1<<20)
+	rvm.CreateSegment(segPath, 1, 1<<16)
+	db, _ := rvm.Open(rvm.Options{LogPath: logPath})
+	defer db.Close()
+	reg, _ := db.Map(segPath, 0, int64(rvm.PageSize))
+
+	for i := 0; i < 10; i++ {
+		tx, _ := db.Begin(rvm.NoRestore)
+		tx.Modify(reg, int64(i)*8, []byte("record!!"))
+		tx.Commit(rvm.NoFlush) // microseconds: no log force
+	}
+	qi, _ := db.Query(nil)
+	fmt.Println("spooled bytes before flush > 0:", qi.SpoolBytes > 0)
+	db.Flush() // one fsync makes all ten durable
+	qi, _ = db.Query(nil)
+	fmt.Println("spooled bytes after flush:", qi.SpoolBytes)
+	// Output:
+	// spooled bytes before flush > 0: true
+	// spooled bytes after flush: 0
+}

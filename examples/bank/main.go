@@ -1,0 +1,218 @@
+// Bank: a TPC-A-style ledger on RVM — the workload of the paper's §7.1.
+//
+// Accounts, teller and branch balances, and an audit trail all live in
+// recoverable memory.  Each transfer updates an account, the teller and
+// branch balances, and appends an audit record, atomically.  The example
+// runs a burst of transfers (mixing flush and no-flush commits), aborts
+// one, crashes, and verifies the invariant that money is conserved.
+//
+// Run:
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	rvm "github.com/rvm-go/rvm"
+)
+
+const (
+	nAccounts   = 1024
+	acctSize    = 128 // paper: accounts are 128-byte records
+	auditSize   = 64  // paper: audit records are 64-byte records
+	nAuditSlots = 512
+	initBalance = 1000
+)
+
+// Layout inside one segment (all page-aligned regions):
+//
+//	region 0: accounts    nAccounts * acctSize
+//	region 1: audit trail nAuditSlots * auditSize + cursor
+//	region 2: teller/branch balances
+type bank struct {
+	db       *rvm.RVM
+	accounts *rvm.Region
+	audit    *rvm.Region
+	totals   *rvm.Region
+}
+
+func pageRound(n int64) int64 {
+	ps := int64(rvm.PageSize)
+	return (n + ps - 1) / ps * ps
+}
+
+func openBank(logPath, segPath string) (*bank, error) {
+	db, err := rvm.Open(rvm.Options{LogPath: logPath})
+	if err != nil {
+		return nil, err
+	}
+	b := &bank{db: db}
+	acctLen := pageRound(nAccounts * acctSize)
+	auditLen := pageRound(nAuditSlots*auditSize + 8)
+	if b.accounts, err = db.Map(segPath, 0, acctLen); err != nil {
+		return nil, err
+	}
+	if b.audit, err = db.Map(segPath, acctLen, auditLen); err != nil {
+		return nil, err
+	}
+	if b.totals, err = db.Map(segPath, acctLen+auditLen, int64(rvm.PageSize)); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (b *bank) balance(i int) int64 {
+	return int64(binary.BigEndian.Uint64(b.accounts.Data()[i*acctSize:]))
+}
+
+// initialize seeds every account with the starting balance, in one
+// transaction.
+func (b *bank) initialize() error {
+	if b.balance(0) != 0 {
+		return nil // already initialized on a previous run
+	}
+	tx, err := b.db.Begin(rvm.NoRestore) // bulk load: never aborted
+	if err != nil {
+		return err
+	}
+	if err := tx.SetRange(b.accounts, 0, b.accounts.Length()); err != nil {
+		return err
+	}
+	for i := 0; i < nAccounts; i++ {
+		binary.BigEndian.PutUint64(b.accounts.Data()[i*acctSize:], initBalance)
+	}
+	if err := tx.SetRange(b.totals, 0, 16); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint64(b.totals.Data(), nAccounts*initBalance) // branch total
+	return tx.Commit(rvm.Flush)
+}
+
+// transfer moves amount from one account to another and logs an audit
+// record, all in one transaction.  from and to must differ (a self-
+// transfer would read the same balance twice and mint money).
+func (b *bank) transfer(from, to int, amount int64, mode rvm.CommitMode) error {
+	if from == to {
+		to = (to + 1) % nAccounts
+	}
+	tx, err := b.db.Begin(rvm.Restore)
+	if err != nil {
+		return err
+	}
+	abort := func(e error) error { tx.Abort(); return e }
+
+	fromOff := int64(from * acctSize)
+	toOff := int64(to * acctSize)
+	if err := tx.SetRange(b.accounts, fromOff, 8); err != nil {
+		return abort(err)
+	}
+	if err := tx.SetRange(b.accounts, toOff, 8); err != nil {
+		return abort(err)
+	}
+	fb := int64(binary.BigEndian.Uint64(b.accounts.Data()[fromOff:]))
+	if fb < amount {
+		tx.Abort() // insufficient funds: the abort path in earnest
+		return fmt.Errorf("insufficient funds in %d", from)
+	}
+	tb := int64(binary.BigEndian.Uint64(b.accounts.Data()[toOff:]))
+	binary.BigEndian.PutUint64(b.accounts.Data()[fromOff:], uint64(fb-amount))
+	binary.BigEndian.PutUint64(b.accounts.Data()[toOff:], uint64(tb+amount))
+
+	// Audit trail: sequential with wraparound, like the paper's.
+	cursorOff := int64(nAuditSlots * auditSize)
+	if err := tx.SetRange(b.audit, cursorOff, 8); err != nil {
+		return abort(err)
+	}
+	slot := binary.BigEndian.Uint64(b.audit.Data()[cursorOff:]) % nAuditSlots
+	recOff := int64(slot) * auditSize
+	if err := tx.SetRange(b.audit, recOff, auditSize); err != nil {
+		return abort(err)
+	}
+	rec := b.audit.Data()[recOff:]
+	binary.BigEndian.PutUint64(rec[0:], uint64(from))
+	binary.BigEndian.PutUint64(rec[8:], uint64(to))
+	binary.BigEndian.PutUint64(rec[16:], uint64(amount))
+	binary.BigEndian.PutUint64(b.audit.Data()[cursorOff:], slot+1)
+
+	return tx.Commit(mode)
+}
+
+// totalMoney sums all account balances.
+func (b *bank) totalMoney() int64 {
+	var sum int64
+	for i := 0; i < nAccounts; i++ {
+		sum += b.balance(i)
+	}
+	return sum
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "rvm-bank-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	logPath := filepath.Join(dir, "bank.log")
+	segPath := filepath.Join(dir, "bank.seg")
+
+	segLen := pageRound(nAccounts*acctSize) + pageRound(nAuditSlots*auditSize+8) + int64(rvm.PageSize)
+	if err := rvm.CreateLog(logPath, 1<<22); err != nil {
+		log.Fatal(err)
+	}
+	if err := rvm.CreateSegment(segPath, 1, segLen); err != nil {
+		log.Fatal(err)
+	}
+
+	b, err := openBank(logPath, segPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := b.initialize(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bank open: %d accounts, total money %d\n", nAccounts, b.totalMoney())
+
+	// A burst of random transfers.  Every third commit is a no-flush
+	// ("lazy") transaction; a periodic Flush bounds their persistence.
+	rng := rand.New(rand.NewSource(1))
+	committed := 0
+	for i := 0; i < 500; i++ {
+		from, to := rng.Intn(nAccounts), rng.Intn(nAccounts)
+		mode := rvm.Flush
+		if i%3 != 0 {
+			mode = rvm.NoFlush
+		}
+		if err := b.transfer(from, to, int64(1+rng.Intn(50)), mode); err == nil {
+			committed++
+		}
+		if i%100 == 99 {
+			if err := b.db.Flush(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := b.db.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed %d transfers; total money %d (conserved: %v)\n",
+		committed, b.totalMoney(), b.totalMoney() == nAccounts*initBalance)
+
+	st := b.db.Stats()
+	fmt.Printf("log traffic: %d bytes; intra-tx saved %d, inter-tx saved %d\n",
+		st.LogBytes, st.IntraSavedBytes, st.InterSavedBytes)
+
+	// Crash (no Close) and recover.
+	b2, err := openBank(logPath, segPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b2.db.Close()
+	fmt.Printf("after crash+recovery: total money %d (conserved: %v)\n",
+		b2.totalMoney(), b2.totalMoney() == nAccounts*initBalance)
+}

@@ -1,0 +1,145 @@
+// Persistheap: a persistent linked list built from rds blocks and
+// segloader-stable offsets — the paper's "absolute pointers in segments"
+// pattern (§4.1) in its Go form.
+//
+// Every run of this program appends one node to a list whose blocks,
+// links, and head pointer all live in recoverable memory.  Offsets stored
+// inside blocks remain valid across runs because the segment loader maps
+// the region identically every time.  The demo performs several "runs"
+// (open/append/close cycles) in one process, including a crash, then
+// walks the list.
+//
+// Run:
+//
+//	go run ./examples/persistheap
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	rvm "github.com/rvm-go/rvm"
+	"github.com/rvm-go/rvm/rds"
+	"github.com/rvm-go/rvm/segloader"
+)
+
+// Node block layout: [8 next rds.Offset][8 sequence number][2 len][text]
+
+type session struct {
+	db   *rvm.RVM
+	heap *rds.Heap
+}
+
+func open(dir string) *session {
+	db, err := rvm.Open(rvm.Options{LogPath: filepath.Join(dir, "heap.log")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ld, err := segloader.Open(db, filepath.Join(dir, "loadmap"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ld.Ensure(segloader.Spec{
+		Name:    "heap",
+		SegPath: filepath.Join(dir, "heap.seg"),
+		SegID:   1,
+		Length:  8 * int64(rvm.PageSize),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	reg, err := ld.Load("heap")
+	if err != nil {
+		log.Fatal(err)
+	}
+	heap, err := rds.Attach(db, reg)
+	if err != nil {
+		heap, err = rds.Format(db, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	return &session{db: db, heap: heap}
+}
+
+// append adds a node at the head of the list, atomically.
+func (s *session) append(seq uint64, text string) {
+	tx, err := s.db.Begin(rvm.Restore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	size := int64(18 + len(text))
+	block, err := s.heap.Alloc(tx, size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, _ := s.heap.Bytes(block)
+	if err := s.heap.SetRange(tx, block, 0, size); err != nil {
+		log.Fatal(err)
+	}
+	binary.BigEndian.PutUint64(b[0:], uint64(s.heap.Root())) // next = old head
+	binary.BigEndian.PutUint64(b[8:], seq)
+	binary.BigEndian.PutUint16(b[16:], uint16(len(text)))
+	copy(b[18:], text)
+	if err := s.heap.SetRoot(tx, block); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(rvm.Flush); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// walk prints the list head to tail (newest first).
+func (s *session) walk() {
+	for cur := s.heap.Root(); cur != 0; {
+		b, err := s.heap.Bytes(cur)
+		if err != nil {
+			log.Fatal(err)
+		}
+		next := rds.Offset(binary.BigEndian.Uint64(b[0:]))
+		seq := binary.BigEndian.Uint64(b[8:])
+		n := binary.BigEndian.Uint16(b[16:])
+		fmt.Printf("  node@%-6d seq=%d %q\n", cur, seq, b[18:18+n])
+		cur = next
+	}
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "rvm-persistheap-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := rvm.CreateLog(filepath.Join(dir, "heap.log"), 1<<20); err != nil {
+		log.Fatal(err)
+	}
+
+	// Run 1 and 2: clean sessions, one append each.
+	for run := uint64(1); run <= 2; run++ {
+		s := open(dir)
+		s.append(run, fmt.Sprintf("appended by run %d", run))
+		if err := s.db.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Run 3: append, then crash (no Close).
+	s3 := open(dir)
+	s3.append(3, "appended by run 3 (then crash)")
+	// kill -9 — the committed append must survive anyway.
+
+	// Run 4: recovery, then walk the whole list.
+	s4 := open(dir)
+	fmt.Println("persistent list after 3 appends and a crash:")
+	s4.walk()
+	st, _ := s4.heap.Stats()
+	fmt.Printf("heap: %d allocations live, %d bytes\n", st.Allocs-st.Frees, st.LiveBytes)
+	s4.append(4, "appended by run 4")
+	fmt.Println("after one more append:")
+	s4.walk()
+	if err := s4.db.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Twophase: distributed transactions over RVM (paper §8) across three
+// in-process "sites", each with its own log, data segment, and
+// pending-prepare heap.
+//
+// The demo runs a successful two-phase commit, then one that aborts
+// because a site votes no (compensating transactions roll the others
+// back), then a coordinator outage between the decision and delivery,
+// repaired by RetryPending.
+//
+// Run:
+//
+//	go run ./examples/twophase
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	rvm "github.com/rvm-go/rvm"
+	"github.com/rvm-go/rvm/rds"
+	"github.com/rvm-go/rvm/rvmdist"
+)
+
+type site struct {
+	name string
+	db   *rvm.RVM
+	data *rvm.Region
+	sub  *rvmdist.Subordinate
+}
+
+func newSite(base, name string) *site {
+	dir := filepath.Join(base, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "site.log")
+	dataSeg := filepath.Join(dir, "data.seg")
+	metaSeg := filepath.Join(dir, "meta.seg")
+	ps := int64(rvm.PageSize)
+	if err := rvm.CreateLog(logPath, 1<<20); err != nil {
+		log.Fatal(err)
+	}
+	if err := rvm.CreateSegment(dataSeg, 1, ps); err != nil {
+		log.Fatal(err)
+	}
+	if err := rvm.CreateSegment(metaSeg, 2, 2*ps); err != nil {
+		log.Fatal(err)
+	}
+	db, err := rvm.Open(rvm.Options{LogPath: logPath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := db.Map(dataSeg, 0, ps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meta, err := db.Map(metaSeg, 0, 2*ps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	heap, err := rds.Format(db, meta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := rvmdist.NewSubordinate(db, heap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub.Register(data)
+	return &site{name: name, db: db, data: data, sub: sub}
+}
+
+func (s *site) value() string {
+	d := s.data.Data()
+	n := 0
+	for n < len(d) && d[n] != 0 {
+		n++
+	}
+	return string(d[:n])
+}
+
+// transport routes the coordinator's upcalls to the in-process sites.
+type transport struct {
+	sites   map[string]*site
+	payload map[string]string // per-gtid value to write
+	veto    string            // site that votes no, if any
+	offline string            // site unreachable in phase 2, if any
+}
+
+func (t *transport) Prepare(site, gtid string) (bool, error) {
+	if site == t.veto {
+		fmt.Printf("    %s: votes NO on %s\n", site, gtid)
+		return false, nil
+	}
+	s := t.sites[site]
+	val := t.payload[gtid] + "@" + site
+	return s.sub.Prepare(gtid, func(p *rvmdist.PrepTx) error {
+		return p.Modify(s.data, 0, append([]byte(val), 0))
+	})
+}
+
+func (t *transport) Commit(site, gtid string) error {
+	if site == t.offline {
+		return fmt.Errorf("site %s unreachable", site)
+	}
+	return t.sites[site].sub.Commit(gtid)
+}
+
+func (t *transport) Abort(site, gtid string) error {
+	return t.sites[site].sub.Abort(gtid)
+}
+
+func main() {
+	base, err := os.MkdirTemp("", "rvm-twophase-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(base)
+
+	tr := &transport{sites: map[string]*site{}, payload: map[string]string{}}
+	names := []string{"alpha", "beta", "gamma"}
+	for _, n := range names {
+		tr.sites[n] = newSite(base, n)
+	}
+
+	// The coordinator gets its own RVM state for the decision log.
+	coDir := filepath.Join(base, "coordinator")
+	os.MkdirAll(coDir, 0o755)
+	rvm.CreateLog(filepath.Join(coDir, "co.log"), 1<<20)
+	rvm.CreateSegment(filepath.Join(coDir, "meta.seg"), 1, 2*int64(rvm.PageSize))
+	coDB, err := rvm.Open(rvm.Options{LogPath: filepath.Join(coDir, "co.log")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coDB.Close()
+	coMeta, _ := coDB.Map(filepath.Join(coDir, "meta.seg"), 0, 2*int64(rvm.PageSize))
+	coHeap, err := rds.Format(coDB, coMeta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	co, err := rvmdist.NewCoordinator(coDB, coHeap, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func() {
+		for _, n := range names {
+			fmt.Printf("    %s: %q\n", n, tr.sites[n].value())
+		}
+	}
+
+	fmt.Println("== g1: all sites vote yes ==")
+	tr.payload["g1"] = "v1"
+	if err := co.Run("g1", names); err != nil {
+		log.Fatal(err)
+	}
+	show()
+
+	fmt.Println("== g2: gamma vetoes; compensation restores g1's state ==")
+	tr.payload["g2"] = "v2"
+	tr.veto = "gamma"
+	if err := co.Run("g2", names); err != nil {
+		fmt.Printf("    coordinator: %v\n", err)
+	}
+	tr.veto = ""
+	show()
+
+	fmt.Println("== g3: beta offline during phase 2; RetryPending repairs ==")
+	tr.payload["g3"] = "v3"
+	tr.offline = "beta"
+	if err := co.Run("g3", names); err != nil {
+		fmt.Printf("    coordinator: %v\n", err)
+	}
+	fmt.Printf("    beta still pending: %v\n", tr.sites["beta"].sub.Pending())
+	tr.offline = ""
+	if err := co.RetryPending(); err != nil {
+		log.Fatal(err)
+	}
+	show()
+	fmt.Printf("    coordinator pending decisions: %v\n", co.Pending())
+}

@@ -1,0 +1,43 @@
+package rvm_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example program, verifying it
+// exits cleanly and prints its key success line.  This keeps the examples
+// honest as the library evolves.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run real fsyncs; skipped in -short")
+	}
+	cases := []struct {
+		dir  string
+		want string // substring that proves the example did its job
+	}{
+		{"quickstart", `recovered:    "committed and therefore durable"`},
+		{"bank", "after crash+recovery: total money 1024000 (conserved: true)"},
+		{"dirstore", "directory after crash + recovery (salvage clean):"},
+		{"persistheap", "appended by run 3 (then crash)"},
+		{"twophase", "coordinator pending decisions: []"},
+		{"gcstore", `newest revision: "document contents, revision 40"`},
+		{"kvstore", "after crash+recovery: 60 keys, index and heap verify clean"},
+		{"resolve", "replicas identical: true"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+c.dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("example %s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

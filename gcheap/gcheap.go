@@ -1,0 +1,401 @@
+// Package gcheap is a persistent, garbage-collected object heap built on
+// RVM, after the use the paper cites as evidence of RVM's versatility
+// (§8): "RVM segments are used as the stable to-space and from-space of
+// the heap for a language that supports concurrent garbage collection of
+// persistent data" (O'Toole, Nettles & Gifford, SOSP 1993).
+//
+// The heap owns two equal RVM regions — from-space and to-space — plus a
+// small metadata region holding the active-space flag, the allocation
+// pointer, and the root reference.  Objects carry a reference array and a
+// byte payload; allocation is a bump pointer in the active space.
+//
+// Collection is a Cheney copying pass from the root into the inactive
+// space, and the entire collection — every copied object plus the space
+// flip — commits as ONE RVM transaction.  A crash mid-collection
+// therefore recovers to the old space as if the collection never started;
+// a crash after commit recovers to the compacted heap.  Atomicity of the
+// flip is exactly what RVM contributes to the garbage collector.
+//
+// References (Ref) are offsets in the active space.  They are invalidated
+// by GC (objects move); persistent structures reach their objects through
+// the heap root, the paper's absolute-pointer discipline.
+package gcheap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	rvm "github.com/rvm-go/rvm"
+)
+
+// Ref names an object in the active space.  The zero Ref is nil.
+type Ref uint64
+
+// Object layout in a space:
+//
+//	[4 size of payload][4 nrefs][8 x nrefs refs][payload]
+const objHdr = 8
+
+// Metadata region layout.
+const (
+	metaMagic  = 0x52474348 // "RGCH"
+	offMagic   = 0
+	offActive  = 8  // 0 or 1
+	offAlloc   = 16 // bump pointer in the active space
+	offRoot    = 24 // root Ref
+	offGCCount = 32 // completed collections
+	metaLen    = 40
+)
+
+// Errors returned by the heap.
+var (
+	ErrNotHeap   = errors.New("gcheap: metadata region does not hold a heap")
+	ErrBadRef    = errors.New("gcheap: reference outside the allocated heap")
+	ErrHeapFull  = errors.New("gcheap: active space exhausted; run GC or grow the spaces")
+	ErrNilRef    = errors.New("gcheap: nil reference")
+	ErrTooManyRe = errors.New("gcheap: object reference count too large")
+)
+
+// Heap is an attached persistent GC heap.
+type Heap struct {
+	db     *rvm.RVM
+	meta   *rvm.Region
+	spaces [2]*rvm.Region
+}
+
+func u64(b []byte) uint64      { return binary.BigEndian.Uint64(b) }
+func put64(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }
+func u32(b []byte) uint32      { return binary.BigEndian.Uint32(b) }
+func put32(b []byte, v uint32) { binary.BigEndian.PutUint32(b, v) }
+
+// Format initializes a heap over the three regions (its own committed
+// transaction).  The two spaces must have equal length.
+func Format(db *rvm.RVM, meta, space0, space1 *rvm.Region) (*Heap, error) {
+	if space0.Length() != space1.Length() {
+		return nil, fmt.Errorf("gcheap: spaces differ in length: %d vs %d", space0.Length(), space1.Length())
+	}
+	if meta.Length() < metaLen {
+		return nil, fmt.Errorf("gcheap: metadata region too small")
+	}
+	tx, err := db.Begin(rvm.Restore)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.SetRange(meta, 0, metaLen); err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	d := meta.Data()
+	put64(d[offMagic:], metaMagic)
+	put64(d[offActive:], 0)
+	put64(d[offAlloc:], objHdr) // offset 0 is reserved for the nil Ref
+	put64(d[offRoot:], 0)
+	put64(d[offGCCount:], 0)
+	if err := tx.Commit(rvm.Flush); err != nil {
+		return nil, err
+	}
+	return &Heap{db: db, meta: meta, spaces: [2]*rvm.Region{space0, space1}}, nil
+}
+
+// Attach opens an existing heap.
+func Attach(db *rvm.RVM, meta, space0, space1 *rvm.Region) (*Heap, error) {
+	if meta.Length() < metaLen || u64(meta.Data()[offMagic:]) != metaMagic {
+		return nil, ErrNotHeap
+	}
+	if space0.Length() != space1.Length() {
+		return nil, fmt.Errorf("gcheap: spaces differ in length")
+	}
+	return &Heap{db: db, meta: meta, spaces: [2]*rvm.Region{space0, space1}}, nil
+}
+
+// active returns the active space region.
+func (h *Heap) active() *rvm.Region {
+	return h.spaces[u64(h.meta.Data()[offActive:])]
+}
+
+// allocPtr returns the active space's bump pointer.
+func (h *Heap) allocPtr() int64 { return int64(u64(h.meta.Data()[offAlloc:])) }
+
+// Root returns the heap root (0 if unset).
+func (h *Heap) Root() Ref { return Ref(u64(h.meta.Data()[offRoot:])) }
+
+// GCCount returns the number of completed collections.
+func (h *Heap) GCCount() uint64 { return u64(h.meta.Data()[offGCCount:]) }
+
+// SetRoot points the heap root at ref, under tx.
+func (h *Heap) SetRoot(tx *rvm.Tx, ref Ref) error {
+	if ref != 0 {
+		if _, _, err := h.object(ref); err != nil {
+			return err
+		}
+	}
+	if err := tx.SetRange(h.meta, offRoot, 8); err != nil {
+		return err
+	}
+	put64(h.meta.Data()[offRoot:], uint64(ref))
+	return nil
+}
+
+// object validates ref and returns its payload size and ref count.
+func (h *Heap) object(ref Ref) (size, nrefs uint32, err error) {
+	if ref == 0 {
+		return 0, 0, ErrNilRef
+	}
+	off := int64(ref)
+	if off < objHdr || off+objHdr > h.allocPtr() {
+		return 0, 0, fmt.Errorf("%w: %d", ErrBadRef, ref)
+	}
+	d := h.active().Data()
+	size = u32(d[off:])
+	nrefs = u32(d[off+4:])
+	if off+h.objLen(size, nrefs) > h.allocPtr() {
+		return 0, 0, fmt.Errorf("%w: %d (corrupt header)", ErrBadRef, ref)
+	}
+	return size, nrefs, nil
+}
+
+// objLen is the total object length for a payload size and ref count.
+func (h *Heap) objLen(size, nrefs uint32) int64 {
+	return objHdr + 8*int64(nrefs) + int64(size)
+}
+
+// Alloc allocates an object with the given payload size and references,
+// under tx.  The payload is zeroed; write it via WritePayload in the same
+// or a later transaction.
+func (h *Heap) Alloc(tx *rvm.Tx, size int, refs []Ref) (Ref, error) {
+	if size < 0 || size > 1<<30 {
+		return 0, fmt.Errorf("gcheap: invalid payload size %d", size)
+	}
+	if len(refs) > 1<<16 {
+		return 0, ErrTooManyRe
+	}
+	for _, r := range refs {
+		if r != 0 {
+			if _, _, err := h.object(r); err != nil {
+				return 0, err
+			}
+		}
+	}
+	need := h.objLen(uint32(size), uint32(len(refs)))
+	off := h.allocPtr()
+	sp := h.active()
+	if off+need > sp.Length() {
+		return 0, fmt.Errorf("%w: need %d, have %d", ErrHeapFull, need, sp.Length()-off)
+	}
+	if err := tx.SetRange(sp, off, need); err != nil {
+		return 0, err
+	}
+	d := sp.Data()
+	put32(d[off:], uint32(size))
+	put32(d[off+4:], uint32(len(refs)))
+	for i, r := range refs {
+		put64(d[off+objHdr+int64(i)*8:], uint64(r))
+	}
+	for i := off + objHdr + 8*int64(len(refs)); i < off+need; i++ {
+		d[i] = 0
+	}
+	if err := tx.SetRange(h.meta, offAlloc, 8); err != nil {
+		return 0, err
+	}
+	put64(h.meta.Data()[offAlloc:], uint64(off+need))
+	return Ref(off), nil
+}
+
+// Payload returns the object's payload bytes (aliasing region memory;
+// writes must go through WritePayload or a SetRange on the span).
+func (h *Heap) Payload(ref Ref) ([]byte, error) {
+	size, nrefs, err := h.object(ref)
+	if err != nil {
+		return nil, err
+	}
+	start := int64(ref) + objHdr + 8*int64(nrefs)
+	return h.active().Data()[start : start+int64(size)], nil
+}
+
+// WritePayload overwrites payload bytes at off within the object, under tx.
+func (h *Heap) WritePayload(tx *rvm.Tx, ref Ref, off int, data []byte) error {
+	p, err := h.Payload(ref)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+len(data) > len(p) {
+		return fmt.Errorf("gcheap: payload write [%d,+%d) outside %d bytes", off, len(data), len(p))
+	}
+	size, nrefs, _ := h.object(ref)
+	_ = size
+	start := int64(ref) + objHdr + 8*int64(nrefs) + int64(off)
+	if err := tx.SetRange(h.active(), start, int64(len(data))); err != nil {
+		return err
+	}
+	copy(p[off:], data)
+	return nil
+}
+
+// Refs returns a copy of the object's reference array.
+func (h *Heap) Refs(ref Ref) ([]Ref, error) {
+	_, nrefs, err := h.object(ref)
+	if err != nil {
+		return nil, err
+	}
+	d := h.active().Data()
+	out := make([]Ref, nrefs)
+	for i := range out {
+		out[i] = Ref(u64(d[int64(ref)+objHdr+int64(i)*8:]))
+	}
+	return out, nil
+}
+
+// SetRef updates the i'th reference of the object, under tx.
+func (h *Heap) SetRef(tx *rvm.Tx, ref Ref, i int, target Ref) error {
+	_, nrefs, err := h.object(ref)
+	if err != nil {
+		return err
+	}
+	if i < 0 || i >= int(nrefs) {
+		return fmt.Errorf("gcheap: ref index %d of %d", i, nrefs)
+	}
+	if target != 0 {
+		if _, _, err := h.object(target); err != nil {
+			return err
+		}
+	}
+	pos := int64(ref) + objHdr + int64(i)*8
+	if err := tx.SetRange(h.active(), pos, 8); err != nil {
+		return err
+	}
+	put64(h.active().Data()[pos:], uint64(target))
+	return nil
+}
+
+// Stats describes heap occupancy.
+type Stats struct {
+	SpaceBytes int64  // capacity of each space
+	UsedBytes  int64  // bump-pointer high-water mark in the active space
+	LiveBytes  int64  // bytes reachable from the root (computed by walk)
+	LiveObjs   int    // objects reachable from the root
+	GCs        uint64 // completed collections
+}
+
+// Stats walks the reachable graph and reports occupancy.
+func (h *Heap) Stats() (Stats, error) {
+	st := Stats{
+		SpaceBytes: h.spaces[0].Length(),
+		UsedBytes:  h.allocPtr(),
+		GCs:        h.GCCount(),
+	}
+	seen := map[Ref]bool{}
+	var walk func(Ref) error
+	walk = func(r Ref) error {
+		if r == 0 || seen[r] {
+			return nil
+		}
+		seen[r] = true
+		size, nrefs, err := h.object(r)
+		if err != nil {
+			return err
+		}
+		st.LiveObjs++
+		st.LiveBytes += h.objLen(size, nrefs)
+		refs, err := h.Refs(r)
+		if err != nil {
+			return err
+		}
+		for _, c := range refs {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(h.Root()); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// GC performs a full copying collection: every object reachable from the
+// root is copied into the inactive space (Cheney's algorithm, breadth
+// first), references are rewritten, and the space flip plus allocation
+// pointer and root update commit as a single RVM transaction.  It returns
+// the number of live objects copied.  A crash at any point before the
+// commit leaves the heap exactly as it was.
+func (h *Heap) GC() (int, error) {
+	tx, err := h.db.Begin(rvm.Restore)
+	if err != nil {
+		return 0, err
+	}
+	abort := func(e error) (int, error) { tx.Abort(); return 0, e }
+
+	fromIdx := u64(h.meta.Data()[offActive:])
+	from := h.spaces[fromIdx]
+	to := h.spaces[1-fromIdx]
+	fd := from.Data()
+	td := to.Data()
+
+	forward := map[Ref]Ref{} // volatile forwarding table
+	allocTo := int64(objHdr)
+	var queue []Ref
+
+	// copyObj moves one object and returns its new Ref.
+	copyObj := func(r Ref) (Ref, error) {
+		if r == 0 {
+			return 0, nil
+		}
+		if nr, ok := forward[r]; ok {
+			return nr, nil
+		}
+		size, nrefs, err := h.object(r)
+		if err != nil {
+			return 0, err
+		}
+		n := h.objLen(size, nrefs)
+		if allocTo+n > to.Length() {
+			return 0, fmt.Errorf("%w: to-space", ErrHeapFull)
+		}
+		if err := tx.SetRange(to, allocTo, n); err != nil {
+			return 0, err
+		}
+		copy(td[allocTo:allocTo+n], fd[int64(r):int64(r)+n])
+		nr := Ref(allocTo)
+		allocTo += n
+		forward[r] = nr
+		queue = append(queue, nr)
+		return nr, nil
+	}
+
+	newRoot, err := copyObj(h.Root())
+	if err != nil {
+		return abort(err)
+	}
+	// Scan: rewrite the reference arrays of copied objects, copying their
+	// children on demand.
+	for len(queue) > 0 {
+		nr := queue[0]
+		queue = queue[1:]
+		nrefs := u32(td[int64(nr)+4:])
+		for i := int64(0); i < int64(nrefs); i++ {
+			pos := int64(nr) + objHdr + i*8
+			child := Ref(u64(td[pos:]))
+			nc, err := copyObj(child)
+			if err != nil {
+				return abort(err)
+			}
+			put64(td[pos:], uint64(nc))
+		}
+	}
+
+	// The atomic flip.
+	if err := tx.SetRange(h.meta, 0, metaLen); err != nil {
+		return abort(err)
+	}
+	md := h.meta.Data()
+	put64(md[offActive:], 1-fromIdx)
+	put64(md[offAlloc:], uint64(allocTo))
+	put64(md[offRoot:], uint64(newRoot))
+	put64(md[offGCCount:], h.GCCount()+1)
+	if err := tx.Commit(rvm.Flush); err != nil {
+		return 0, err
+	}
+	return len(forward), nil
+}

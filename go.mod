@@ -1,0 +1,3 @@
+module github.com/rvm-go/rvm
+
+go 1.22

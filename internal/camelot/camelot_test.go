@@ -1,0 +1,119 @@
+package camelot
+
+import (
+	"testing"
+
+	"github.com/rvm-go/rvm/internal/tpca"
+	"github.com/rvm-go/rvm/internal/vmsim"
+)
+
+func params() tpca.Params { return tpca.DefaultParams() }
+
+func TestSequentialTxCost(t *testing.T) {
+	// One transaction on warm pages costs the log force plus the serial
+	// CPU; the IPC burn is overlapped (hidden) but still counted as CPU.
+	p := params()
+	m := New(p, tpca.RmemBytes(32768))
+	pages := []vmsim.PageID{{Space: 0, Page: 1}}
+	m.RunTx(pages, 300) // cold: includes a fault
+	m.ResetMeasurement()
+	m.RunTx(pages, 300) // warm
+	el := m.Clock().Elapsed()
+	want := p.LogForce + p.CamBaseCPU
+	if el != want {
+		t.Fatalf("warm tx elapsed %v, want %v", el, want)
+	}
+	cpu := m.Clock().CPU()
+	if cpu != p.CamBaseCPU+p.CamHiddenCPU {
+		t.Fatalf("warm tx CPU %v, want %v", cpu, p.CamBaseCPU+p.CamHiddenCPU)
+	}
+}
+
+func TestTruncationWritesDistinctDirtyPages(t *testing.T) {
+	p := params()
+	p.CamTruncTx = 4
+	m := New(p, tpca.RmemBytes(32768))
+	// Four transactions, two distinct pages: truncation fires after the
+	// fourth and handles exactly two pages.
+	for i := 0; i < 4; i++ {
+		m.RunTx([]vmsim.PageID{{Space: 0, Page: int64(i % 2)}}, 300)
+	}
+	m.ResetMeasurement()
+	// Dirty set was reset by the truncation; a new round re-dirties.
+	for i := 0; i < 3; i++ {
+		m.RunTx([]vmsim.PageID{{Space: 0, Page: 9}}, 300)
+	}
+	cpuBefore := m.Clock().CPU()
+	m.RunTx([]vmsim.PageID{{Space: 0, Page: 9}}, 300) // triggers truncation
+	gotTrunc := m.Clock().CPU() - cpuBefore - p.CamBaseCPU - p.CamHiddenCPU
+	if gotTrunc != p.CamPageCPU { // exactly one distinct dirty page
+		t.Fatalf("truncation CPU %v, want %v for one page", gotTrunc, p.CamPageCPU)
+	}
+}
+
+func TestDMCacheAmortizesHotPages(t *testing.T) {
+	// The same page written back across many truncations must miss the
+	// DM cache only the first time.
+	c := newDMCache(4)
+	p := vmsim.PageID{Space: 0, Page: 7}
+	if c.access(p) {
+		t.Fatal("first access hit")
+	}
+	for i := 0; i < 5; i++ {
+		if !c.access(p) {
+			t.Fatalf("access %d missed", i+2)
+		}
+	}
+}
+
+func TestDMCacheEvictsLRU(t *testing.T) {
+	c := newDMCache(2)
+	a, b, d := vmsim.PageID{Page: 1}, vmsim.PageID{Page: 2}, vmsim.PageID{Page: 3}
+	c.access(a)
+	c.access(b)
+	c.access(a) // refresh a
+	c.access(d) // evicts b
+	if !c.access(a) {
+		t.Fatal("a evicted despite recency")
+	}
+	if c.access(b) {
+		t.Fatal("b survived eviction")
+	}
+}
+
+func TestNoDoublePaging(t *testing.T) {
+	// After a truncation cleans resident pages, evicting them costs no
+	// write — the external-pager integration the paper credits for
+	// Camelot's graceful degradation.
+	p := params()
+	p.CamTruncTx = 1 // truncate after every transaction
+	m := New(p, tpca.RmemBytes(32768))
+	m.RunTx([]vmsim.PageID{{Space: tpca.SpaceAccounts, Page: 1}}, 300)
+	// The page was cleaned by the truncation above.
+	m.ResetMeasurement()
+	st0 := m.vm.Stats()
+	// Fill memory to force the page out.
+	for pg := int64(100); pg < int64(100+m.vm.Frames); pg++ {
+		m.vm.Touch(vmsim.PageID{Space: tpca.SpaceAccounts, Page: pg}, false)
+	}
+	st := m.vm.Stats()
+	if st.DirtyEvicts != st0.DirtyEvicts {
+		t.Fatalf("cleaned page evicted dirty: %+v", st)
+	}
+}
+
+func TestResetMeasurementKeepsFrames(t *testing.T) {
+	p := params()
+	m := New(p, tpca.RmemBytes(32768))
+	pg := []vmsim.PageID{{Space: 0, Page: 5}}
+	m.RunTx(pg, 300)
+	m.ResetMeasurement()
+	if m.Clock().Elapsed() != 0 {
+		t.Fatal("clock not reset")
+	}
+	faults := m.Faults()
+	m.RunTx(pg, 300)
+	if m.Faults() != faults {
+		t.Fatal("warm page faulted after reset: frames were dropped")
+	}
+}

@@ -1,0 +1,72 @@
+package codasim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// paperTable2 holds the savings percentages of Table 2 for comparison.
+var paperTable2 = map[string][3]float64{ // intra, inter, total
+	"grieg":   {20.7, 0.0, 20.7},
+	"haydn":   {21.5, 0.0, 21.5},
+	"wagner":  {20.9, 0.0, 20.9},
+	"mozart":  {41.6, 26.7, 68.3},
+	"ives":    {31.2, 22.0, 53.2},
+	"verdi":   {28.1, 20.9, 49.0},
+	"bach":    {25.8, 21.9, 47.7},
+	"purcell": {41.3, 36.2, 77.5},
+	"berlioz": {17.3, 64.3, 81.6},
+}
+
+// TestTable2Reproduction runs every machine at small scale and checks the
+// savings land near the paper's row.  Set RVM_CALIBRATE=1 to print the
+// full comparison.
+func TestTable2Reproduction(t *testing.T) {
+	dir := t.TempDir()
+	rows, err := RunAll(60, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verbose := os.Getenv("RVM_CALIBRATE") == "1"
+	if verbose {
+		fmt.Printf("%-9s %8s %12s | %8s %8s | %8s %8s | %8s %8s\n",
+			"machine", "txs", "log bytes", "intra", "paper", "inter", "paper", "total", "paper")
+	}
+	for _, r := range rows {
+		want := paperTable2[r.Name]
+		if verbose {
+			fmt.Printf("%-9s %8d %12d | %7.1f%% %7.1f%% | %7.1f%% %7.1f%% | %7.1f%% %7.1f%%\n",
+				r.Name, r.Transactions, r.LogBytes,
+				r.IntraPct, want[0], r.InterPct, want[1], r.TotalPct, want[2])
+		}
+		if diff := r.IntraPct - want[0]; diff < -8 || diff > 8 {
+			t.Errorf("%s intra %.1f%% vs paper %.1f%%", r.Name, r.IntraPct, want[0])
+		}
+		if diff := r.InterPct - want[1]; diff < -8 || diff > 8 {
+			t.Errorf("%s inter %.1f%% vs paper %.1f%%", r.Name, r.InterPct, want[1])
+		}
+	}
+	// Structural claims of §7.3:
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	for _, server := range []string{"grieg", "haydn", "wagner"} {
+		if byName[server].InterPct != 0 {
+			t.Errorf("server %s has inter-transaction savings %.1f%% (must be 0: flush-only)",
+				server, byName[server].InterPct)
+		}
+		if p := byName[server].IntraPct; p < 15 || p > 32 {
+			t.Errorf("server %s intra savings %.1f%% outside the paper's 20-30%% band", server, p)
+		}
+	}
+	for _, client := range []string{"mozart", "ives", "verdi", "bach", "purcell", "berlioz"} {
+		if byName[client].InterPct < 12 {
+			t.Errorf("client %s inter savings %.1f%% too low", client, byName[client].InterPct)
+		}
+	}
+	if byName["berlioz"].InterPct < byName["mozart"].InterPct {
+		t.Error("berlioz (long bursts) should save more inter-transaction traffic than mozart")
+	}
+}

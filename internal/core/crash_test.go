@@ -1,0 +1,225 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/rvm-go/rvm/internal/testutil"
+)
+
+// TestCrashInjectionProperty is the core atomicity + permanence property:
+// for randomized transaction schedules crashed at a random write-budget
+// boundary, the recovered state must be exactly the state after the last
+// acknowledged commit — never a torn transaction, never a lost one.
+func TestCrashInjectionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		dir := t.TempDir()
+		logPath := filepath.Join(dir, "log.rvm")
+		segPath := filepath.Join(dir, "seg.rvm")
+		regionLen := pageBytes(2)
+		if err := CreateLog(logPath, 1<<17); err != nil {
+			t.Fatal(err)
+		}
+		if err := CreateSegment(segPath, 1, regionLen); err != nil {
+			t.Fatal(err)
+		}
+
+		f, err := os.OpenFile(logPath, os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := testutil.NewFaultDevice(f, -1)
+		eng, err := Open(Options{LogPath: logPath, LogDevice: dev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := eng.Map(segPath, 0, regionLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Arm the crash after a random number of further log bytes.
+		dev.SetBudget(int64(rng.Intn(12000)))
+
+		shadow := make([]byte, regionLen) // state after last acknowledged commit
+		acked := 0
+		for i := 1; i <= 60; i++ {
+			tx, err := eng.Begin(Restore)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Each transaction stamps its number at offset 0 and writes
+			// 1-3 random ranges.
+			type write struct {
+				off  int64
+				data []byte
+			}
+			var ws []write
+			stamp := make([]byte, 8)
+			stamp[7] = byte(i)
+			stamp[6] = byte(i >> 8)
+			ws = append(ws, write{0, stamp})
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				off := int64(8 + rng.Intn(int(regionLen)-300))
+				n := 1 + rng.Intn(250)
+				data := make([]byte, n)
+				rng.Read(data)
+				ws = append(ws, write{off, data})
+			}
+			failed := false
+			for _, w := range ws {
+				if err := tx.Modify(r, w.off, w.data); err != nil {
+					failed = true
+					break
+				}
+			}
+			if !failed {
+				err = tx.Commit(Flush)
+			}
+			if failed || err != nil {
+				break // crashed
+			}
+			acked = i
+			for _, w := range ws {
+				copy(shadow[w.off:], w.data)
+			}
+		}
+		if !dev.Crashed() {
+			// Budget was generous enough to never crash; that trial still
+			// verifies plain recovery below.
+			acked = acked + 0
+		}
+		eng.closeFiles()
+
+		// Restart on the real file and verify.
+		eng2, err := Open(Options{LogPath: logPath})
+		if err != nil {
+			t.Fatalf("trial %d: reopen: %v", trial, err)
+		}
+		r2, err := eng2.Map(segPath, 0, regionLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r2.Data()
+		gotStamp := int(got[7]) | int(got[6])<<8
+		if gotStamp != acked {
+			t.Fatalf("trial %d: recovered stamp %d, acknowledged %d", trial, gotStamp, acked)
+		}
+		if !bytes.Equal(got, shadow) {
+			t.Fatalf("trial %d: recovered image differs from acknowledged state", trial)
+		}
+		eng2.Close()
+	}
+}
+
+// TestCrashDuringTruncation arms the crash while a truncation is writing
+// segment pages and status blocks; recovery must still produce the
+// acknowledged state.  The segment itself is not fault-injected (segment
+// writes are idempotent replays of logged data), but the log's status
+// updates are, exercising the doubly-buffered status block.
+func TestCrashDuringTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		dir := t.TempDir()
+		logPath := filepath.Join(dir, "log.rvm")
+		segPath := filepath.Join(dir, "seg.rvm")
+		if err := CreateLog(logPath, 1<<16); err != nil {
+			t.Fatal(err)
+		}
+		if err := CreateSegment(segPath, 1, pageBytes(2)); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.OpenFile(logPath, os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := testutil.NewFaultDevice(f, -1)
+		eng, err := Open(Options{LogPath: logPath, LogDevice: dev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := eng.Map(segPath, 0, pageBytes(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := make([]byte, pageBytes(2))
+		acked := 0
+		for i := 1; i <= 10; i++ {
+			tx, _ := eng.Begin(Restore)
+			data := bytes.Repeat([]byte{byte(i)}, 100)
+			off := int64((i - 1) * 100)
+			if err := tx.Modify(r, off, data); err != nil || tx.Commit(Flush) != nil {
+				t.Fatal("setup commits must succeed")
+			}
+			acked = i
+			copy(shadow[off:], data)
+		}
+		// Crash somewhere inside the upcoming truncation's status write.
+		dev.SetBudget(int64(rng.Intn(60)))
+		_ = eng.Truncate() // may or may not fail; either way we crash next
+		eng.closeFiles()
+
+		eng2, err := Open(Options{LogPath: logPath})
+		if err != nil {
+			t.Fatalf("trial %d: reopen after trunc crash: %v", trial, err)
+		}
+		r2, err := eng2.Map(segPath, 0, pageBytes(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(r2.Data()[:acked*100], shadow[:acked*100]) {
+			t.Fatalf("trial %d: truncation crash lost committed data", trial)
+		}
+		eng2.Close()
+	}
+}
+
+// TestRepeatedCrashesAccumulate runs several crash/recover cycles on the
+// same store, checking that state accumulates correctly across them.
+func TestRepeatedCrashesAccumulate(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "log.rvm")
+	segPath := filepath.Join(dir, "seg.rvm")
+	if err := CreateLog(logPath, 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	if err := CreateSegment(segPath, 1, pageBytes(2)); err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 8; cycle++ {
+		eng, err := Open(Options{LogPath: logPath})
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		r, err := eng.Map(segPath, 0, pageBytes(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check every previous cycle's value.
+		for c := 0; c < cycle; c++ {
+			want := []byte(fmt.Sprintf("cycle-%02d", c))
+			got := r.Data()[c*16 : c*16+len(want)]
+			if !bytes.Equal(got, want) {
+				t.Fatalf("cycle %d: lost %q, have %q", cycle, want, got)
+			}
+		}
+		tx, _ := eng.Begin(Restore)
+		if err := tx.Modify(r, int64(cycle*16), []byte(fmt.Sprintf("cycle-%02d", cycle))); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(Flush); err != nil {
+			t.Fatal(err)
+		}
+		// Crash without Close.
+		eng.closeFiles()
+	}
+}

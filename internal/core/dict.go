@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// dict is the persistent segment dictionary: it maps the segment IDs that
+// appear in log records to the file paths of their external data segments,
+// so crash recovery can locate every segment the log references.  The real
+// RVM kept an equivalent mapping in its log status area; a sidecar file
+// (<log>.segs) keeps the log format simple here.
+//
+// The dictionary is written atomically (temp file + fsync + rename) and is
+// always persisted *before* the first log record referencing a new segment,
+// so a crash can never leave the log mentioning an unknown ID.
+type dict struct {
+	path    string
+	entries map[uint64]string
+}
+
+const dictHeader = "# RVM segment dictionary v1"
+
+// loadDict reads the dictionary at path; a missing file is an empty dict.
+func loadDict(path string) (*dict, error) {
+	d := &dict{path: path, entries: make(map[uint64]string)}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return d, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: open segment dictionary: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	first := true
+	for sc.Scan() {
+		line := sc.Text()
+		if first {
+			first = false
+			if line != dictHeader {
+				return nil, fmt.Errorf("core: %s: not a segment dictionary", path)
+			}
+			continue
+		}
+		if line == "" {
+			continue
+		}
+		id, p, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("core: %s: malformed line %q", path, line)
+		}
+		n, err := strconv.ParseUint(id, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: bad segment id %q", path, id)
+		}
+		d.entries[n] = p
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: read segment dictionary: %w", err)
+	}
+	return d, nil
+}
+
+// lookup returns the path recorded for a segment ID.
+func (d *dict) lookup(id uint64) (string, bool) {
+	p, ok := d.entries[id]
+	return p, ok
+}
+
+// set records id -> path and persists the dictionary if anything changed.
+func (d *dict) set(id uint64, path string) error {
+	if cur, ok := d.entries[id]; ok && cur == path {
+		return nil
+	}
+	d.entries[id] = path
+	return d.persist()
+}
+
+// persist writes the dictionary durably and atomically.
+func (d *dict) persist() error {
+	tmp := d.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("core: write segment dictionary: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, dictHeader)
+	ids := make([]uint64, 0, len(d.entries))
+	for id := range d.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fmt.Fprintf(w, "%d\t%s\n", id, d.entries[id])
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: write segment dictionary: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: sync segment dictionary: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: close segment dictionary: %w", err)
+	}
+	if err := os.Rename(tmp, d.path); err != nil {
+		return fmt.Errorf("core: install segment dictionary: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,505 @@
+// Package core implements the RVM transaction engine: segment and region
+// management, the transaction lifecycle with intra- and inter-transaction
+// optimizations, commit paths, crash recovery at startup, and both epoch
+// and incremental log truncation.
+//
+// The public github.com/rvm-go/rvm package is a thin facade over this
+// engine; the split keeps the paper's machinery in one place while the
+// facade carries the documented, stable API.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"github.com/rvm-go/rvm/internal/mapping"
+	"github.com/rvm-go/rvm/internal/pagevec"
+	"github.com/rvm-go/rvm/internal/recovery"
+	"github.com/rvm-go/rvm/internal/segment"
+	"github.com/rvm-go/rvm/internal/wal"
+)
+
+// Errors returned by the engine.
+var (
+	ErrClosed         = errors.New("rvm: engine is closed")
+	ErrTxDone         = errors.New("rvm: transaction already committed or aborted")
+	ErrRegionUnmapped = errors.New("rvm: region is not mapped")
+	ErrUncommitted    = errors.New("rvm: region has uncommitted transactions outstanding")
+	ErrNoRestoreAbort = errors.New("rvm: cannot abort a no-restore transaction")
+	ErrBounds         = errors.New("rvm: range outside region")
+	ErrOverlap        = errors.New("rvm: mapping overlaps an existing region of the segment")
+	ErrBadAlignment   = errors.New("rvm: region offset and length must be page multiples")
+	ErrActiveTx       = errors.New("rvm: transactions still active")
+)
+
+// Options configures an Engine.
+type Options struct {
+	// LogPath is the write-ahead log file.  Required unless LogDevice is
+	// set, in which case LogPath only names the segment dictionary.
+	LogPath string
+	// LogDevice overrides the log storage (tests inject fault devices).
+	LogDevice wal.Device
+	// Backend selects region memory (heap or anonymous mmap).
+	Backend mapping.Backend
+	// DemandPaging maps regions copy-on-write over the segment file
+	// instead of copying them in at Map time — the optional external-
+	// pager behaviour §4.1 lists as future work.  Pages are read on
+	// first touch; writes go to private pages, never the file.
+	DemandPaging bool
+	// TruncateThreshold is the fraction of log capacity that triggers a
+	// background truncation after a commit (paper §4.2 set_options knob).
+	// Zero or negative disables automatic truncation.
+	TruncateThreshold float64
+	// Incremental enables incremental truncation (paper §5.1.2); when
+	// disabled every truncation is an epoch truncation.
+	Incremental bool
+	// NoIntraOpt disables intra-transaction optimizations (duplicate,
+	// overlapping and adjacent set-ranges are logged verbatim).  For
+	// measurement and ablation only.
+	NoIntraOpt bool
+	// NoInterOpt disables inter-transaction optimizations (no-flush
+	// records are never subsumed).  For measurement and ablation only.
+	NoInterOpt bool
+	// NoSync disables physical fsyncs, forfeiting permanence.  For
+	// benchmark harnesses that measure log traffic, not durability.
+	NoSync bool
+	// SpoolLimit bounds the bytes of committed no-flush transactions held
+	// in memory awaiting a flush; crossing it triggers an implicit flush
+	// (the real RVM's log buffers were finite too, and an unbounded spool
+	// would make the inter-transaction subsumption scan quadratic).
+	// Zero means the 1 MiB default; negative means unlimited.
+	SpoolLimit int64
+}
+
+// Statistics are cumulative counters since Open, in the spirit of the real
+// RVM's rvm_statistics call.
+type Statistics struct {
+	Begins          uint64 // transactions begun
+	FlushCommits    uint64 // commits in flush mode
+	NoFlushCommits  uint64 // commits in no-flush (lazy) mode
+	Aborts          uint64 // explicit aborts
+	SetRanges       uint64 // set-range calls
+	EmptyCommits    uint64 // commits that logged nothing
+	LogBytes        uint64 // record bytes appended to the log
+	LogForces       uint64 // fsyncs of the log on the commit/flush path
+	IntraSavedBytes uint64 // log bytes avoided by intra-transaction optimization
+	InterSavedBytes uint64 // log bytes avoided by inter-transaction optimization
+	Flushes         uint64 // explicit or implicit spool flushes
+	EpochTruncs     uint64 // epoch truncations completed
+	IncrSteps       uint64 // incremental truncation page write-outs
+	PagesWritten    uint64 // pages written to segments by truncation/unmap
+	Recoveries      uint64 // recoveries performed at Open (0 or 1)
+	RecoveredBytes  uint64 // bytes applied to segments during recovery
+}
+
+// Engine is an open RVM instance: one log plus any number of mapped
+// regions.  All methods are safe for concurrent use.
+type Engine struct {
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled when a truncation finishes
+	log     *wal.Log
+	dict    *dict
+	segs    map[uint64]*segment.Segment // open segments by ID
+	byPath  map[string]uint64           // canonical path -> segment ID
+	regions []*Region                   // index = region handle; nil after unmap
+	nextTID uint64
+	active  int // transactions begun and not yet resolved
+
+	spool      []*spooled // committed no-flush transactions not yet in the log
+	spoolBytes int64
+
+	queue       pagevec.Queue
+	truncating  bool   // a truncation (epoch or incremental) is in flight
+	epochEndSeq uint64 // while an epoch truncation is in flight: its EndSeq
+
+	stats  Statistics
+	closed bool
+}
+
+// spooled is a committed no-flush transaction awaiting its log write.
+type spooled struct {
+	tid    uint64
+	flags  uint8
+	ranges []wal.Range // data copied at commit time
+	bytes  int64       // encoded log size, for inter-opt accounting
+	pages  []pagevec.PageID
+}
+
+// Region is a mapped region of an external data segment.  Its memory is
+// exposed via Data; applications read and write it directly, bracketing
+// writes with SetRange inside a transaction.
+type Region struct {
+	eng    *Engine
+	idx    int
+	seg    *segment.Segment
+	segOff int64 // region start within the segment's data space
+	length int64
+	buf    *mapping.Buffer
+	data   []byte
+	pvec   *pagevec.Vector
+	nTx    int // active transactions with ranges in this region
+	mapped bool
+}
+
+// Open opens (or re-opens) an RVM instance on an existing log, performing
+// crash recovery before returning.  The log must have been created with
+// CreateLog.
+func Open(opts Options) (*Engine, error) {
+	var l *wal.Log
+	var err error
+	if opts.LogDevice != nil {
+		l, err = wal.OpenDevice(opts.LogDevice)
+	} else {
+		l, err = wal.Open(opts.LogPath)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d, err := loadDict(dictPath(opts.LogPath))
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	e := &Engine{
+		opts:    opts,
+		log:     l,
+		dict:    d,
+		segs:    make(map[uint64]*segment.Segment),
+		byPath:  make(map[string]uint64),
+		nextTID: 1,
+	}
+	e.cond = sync.NewCond(&e.mu)
+	if opts.NoSync {
+		l.SetNoSync(true)
+	}
+	if l.Used() > 0 {
+		st, err := recovery.Recover(l, e.lookupSegment)
+		if err != nil {
+			e.closeFiles()
+			return nil, fmt.Errorf("rvm: recovery: %w", err)
+		}
+		e.stats.Recoveries = 1
+		e.stats.RecoveredBytes = st.TreeBytes
+	}
+	return e, nil
+}
+
+// CreateLog creates a new write-ahead log of the given record-area size.
+func CreateLog(path string, size int64) error { return wal.Create(path, size) }
+
+// CreateSegment creates a new external data segment file.
+func CreateSegment(path string, id uint64, length int64) error {
+	s, err := segment.Create(path, id, length)
+	if err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+func dictPath(logPath string) string { return logPath + ".segs" }
+
+// lookupSegment resolves a segment ID via the dictionary, opening and
+// caching the segment.  Used by recovery and truncation.
+func (e *Engine) lookupSegment(id uint64) (*segment.Segment, error) {
+	if s, ok := e.segs[id]; ok {
+		return s, nil
+	}
+	path, ok := e.dict.lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("rvm: segment %d not in dictionary", id)
+	}
+	s, err := segment.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if s.ID() != id {
+		s.Close()
+		return nil, fmt.Errorf("rvm: %s holds segment %d, dictionary says %d", path, s.ID(), id)
+	}
+	e.segs[id] = s
+	e.byPath[path] = id
+	return s, nil
+}
+
+// Map maps the region [segOff, segOff+length) of the external data segment
+// at segPath into memory.  The offset and length must be page multiples,
+// the range must lie inside the segment, and it must not overlap any
+// currently mapped region of the same segment (paper §4.1 restrictions).
+// The returned region's memory holds the committed image of the range.
+func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	e.waitTruncationLocked()
+	if !mapping.IsAligned(segOff) || !mapping.IsAligned(length) || length <= 0 {
+		return nil, fmt.Errorf("%w: off=%d len=%d", ErrBadAlignment, segOff, length)
+	}
+	abs, err := filepath.Abs(segPath)
+	if err != nil {
+		return nil, fmt.Errorf("rvm: resolve %s: %w", segPath, err)
+	}
+	var seg *segment.Segment
+	if id, ok := e.byPath[abs]; ok {
+		seg = e.segs[id]
+	} else {
+		seg, err = segment.Open(abs)
+		if err != nil {
+			return nil, err
+		}
+		if other, ok := e.segs[seg.ID()]; ok && other != seg {
+			seg.Close()
+			return nil, fmt.Errorf("rvm: segment id %d already open from %s", other.ID(), other.Path())
+		}
+		e.segs[seg.ID()] = seg
+		e.byPath[abs] = seg.ID()
+	}
+	if segOff+length > seg.Length() {
+		return nil, fmt.Errorf("%w: [%d,+%d) exceeds segment length %d", ErrBounds, segOff, length, seg.Length())
+	}
+	for _, r := range e.regions {
+		if r != nil && r.mapped && r.seg.ID() == seg.ID() &&
+			segOff < r.segOff+r.length && r.segOff < segOff+length {
+			return nil, fmt.Errorf("%w: [%d,+%d) vs existing [%d,+%d)", ErrOverlap, segOff, length, r.segOff, r.length)
+		}
+	}
+	// Persist the dictionary entry before any log record can reference
+	// this segment.
+	if err := e.dict.set(seg.ID(), abs); err != nil {
+		return nil, err
+	}
+	var buf *mapping.Buffer
+	if e.opts.DemandPaging {
+		// Copy-on-write file mapping: the committed image pages in on
+		// demand.  Sound because recovery ran before any Map, and
+		// truncation only ever writes file pages the application has
+		// already written (hence already copied privately).
+		buf, err = seg.MapPrivate(segOff, length)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		buf, err = mapping.New(length, e.opts.Backend)
+		if err != nil {
+			return nil, err
+		}
+		// Mapping copies the committed image from the external data
+		// segment into memory (paper §4.1: copying occurs when a region
+		// is mapped).
+		if err := seg.ReadAt(buf.Data(), segOff); err != nil {
+			buf.Free()
+			return nil, err
+		}
+	}
+	r := &Region{
+		eng:    e,
+		idx:    len(e.regions),
+		seg:    seg,
+		segOff: segOff,
+		length: length,
+		buf:    buf,
+		data:   buf.Data(),
+		pvec:   pagevec.New(int(length / int64(mapping.PageSize))),
+		mapped: true,
+	}
+	e.regions = append(e.regions, r)
+	return r, nil
+}
+
+// Unmap unmaps a quiescent region: no uncommitted transaction may have
+// ranges in it.  Committed no-flush changes are flushed to the log and the
+// region's dirty pages are written to its segment before the memory is
+// released, so a subsequent Map sees the committed image.
+func (e *Engine) Unmap(r *Region) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.waitTruncationLocked()
+	if !r.mapped {
+		return ErrRegionUnmapped
+	}
+	if r.nTx > 0 {
+		return fmt.Errorf("%w: %d active", ErrUncommitted, r.nTx)
+	}
+	// Spooled commits may reference this region's memory state; make them
+	// durable first so the page write-out below cannot expose committed-
+	// but-unlogged bytes (no-undo/redo invariant).
+	if err := e.flushLocked(); err != nil {
+		return err
+	}
+	if err := e.writeDirtyPagesLocked(r); err != nil {
+		return err
+	}
+	e.queue.RemoveRegion(r.idx)
+	r.mapped = false
+	r.data = nil
+	err := r.buf.Free()
+	r.buf = nil
+	e.regions[r.idx] = nil
+	return err
+}
+
+// writeDirtyPagesLocked writes every dirty page of r from memory to its
+// segment and syncs, clearing the dirty bits.
+func (e *Engine) writeDirtyPagesLocked(r *Region) error {
+	if r.pvec.DirtyCount() == 0 {
+		return nil
+	}
+	ps := int64(mapping.PageSize)
+	wrote := false
+	for p := 0; p < r.pvec.NumPages(); p++ {
+		if !r.pvec.IsDirty(p) {
+			continue
+		}
+		off := int64(p) * ps
+		if err := r.seg.WriteAt(r.data[off:off+ps], r.segOff+off); err != nil {
+			return err
+		}
+		wrote = true
+		e.stats.PagesWritten++
+	}
+	if wrote {
+		if err := r.seg.Sync(); err != nil {
+			return err
+		}
+	}
+	for p := 0; p < r.pvec.NumPages(); p++ {
+		r.pvec.ClearDirty(p)
+	}
+	return nil
+}
+
+// waitTruncationLocked blocks until no truncation is in flight.  Callers
+// hold e.mu; the condition variable releases it while waiting.
+func (e *Engine) waitTruncationLocked() {
+	for e.truncating {
+		e.cond.Wait()
+	}
+}
+
+// Data returns the region's mapped memory.  Reads need no RVM
+// intervention; writes must be covered by a SetRange of an active
+// transaction to be recoverable.
+func (r *Region) Data() []byte { return r.data }
+
+// Length returns the region length in bytes.
+func (r *Region) Length() int64 { return r.length }
+
+// SegmentID returns the ID of the backing external data segment.
+func (r *Region) SegmentID() uint64 { return r.seg.ID() }
+
+// SegmentOffset returns the region's start offset within the segment.
+func (r *Region) SegmentOffset() int64 { return r.segOff }
+
+// QueryInfo describes the state of a region or of the engine.
+type QueryInfo struct {
+	UncommittedTxs int   // transactions with unresolved ranges in the region
+	DirtyPages     int   // pages with committed changes not yet in the segment
+	QueuedPages    int   // pages in the incremental-truncation queue
+	LogUsed        int64 // live log bytes (engine-wide)
+	LogSize        int64 // log record-area capacity
+	SpoolBytes     int64 // committed no-flush bytes not yet in the log
+	ActiveTxs      int   // engine-wide unresolved transactions
+}
+
+// Query reports engine state; if r is non-nil the region fields are filled
+// in for it (paper §4.2 query primitive).
+func (e *Engine) Query(r *Region) (QueryInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return QueryInfo{}, ErrClosed
+	}
+	qi := QueryInfo{
+		LogUsed:    e.log.Used(),
+		LogSize:    e.log.AreaSize(),
+		SpoolBytes: e.spoolBytes,
+		ActiveTxs:  e.active,
+	}
+	if r != nil {
+		if !r.mapped {
+			return QueryInfo{}, ErrRegionUnmapped
+		}
+		qi.UncommittedTxs = r.nTx
+		qi.DirtyPages = r.pvec.DirtyCount()
+		e.queue.Walk(func(d pagevec.Descriptor) {
+			if d.ID.Region == r.idx {
+				qi.QueuedPages++
+			}
+		})
+	}
+	return qi, nil
+}
+
+// SetOptions adjusts tunables at runtime (paper §4.2 set_options).  Only
+// the truncation knobs may change after Open.
+func (e *Engine) SetOptions(truncateThreshold float64, incremental bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.opts.TruncateThreshold = truncateThreshold
+	e.opts.Incremental = incremental
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (e *Engine) Stats() Statistics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stats
+	ls := e.log.Stats()
+	st.LogBytes = ls.BytesAppended
+	st.LogForces = ls.Forces
+	return st
+}
+
+// Close flushes committed work, truncates the log, and releases all files.
+// It fails if transactions are still active.  Mapped regions are released
+// implicitly.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.waitTruncationLocked()
+	if e.active > 0 {
+		return fmt.Errorf("%w: %d", ErrActiveTx, e.active)
+	}
+	if err := e.flushLocked(); err != nil {
+		return err
+	}
+	if err := e.truncateLocked(); err != nil {
+		return err
+	}
+	for _, r := range e.regions {
+		if r != nil && r.mapped {
+			r.mapped = false
+			r.data = nil
+			if err := r.buf.Free(); err != nil {
+				return err
+			}
+			r.buf = nil
+		}
+	}
+	e.closed = true
+	return e.closeFiles()
+}
+
+func (e *Engine) closeFiles() error {
+	var first error
+	if err := e.log.Close(); err != nil && first == nil {
+		first = err
+	}
+	for _, s := range e.segs {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

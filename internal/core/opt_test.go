@@ -1,0 +1,210 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// logBytesFor runs fn against a fresh engine with the given options and
+// returns the log bytes appended.
+func logBytesFor(t *testing.T, opts Options, fn func(*env, *Region)) uint64 {
+	t.Helper()
+	v := newEnv(t, 1<<18, pageBytes(2), opts)
+	r := v.mapWhole()
+	fn(v, r)
+	if err := v.eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return v.eng.Stats().LogBytes
+}
+
+func TestIntraOptDuplicateSetRanges(t *testing.T) {
+	// Defensive programming: the same range declared many times must cost
+	// one record's worth of log space (paper §5.2).
+	workload := func(dups int) func(*env, *Region) {
+		return func(v *env, r *Region) {
+			tx, _ := v.eng.Begin(Restore)
+			for i := 0; i < dups; i++ {
+				if err := tx.SetRange(r, 100, 200); err != nil {
+					t.Fatal(err)
+				}
+			}
+			copy(r.Data()[100:], bytes.Repeat([]byte{0xCD}, 200))
+			if err := tx.Commit(Flush); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	once := logBytesFor(t, Options{}, workload(1))
+	many := logBytesFor(t, Options{}, workload(10))
+	if many != once {
+		t.Fatalf("duplicate set-ranges grew the log: %d vs %d", many, once)
+	}
+	unopt := logBytesFor(t, Options{NoIntraOpt: true}, workload(10))
+	if unopt <= many {
+		t.Fatalf("NoIntraOpt should cost more: %d vs %d", unopt, many)
+	}
+}
+
+func TestIntraOptOverlapAndAdjacency(t *testing.T) {
+	// Overlapping and adjacent ranges coalesce into one range.
+	v := newEnv(t, 1<<18, pageBytes(2), Options{})
+	r := v.mapWhole()
+	tx, _ := v.eng.Begin(Restore)
+	tx.SetRange(r, 0, 100)
+	tx.SetRange(r, 50, 100)  // overlaps
+	tx.SetRange(r, 150, 100) // adjacent
+	if err := tx.Commit(Flush); err != nil {
+		t.Fatal(err)
+	}
+	st := v.eng.Stats()
+	if st.IntraSavedBytes == 0 {
+		t.Fatal("no intra-transaction savings recorded")
+	}
+	// One coalesced range of 250 bytes: 20 header + 250 data (+record
+	// framing).  Three separate ranges would cost 60 + 300.
+	if st.LogBytes > 400 {
+		t.Fatalf("log bytes %d suggest ranges were not coalesced", st.LogBytes)
+	}
+}
+
+func TestIntraSavingsAccounting(t *testing.T) {
+	v := newEnv(t, 1<<18, pageBytes(2), Options{})
+	r := v.mapWhole()
+	tx, _ := v.eng.Begin(Restore)
+	tx.SetRange(r, 0, 100)
+	tx.SetRange(r, 0, 100) // fully duplicate: saves 20+100
+	tx.Commit(Flush)
+	st := v.eng.Stats()
+	if st.IntraSavedBytes != 120 {
+		t.Fatalf("IntraSavedBytes=%d want 120", st.IntraSavedBytes)
+	}
+}
+
+func TestInterOptSubsumption(t *testing.T) {
+	// Temporal locality: repeated no-flush updates to the same data need
+	// only the last one in the log (paper §5.2 "cp d1/* d2").
+	run := func(opts Options) (logBytes, saved uint64) {
+		v := newEnv(t, 1<<18, pageBytes(2), opts)
+		r := v.mapWhole()
+		for i := 0; i < 10; i++ {
+			tx, _ := v.eng.Begin(Restore)
+			if err := tx.Modify(r, 0, bytes.Repeat([]byte{byte(i)}, 300)); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(NoFlush); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := v.eng.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		st := v.eng.Stats()
+		// Durability check: the final value must survive a crash.
+		v.reopen(Options{})
+		r2 := v.mapWhole()
+		if r2.Data()[0] != 9 {
+			t.Fatalf("final value lost: %d", r2.Data()[0])
+		}
+		return st.LogBytes, st.InterSavedBytes
+	}
+	optBytes, optSaved := run(Options{})
+	rawBytes, rawSaved := run(Options{NoInterOpt: true})
+	if optSaved == 0 || rawSaved != 0 {
+		t.Fatalf("savings: opt=%d raw=%d", optSaved, rawSaved)
+	}
+	if optBytes*5 > rawBytes {
+		t.Fatalf("subsumption saved too little: %d vs %d", optBytes, rawBytes)
+	}
+}
+
+func TestInterOptRequiresFullSubsumption(t *testing.T) {
+	// A later transaction covering only part of an earlier one must not
+	// discard it.
+	v := newEnv(t, 1<<18, pageBytes(2), Options{})
+	r := v.mapWhole()
+	tx1, _ := v.eng.Begin(Restore)
+	tx1.Modify(r, 0, []byte("AAAAAAAAAA")) // [0,10)
+	tx1.Commit(NoFlush)
+	tx2, _ := v.eng.Begin(Restore)
+	tx2.Modify(r, 0, []byte("BBBB")) // [0,4): partial
+	tx2.Commit(NoFlush)
+	if err := v.eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.eng.Stats().InterSavedBytes; got != 0 {
+		t.Fatalf("partial overlap subsumed: %d", got)
+	}
+	v.reopen(Options{})
+	r2 := v.mapWhole()
+	if !bytes.Equal(r2.Data()[:10], []byte("BBBBAAAAAA")) {
+		t.Fatalf("recovered %q", r2.Data()[:10])
+	}
+}
+
+func TestInterOptMultiRangeSubsumption(t *testing.T) {
+	// Subsumption works across multiple ranges: the newer tx covers the
+	// older one's two ranges with one larger range.
+	v := newEnv(t, 1<<18, pageBytes(2), Options{})
+	r := v.mapWhole()
+	tx1, _ := v.eng.Begin(Restore)
+	tx1.Modify(r, 0, []byte("aa"))
+	tx1.Modify(r, 10, []byte("bb"))
+	tx1.Commit(NoFlush)
+	tx2, _ := v.eng.Begin(Restore)
+	tx2.Modify(r, 0, bytes.Repeat([]byte{'z'}, 12))
+	tx2.Commit(NoFlush)
+	v.eng.Flush()
+	if got := v.eng.Stats().InterSavedBytes; got == 0 {
+		t.Fatal("multi-range subsumption missed")
+	}
+}
+
+func TestInterOptOnlyAppliesToNoFlush(t *testing.T) {
+	// Flush-mode commits go straight to the log; a later no-flush cannot
+	// retroactively save their traffic (paper: servers see no inter-tx
+	// savings).
+	v := newEnv(t, 1<<18, pageBytes(2), Options{})
+	r := v.mapWhole()
+	tx1, _ := v.eng.Begin(Restore)
+	tx1.Modify(r, 0, bytes.Repeat([]byte{'a'}, 100))
+	tx1.Commit(Flush)
+	tx2, _ := v.eng.Begin(Restore)
+	tx2.Modify(r, 0, bytes.Repeat([]byte{'b'}, 100))
+	tx2.Commit(Flush)
+	if got := v.eng.Stats().InterSavedBytes; got != 0 {
+		t.Fatalf("flush commits produced inter savings: %d", got)
+	}
+}
+
+func TestNoIntraOptAbortStillCorrect(t *testing.T) {
+	// With optimizations disabled, duplicate overlapping set-ranges create
+	// multiple old-value captures; abort must still restore the
+	// pre-transaction image (restores applied newest-capture-first).
+	v := newEnv(t, 1<<18, pageBytes(2), Options{NoIntraOpt: true})
+	r := v.mapWhole()
+	v.commit1(r, 0, []byte("0123456789"))
+	tx, _ := v.eng.Begin(Restore)
+	tx.Modify(r, 0, []byte("XXXXX"))
+	tx.Modify(r, 3, []byte("YYYYY")) // overlapping; captures post-XXXXX bytes
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Data()[:10]; !bytes.Equal(got, []byte("0123456789")) {
+		t.Fatalf("abort under NoIntraOpt restored %q", got)
+	}
+}
+
+func TestNoIntraOptRecoveryCorrect(t *testing.T) {
+	v := newEnv(t, 1<<18, pageBytes(2), Options{NoIntraOpt: true})
+	r := v.mapWhole()
+	tx, _ := v.eng.Begin(Restore)
+	tx.Modify(r, 0, []byte("AAAA"))
+	tx.Modify(r, 2, []byte("BBBB")) // overlapping duplicate ranges logged
+	tx.Commit(Flush)
+	v.reopen(Options{})
+	r2 := v.mapWhole()
+	if got := r2.Data()[:6]; !bytes.Equal(got, []byte("AABBBB")) {
+		t.Fatalf("recovered %q", got)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangesetAddDisjoint(t *testing.T) {
+	var s rangeset
+	a := s.add(10, 20)
+	if len(a) != 1 || a[0] != (span{10, 20}) {
+		t.Fatalf("added %v", a)
+	}
+	a = s.add(30, 40)
+	if len(a) != 1 || len(s.spans) != 2 {
+		t.Fatalf("spans %v", s.spans)
+	}
+}
+
+func TestRangesetAddDuplicate(t *testing.T) {
+	var s rangeset
+	s.add(10, 20)
+	if a := s.add(10, 20); len(a) != 0 {
+		t.Fatalf("duplicate added %v", a)
+	}
+	if a := s.add(12, 18); len(a) != 0 {
+		t.Fatalf("contained added %v", a)
+	}
+	if len(s.spans) != 1 {
+		t.Fatalf("spans %v", s.spans)
+	}
+}
+
+func TestRangesetAddOverlap(t *testing.T) {
+	var s rangeset
+	s.add(10, 20)
+	a := s.add(15, 25)
+	if len(a) != 1 || a[0] != (span{20, 25}) {
+		t.Fatalf("added %v", a)
+	}
+	if len(s.spans) != 1 || s.spans[0] != (span{10, 25}) {
+		t.Fatalf("spans %v", s.spans)
+	}
+}
+
+func TestRangesetAddAdjacentMerges(t *testing.T) {
+	var s rangeset
+	s.add(10, 20)
+	s.add(20, 30)
+	if len(s.spans) != 1 || s.spans[0] != (span{10, 30}) {
+		t.Fatalf("adjacent not merged: %v", s.spans)
+	}
+	s.add(0, 10)
+	if len(s.spans) != 1 || s.spans[0] != (span{0, 30}) {
+		t.Fatalf("left-adjacent not merged: %v", s.spans)
+	}
+}
+
+func TestRangesetBridgesGap(t *testing.T) {
+	var s rangeset
+	s.add(0, 10)
+	s.add(20, 30)
+	a := s.add(5, 25)
+	if len(a) != 1 || a[0] != (span{10, 20}) {
+		t.Fatalf("added %v", a)
+	}
+	if len(s.spans) != 1 || s.spans[0] != (span{0, 30}) {
+		t.Fatalf("spans %v", s.spans)
+	}
+}
+
+func TestRangesetCovers(t *testing.T) {
+	var s rangeset
+	s.add(10, 20)
+	s.add(30, 40)
+	cases := []struct {
+		off, end int64
+		want     bool
+	}{
+		{10, 20, true}, {12, 15, true}, {10, 11, true},
+		{9, 11, false}, {19, 21, false}, {10, 40, false}, {25, 26, false},
+	}
+	for _, c := range cases {
+		if got := s.covers(c.off, c.end); got != c.want {
+			t.Errorf("covers(%d,%d)=%v want %v", c.off, c.end, got, c.want)
+		}
+	}
+}
+
+// TestRangesetModel compares against a bitmap model under random adds.
+func TestRangesetModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		var s rangeset
+		model := make([]bool, 1<<11)
+		for step := 0; step < 50; step++ {
+			off := int64(rng.Intn(1000))
+			end := off + 1 + int64(rng.Intn(64))
+			added := s.add(off, end)
+			// Added spans must exactly equal the previously uncovered bits.
+			covered := make([]bool, len(model))
+			for _, sp := range added {
+				for i := sp.off; i < sp.end; i++ {
+					if model[i] {
+						t.Fatalf("added already-covered byte %d", i)
+					}
+					covered[i] = true
+				}
+			}
+			for i := off; i < end; i++ {
+				if !model[i] && !covered[i] {
+					t.Fatalf("byte %d newly covered but not reported", i)
+				}
+				model[i] = true
+			}
+			// Structural invariants: sorted, disjoint, non-adjacent.
+			for k := 1; k < len(s.spans); k++ {
+				if s.spans[k-1].end >= s.spans[k].off {
+					t.Fatalf("spans overlap/touch: %v", s.spans)
+				}
+			}
+			// covers agrees with the model on random probes.
+			for probe := 0; probe < 10; probe++ {
+				o := int64(rng.Intn(1000))
+				e := o + 1 + int64(rng.Intn(32))
+				want := true
+				for i := o; i < e && int(i) < len(model); i++ {
+					if !model[i] {
+						want = false
+						break
+					}
+				}
+				if got := s.covers(o, e); got != want {
+					t.Fatalf("covers(%d,%d)=%v want %v", o, e, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRangesetTotalBytesQuick: total covered bytes equal the union size.
+func TestRangesetTotalBytesQuick(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		var s rangeset
+		model := map[int64]bool{}
+		for i := 0; i+1 < len(pairs); i += 2 {
+			off := int64(pairs[i] % 2048)
+			n := int64(pairs[i+1]%128) + 1
+			s.add(off, off+n)
+			for j := off; j < off+n; j++ {
+				model[j] = true
+			}
+		}
+		var total int64
+		for _, sp := range s.spans {
+			total += sp.end - sp.off
+		}
+		return total == int64(len(model))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

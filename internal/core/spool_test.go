@@ -1,0 +1,57 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSpoolLimitTriggersImplicitFlush(t *testing.T) {
+	v := newEnv(t, 1<<20, pageBytes(2), Options{SpoolLimit: 4096})
+	r := v.mapWhole()
+	payload := bytes.Repeat([]byte{1}, 1024)
+	// Four ~1KB no-flush commits cross the 4KB limit and must flush.
+	for i := 0; i < 6; i++ {
+		tx, _ := v.eng.Begin(NoRestore)
+		if err := tx.Modify(r, int64(i)*1200, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(NoFlush); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qi, _ := v.eng.Query(nil)
+	if qi.SpoolBytes > 4096 {
+		t.Fatalf("spool grew past the limit: %d", qi.SpoolBytes)
+	}
+	if v.eng.Stats().Flushes == 0 {
+		t.Fatal("no implicit flush happened")
+	}
+	// The flushed commits are durable without an explicit Flush.
+	v.reopen(Options{})
+	r2 := v.mapWhole()
+	if !bytes.Equal(r2.Data()[:1024], payload) {
+		t.Fatal("implicitly flushed commit lost")
+	}
+}
+
+func TestSpoolUnlimitedWhenNegative(t *testing.T) {
+	v := newEnv(t, 1<<20, pageBytes(2), Options{SpoolLimit: -1})
+	r := v.mapWhole()
+	payload := bytes.Repeat([]byte{1}, 1024)
+	for i := 0; i < 6; i++ {
+		tx, _ := v.eng.Begin(NoRestore)
+		if err := tx.Modify(r, int64(i)*1200, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(NoFlush); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.eng.Stats().Flushes != 0 {
+		t.Fatal("unlimited spool flushed implicitly")
+	}
+	qi, _ := v.eng.Query(nil)
+	if qi.SpoolBytes < 6*1024 {
+		t.Fatalf("spool bytes %d", qi.SpoolBytes)
+	}
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/rvm-go/rvm/internal/mapping"
+	"github.com/rvm-go/rvm/internal/pagevec"
+	"github.com/rvm-go/rvm/internal/recovery"
+	"github.com/rvm-go/rvm/internal/segment"
+	"github.com/rvm-go/rvm/internal/wal"
+)
+
+// Flush blocks until all committed no-flush transactions have been forced
+// to the log (paper §4.2 flush).
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	return e.flushLocked()
+}
+
+// flushLocked drains the spool and forces the log.
+func (e *Engine) flushLocked() error {
+	if err := e.drainSpoolLocked(); err != nil {
+		return err
+	}
+	if err := e.log.Force(); err != nil {
+		return err
+	}
+	e.stats.Flushes++
+	return nil
+}
+
+// Truncate blocks until all committed changes in the write-ahead log have
+// been reflected to the external data segments (paper §4.2 truncate).  A
+// full reflection is exactly an epoch truncation whose epoch is the whole
+// live log.
+func (e *Engine) Truncate() error {
+	return e.epochTruncate()
+}
+
+// epochTruncate runs one epoch truncation.  The epoch (the live log at
+// collection time) is applied to the segments while forward processing
+// continues; only the head advance at the end takes the log lock again
+// (paper §5.1.2, Figure 6).  Callers must NOT hold e.mu.
+func (e *Engine) epochTruncate() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.waitTruncationLocked()
+	e.truncating = true
+	finish := func() {
+		e.truncating = false
+		e.epochEndSeq = 0
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+	// Spooled commits become log records now so the epoch covers them,
+	// and the Force guarantees nothing unforced is ever applied to a
+	// segment (the no-undo/redo invariant).
+	if err := e.flushLocked(); err != nil {
+		finish()
+		return err
+	}
+	ep, err := recovery.CollectEpoch(e.log)
+	if err != nil {
+		finish()
+		return err
+	}
+	e.epochEndSeq = ep.EndSeq()
+	e.mu.Unlock()
+
+	// Apply outside the engine lock: commits keep flowing into the
+	// current epoch meanwhile.
+	_, err = ep.Apply(e.lookupSegmentSync)
+
+	e.mu.Lock()
+	if err == nil {
+		e.completeEpochLocked(ep.EndSeq())
+		e.stats.EpochTruncs++
+	}
+	finish()
+	return err
+}
+
+// truncateLocked is the Close-path truncation: everything already under
+// e.mu, no concurrency needed.
+func (e *Engine) truncateLocked() error {
+	ep, err := recovery.CollectEpoch(e.log)
+	if err != nil {
+		return err
+	}
+	e.epochEndSeq = ep.EndSeq()
+	if _, err := ep.Apply(e.lookupSegment); err != nil {
+		e.epochEndSeq = 0
+		return err
+	}
+	e.completeEpochLocked(ep.EndSeq())
+	e.epochEndSeq = 0
+	e.stats.EpochTruncs++
+	return nil
+}
+
+// completeEpochLocked drops queue descriptors the epoch made obsolete and
+// clears dirty bits for pages whose committed changes are now fully in
+// their segments.
+func (e *Engine) completeEpochLocked(endSeq uint64) {
+	e.queue.DropOlderThan(endSeq)
+	// Pages referenced by still-spooled transactions keep their dirty
+	// bits: their changes are only in memory and in the spool.
+	spoolPages := make(map[pagevec.PageID]bool)
+	for _, sp := range e.spool {
+		for _, id := range sp.pages {
+			spoolPages[id] = true
+		}
+	}
+	for _, r := range e.regions {
+		if r == nil || !r.mapped {
+			continue
+		}
+		for p := 0; p < r.pvec.NumPages(); p++ {
+			id := pagevec.PageID{Region: r.idx, Page: int64(p)}
+			if r.pvec.IsDirty(p) && !e.queue.Has(id) && !spoolPages[id] {
+				r.pvec.ClearDirty(p)
+			}
+		}
+	}
+}
+
+// lookupSegmentSync is lookupSegment under the engine lock, for use from
+// code running outside it.
+func (e *Engine) lookupSegmentSync(id uint64) (*segment.Segment, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lookupSegment(id)
+}
+
+// incrementalStepsLocked performs incremental truncation steps (paper
+// Figure 7) until the live log shrinks to targetUsed bytes or the head of
+// the page queue is blocked by an uncommitted reference.  It reports
+// whether the target was reached.  Caller holds e.mu with e.truncating
+// set, and must have flushed the spool.
+//
+// Page write-outs are batched: pages are written without syncing, the
+// touched segments are synced once, and only then does the log head move —
+// a single status write per batch instead of one per page, with the same
+// guarantee (a page is durably in its segment before the head passes its
+// first log reference).
+func (e *Engine) incrementalStepsLocked(targetUsed int64) (bool, error) {
+	ps := int64(mapping.PageSize)
+	wrote := make(map[*segment.Segment]bool)
+	var newPos int64
+	var newSeq uint64
+	moved := false
+	for e.log.Used()-e.reclaimableTo(newPos, moved) > targetUsed {
+		d, ok := e.queue.First()
+		if !ok {
+			// Every live record's pages have been written out: the whole
+			// log is reflected; the head can move to the tail.
+			newPos, newSeq = e.log.Tail()
+			moved = true
+			break
+		}
+		r := e.regions[d.ID.Region]
+		if r == nil || !r.mapped {
+			// Unmap removes descriptors, so this is unreachable; tolerate
+			// a stale descriptor by skipping it.
+			e.queue.PopFirst()
+			continue
+		}
+		if r.pvec.Refs(int(d.ID.Page)) > 0 {
+			// The first page in the queue has uncommitted changes and
+			// cannot be written without violating no-undo/redo; the head
+			// cannot move past it (paper: truncation is blocked until the
+			// count drops to zero).
+			break
+		}
+		off := d.ID.Page * ps
+		if err := r.seg.WriteAt(r.data[off:off+ps], r.segOff+off); err != nil {
+			return false, err
+		}
+		wrote[r.seg] = true
+		r.pvec.ClearDirty(int(d.ID.Page))
+		e.queue.PopFirst()
+		e.stats.IncrSteps++
+		e.stats.PagesWritten++
+		if next, ok := e.queue.First(); ok {
+			newPos, newSeq = next.Pos, next.Seq
+		} else {
+			newPos, newSeq = e.log.Tail()
+		}
+		moved = true
+	}
+	for seg := range wrote {
+		if err := seg.Sync(); err != nil {
+			return false, err
+		}
+	}
+	if moved {
+		if hp, hs := e.log.Head(); hp != newPos || hs != newSeq {
+			if err := e.log.SetHead(newPos, newSeq); err != nil {
+				return false, err
+			}
+		}
+	}
+	return e.log.Used() <= targetUsed, nil
+}
+
+// reclaimableTo returns the bytes that a pending head move to pos would
+// free (0 when no move is pending).  Used to decide when a batch has
+// reclaimed enough.
+func (e *Engine) reclaimableTo(pos int64, moved bool) int64 {
+	if !moved {
+		return 0
+	}
+	hp, _ := e.log.Head()
+	freed := pos - hp
+	if freed < 0 {
+		freed += e.log.AreaSize()
+	}
+	return freed
+}
+
+// TruncateIncremental runs incremental truncation down to targetFraction
+// of the log size, reverting to an epoch truncation if it blocks while the
+// log remains above the fraction.  Exposed for tests, tools, and
+// benchmarks; background truncation uses the same path.
+func (e *Engine) TruncateIncremental(targetFraction float64) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.waitTruncationLocked()
+	e.truncating = true
+	target := int64(targetFraction * float64(e.log.AreaSize()))
+	err := e.flushLocked()
+	var done bool
+	if err == nil {
+		done, err = e.incrementalStepsLocked(target)
+	}
+	e.truncating = false
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if !done {
+		// Blocked with the log still above target: revert to epoch
+		// truncation (paper §5.1.2).
+		return e.epochTruncate()
+	}
+	return nil
+}
+
+// shouldAutoTruncateLocked reports whether a commit should kick off a
+// background truncation.
+func (e *Engine) shouldAutoTruncateLocked() bool {
+	thr := e.opts.TruncateThreshold
+	if thr <= 0 || e.truncating || e.closed {
+		return false
+	}
+	return float64(e.log.Used()) > thr*float64(e.log.AreaSize())
+}
+
+// autoTruncate is the background truncation started after a commit crosses
+// the threshold.
+func (e *Engine) autoTruncate() {
+	e.mu.Lock()
+	if e.truncating || e.closed || !e.shouldAutoTruncateLocked() {
+		e.mu.Unlock()
+		return
+	}
+	incremental := e.opts.Incremental
+	thr := e.opts.TruncateThreshold
+	e.mu.Unlock()
+	if incremental {
+		// Aim well below the trigger so truncations are not continuous.
+		_ = e.TruncateIncremental(thr / 2)
+		return
+	}
+	_ = e.epochTruncate()
+}
+
+// appendWithRetryLocked appends a record, making space synchronously when
+// the log is full.  Caller holds e.mu.
+func (e *Engine) appendWithRetryLocked(tid uint64, flags uint8, ranges []wal.Range) (int64, uint64, int64, error) {
+	for attempt := 0; ; attempt++ {
+		pos, seq, n, err := e.log.Append(tid, flags, ranges)
+		if err == nil || !errors.Is(err, wal.ErrLogFull) || attempt >= 3 {
+			return pos, seq, n, err
+		}
+		if e.truncating {
+			// A truncation is already in flight; wait for it to free
+			// space.  cond.Wait releases e.mu meanwhile.
+			e.cond.Wait()
+			if e.closed {
+				return 0, 0, 0, ErrClosed
+			}
+			continue
+		}
+		// Inline epoch truncation.  Force first: records applied to
+		// segments must be durable in the log (no-undo/redo invariant).
+		// The spool is intentionally not drained here — there may be no
+		// room for it; it stays in memory.
+		if err := e.log.Force(); err != nil {
+			return 0, 0, 0, err
+		}
+		ep, err := recovery.CollectEpoch(e.log)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		e.epochEndSeq = ep.EndSeq()
+		if _, err := ep.Apply(e.lookupSegment); err != nil {
+			e.epochEndSeq = 0
+			return 0, 0, 0, err
+		}
+		e.completeEpochLocked(ep.EndSeq())
+		e.epochEndSeq = 0
+		e.stats.EpochTruncs++
+	}
+}

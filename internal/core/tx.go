@@ -1,0 +1,561 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rvm-go/rvm/internal/itree"
+	"github.com/rvm-go/rvm/internal/mapping"
+	"github.com/rvm-go/rvm/internal/pagevec"
+	"github.com/rvm-go/rvm/internal/wal"
+)
+
+// TxMode selects abortability (paper §4.2 restore_mode flag).
+type TxMode int
+
+const (
+	// Restore transactions may abort: RVM copies the old values of every
+	// set-range so it can undo changes.
+	Restore TxMode = iota
+	// NoRestore transactions promise never to abort explicitly; RVM skips
+	// the old-value copies, saving time and space.
+	NoRestore
+)
+
+// CommitMode selects the permanence guarantee (paper §4.2 commit_mode).
+type CommitMode int
+
+const (
+	// Flush forces the transaction's records to the log before returning:
+	// full permanence.
+	Flush CommitMode = iota
+	// NoFlush spools the records instead ("lazy" transaction): bounded
+	// persistence until the next Flush of the engine, with much lower
+	// commit latency.
+	NoFlush
+)
+
+// Record flags stored in the log for post-mortem inspection.
+const (
+	flagNoFlush   = 1 << 0
+	flagNoRestore = 1 << 1
+)
+
+// span is a half-open byte range [off, end) within a region.
+type span struct{ off, end int64 }
+
+// rangeset maintains sorted, disjoint, non-adjacent spans.  Adding a span
+// returns the sub-spans that were not already covered; identical,
+// overlapping, and adjacent ranges coalesce — the intra-transaction
+// optimization of paper §5.2.
+type rangeset struct{ spans []span }
+
+// add inserts [off, end) and returns the newly covered pieces.
+func (s *rangeset) add(off, end int64) []span {
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].end >= off })
+	var added []span
+	pos := off
+	j := i
+	for j < len(s.spans) && s.spans[j].off <= end {
+		if s.spans[j].off > pos {
+			added = append(added, span{pos, s.spans[j].off})
+		}
+		if s.spans[j].end > pos {
+			pos = s.spans[j].end
+		}
+		j++
+	}
+	if pos < end {
+		added = append(added, span{pos, end})
+	}
+	// Replace spans[i:j] with their union with [off,end).
+	newOff, newEnd := off, end
+	if i < j {
+		if s.spans[i].off < newOff {
+			newOff = s.spans[i].off
+		}
+		if s.spans[j-1].end > newEnd {
+			newEnd = s.spans[j-1].end
+		}
+	}
+	out := make([]span, 0, len(s.spans)-(j-i)+1)
+	out = append(out, s.spans[:i]...)
+	out = append(out, span{newOff, newEnd})
+	out = append(out, s.spans[j:]...)
+	s.spans = out
+	return added
+}
+
+// covers reports whether [off,end) is fully covered.
+func (s *rangeset) covers(off, end int64) bool {
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].end > off })
+	return i < len(s.spans) && s.spans[i].off <= off && s.spans[i].end >= end
+}
+
+// txRegion is a transaction's bookkeeping for one region.
+type txRegion struct {
+	region *Region
+	set    rangeset       // coalesced coverage (optimized mode)
+	raw    []span         // verbatim set-range calls (NoIntraOpt mode)
+	rawOld [][]byte       // old values per raw span (restore + NoIntraOpt)
+	old    itree.Tree     // old values for newly covered bytes (restore mode)
+	pages  map[int64]bool // pages referenced by this tx in this region
+	naive  int64          // log bytes set-ranges would cost unoptimized
+}
+
+// Tx is an active transaction.  A Tx is not safe for concurrent use by
+// multiple goroutines, but many transactions may be active at once; RVM
+// provides no serializability between them (paper §3.1).
+type Tx struct {
+	eng     *Engine
+	id      uint64
+	mode    TxMode
+	done    bool
+	regions map[int]*txRegion
+}
+
+// Begin starts a transaction (paper §4.2 begin_transaction).
+func (e *Engine) Begin(mode TxMode) (*Tx, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	t := &Tx{eng: e, id: e.nextTID, mode: mode, regions: make(map[int]*txRegion)}
+	e.nextTID++
+	e.active++
+	e.stats.Begins++
+	return t, nil
+}
+
+// ID returns the transaction identifier.
+func (t *Tx) ID() uint64 { return t.id }
+
+// SetRange declares that the transaction is about to modify [off, off+n)
+// of region r (paper §4.2).  For Restore transactions the current contents
+// are copied so an abort can undo the change.  Duplicate, overlapping, and
+// adjacent ranges are coalesced unless intra-transaction optimization is
+// disabled.
+func (t *Tx) SetRange(r *Region, off, n int64) error {
+	if t.done {
+		return ErrTxDone
+	}
+	if n < 0 || off < 0 || off+n > r.length {
+		return fmt.Errorf("%w: [%d,+%d) in region of %d bytes", ErrBounds, off, n, r.length)
+	}
+	if n == 0 {
+		return nil
+	}
+	e := t.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if !r.mapped {
+		return ErrRegionUnmapped
+	}
+	tr := t.regions[r.idx]
+	if tr == nil {
+		tr = &txRegion{region: r, pages: make(map[int64]bool)}
+		t.regions[r.idx] = tr
+		r.nTx++
+	}
+	e.stats.SetRanges++
+	tr.naive += rangeEncodedLen(n)
+
+	if e.opts.NoIntraOpt {
+		tr.raw = append(tr.raw, span{off, off + n})
+		if t.mode == Restore {
+			tr.rawOld = append(tr.rawOld, append([]byte(nil), r.data[off:off+n]...))
+		} else {
+			tr.rawOld = append(tr.rawOld, nil)
+		}
+		t.refPages(tr, off, off+n)
+		return nil
+	}
+
+	added := tr.set.add(off, off+n)
+	for _, sp := range added {
+		if t.mode == Restore {
+			// Only newly covered bytes need old-value copies; bytes already
+			// covered had their pre-transaction values captured earlier.
+			tr.old.Insert(uint64(sp.off), r.data[sp.off:sp.end], itree.OverwriteExisting)
+		}
+		t.refPages(tr, sp.off, sp.end)
+	}
+	return nil
+}
+
+// rangeEncodedLen is the log cost of one modification range of n bytes.
+func rangeEncodedLen(n int64) int64 { return 20 + n } // wal range header + data
+
+// refPages increments uncommitted reference counts for pages of [off,end)
+// not yet referenced by this transaction in this region.
+func (t *Tx) refPages(tr *txRegion, off, end int64) {
+	ps := int64(mapping.PageSize)
+	for p := off / ps; p <= (end-1)/ps; p++ {
+		if !tr.pages[p] {
+			tr.pages[p] = true
+			tr.region.pvec.IncRef(int(p))
+		}
+	}
+}
+
+// Modify is a convenience that performs SetRange and then copies data into
+// the region at off.
+func (t *Tx) Modify(r *Region, off int64, data []byte) error {
+	if err := t.SetRange(r, off, int64(len(data))); err != nil {
+		return err
+	}
+	copy(r.data[off:], data)
+	return nil
+}
+
+// finishLocked releases per-region bookkeeping common to commit and abort.
+func (t *Tx) finishLocked() {
+	e := t.eng
+	for _, tr := range t.regions {
+		for p := range tr.pages {
+			tr.region.pvec.DecRef(int(p))
+		}
+		tr.region.nTx--
+	}
+	t.done = true
+	e.active--
+}
+
+// buildRanges reads the current (new) values of the transaction's ranges
+// from region memory.  When copy is true the data is duplicated (needed
+// for spooling, where memory keeps changing after commit).
+func (t *Tx) buildRanges(copyData bool) ([]wal.Range, []pagevec.PageID) {
+	var ranges []wal.Range
+	var pages []pagevec.PageID
+	// Deterministic region order keeps logs reproducible.
+	idxs := make([]int, 0, len(t.regions))
+	for idx := range t.regions {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		tr := t.regions[idx]
+		r := tr.region
+		var actual int64
+		emit := func(sp span) {
+			d := r.data[sp.off:sp.end]
+			if copyData {
+				d = append([]byte(nil), d...)
+			}
+			actual += rangeEncodedLen(sp.end - sp.off)
+			ranges = append(ranges, wal.Range{
+				Seg:  r.seg.ID(),
+				Off:  uint64(r.segOff + sp.off),
+				Data: d,
+			})
+		}
+		if t.eng.opts.NoIntraOpt {
+			for _, sp := range tr.raw {
+				emit(sp)
+			}
+		} else {
+			for _, sp := range tr.set.spans {
+				emit(sp)
+			}
+		}
+		// Exact intra-transaction savings: what verbatim logging of every
+		// set-range call would have cost minus what we will actually log.
+		t.eng.stats.IntraSavedBytes += uint64(tr.naive - actual)
+		for p := range tr.pages {
+			pages = append(pages, pagevec.PageID{Region: r.idx, Page: p})
+		}
+	}
+	return ranges, pages
+}
+
+// Commit ends the transaction, making its changes permanent per the commit
+// mode (paper §4.2 end_transaction).
+func (t *Tx) Commit(mode CommitMode) error {
+	if t.done {
+		return ErrTxDone
+	}
+	e := t.eng
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+
+	var flags uint8
+	if t.mode == NoRestore {
+		flags |= flagNoRestore
+	}
+
+	if len(t.regions) == 0 {
+		// Nothing was modified; no log record is needed.
+		t.finishLocked()
+		e.stats.EmptyCommits++
+		if mode == Flush {
+			e.stats.FlushCommits++
+		} else {
+			e.stats.NoFlushCommits++
+		}
+		e.mu.Unlock()
+		return nil
+	}
+
+	switch mode {
+	case NoFlush:
+		flags |= flagNoFlush
+		ranges, pages := t.buildRanges(true)
+		sp := &spooled{tid: t.id, flags: flags, ranges: ranges, pages: pages}
+		for _, r := range ranges {
+			sp.bytes += rangeEncodedLen(int64(len(r.Data)))
+		}
+		if !e.opts.NoInterOpt {
+			e.subsumeSpoolLocked(sp)
+		}
+		e.spool = append(e.spool, sp)
+		e.spoolBytes += sp.bytes
+		t.markDirtyLocked(nil, 0, 0) // dirty bits only; queue entries at flush
+		t.finishLocked()
+		e.stats.NoFlushCommits++
+		limit := e.opts.SpoolLimit
+		if limit == 0 {
+			limit = 1 << 20
+		}
+		if limit > 0 && e.spoolBytes > limit {
+			// Implicit flush: the spool is full.  Persistence stays
+			// "bounded by the period between log flushes" (§4.2) — this
+			// just bounds the period by memory as well as by time.
+			if err := e.flushLocked(); err != nil {
+				e.mu.Unlock()
+				return err
+			}
+		}
+		trigger := e.shouldAutoTruncateLocked()
+		e.mu.Unlock()
+		if trigger {
+			go e.autoTruncate()
+		}
+		return nil
+
+	case Flush:
+		ranges, pages := t.buildRanges(false)
+		// Older spooled transactions must reach the log first to keep
+		// commit order intact.
+		if err := e.drainSpoolLocked(); err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		pos, seq, _, err := e.appendWithRetryLocked(t.id, flags, ranges)
+		if err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		if err := e.log.Force(); err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		t.markDirtyLocked(pages, pos, seq)
+		t.finishLocked()
+		e.stats.FlushCommits++
+		trigger := e.shouldAutoTruncateLocked()
+		e.mu.Unlock()
+		if trigger {
+			go e.autoTruncate()
+		}
+		return nil
+	default:
+		e.mu.Unlock()
+		return fmt.Errorf("rvm: unknown commit mode %d", int(mode))
+	}
+}
+
+// markDirtyLocked marks the transaction's pages dirty; when queue position
+// info is supplied (flush path) the pages are also enqueued for
+// incremental truncation.
+func (t *Tx) markDirtyLocked(pages []pagevec.PageID, pos int64, seq uint64) {
+	e := t.eng
+	for _, tr := range t.regions {
+		for p := range tr.pages {
+			tr.region.pvec.SetDirty(int(p))
+		}
+	}
+	for _, id := range pages {
+		e.enqueuePageLocked(id, pos, seq)
+	}
+}
+
+// enqueuePageLocked records a page's log reference in the FIFO queue,
+// honouring the no-duplicates rule and the epoch-promotion rule.
+func (e *Engine) enqueuePageLocked(id pagevec.PageID, pos int64, seq uint64) {
+	if d, ok := e.queue.Get(id); ok {
+		// Already queued at its earliest reference — unless that reference
+		// is inside an epoch being truncated right now, in which case the
+		// earliest *surviving* reference is this record.
+		if e.epochEndSeq > 0 && d.Seq < e.epochEndSeq {
+			e.queue.Promote(id, pos, seq)
+		}
+		return
+	}
+	e.queue.Push(id, pos, seq)
+}
+
+// subsumeSpoolLocked applies the inter-transaction optimization (paper
+// §5.2): if sp's modifications subsume those of an earlier unflushed
+// transaction, the older records are discarded.
+func (e *Engine) subsumeSpoolLocked(sp *spooled) {
+	// Coverage of the new transaction, per segment.
+	cover := make(map[uint64]*rangeset)
+	for _, r := range sp.ranges {
+		cs := cover[r.Seg]
+		if cs == nil {
+			cs = &rangeset{}
+			cover[r.Seg] = cs
+		}
+		cs.add(int64(r.Off), int64(r.Off)+int64(len(r.Data)))
+	}
+	kept := e.spool[:0]
+	for _, old := range e.spool {
+		if spoolSubsumed(old, cover) {
+			e.spoolBytes -= old.bytes
+			e.stats.InterSavedBytes += uint64(old.bytes)
+			continue
+		}
+		kept = append(kept, old)
+	}
+	e.spool = kept
+}
+
+// spoolSubsumed reports whether every range of old is covered by the new
+// transaction's coverage.
+func spoolSubsumed(old *spooled, cover map[uint64]*rangeset) bool {
+	for _, r := range old.ranges {
+		cs := cover[r.Seg]
+		if cs == nil || !cs.covers(int64(r.Off), int64(r.Off)+int64(len(r.Data))) {
+			return false
+		}
+	}
+	return true
+}
+
+// drainSpoolLocked appends every spooled transaction to the log (without
+// forcing) and enqueues their pages.
+func (e *Engine) drainSpoolLocked() error {
+	for len(e.spool) > 0 {
+		sp := e.spool[0]
+		pos, seq, _, err := e.appendWithRetryLocked(sp.tid, sp.flags, sp.ranges)
+		if err != nil {
+			return err
+		}
+		for _, id := range sp.pages {
+			// The page may belong to a region unmapped since the spool
+			// entry was created; Unmap flushed the spool first, so this
+			// cannot happen — but guard against stale region slots anyway.
+			if id.Region < len(e.regions) && e.regions[id.Region] != nil {
+				e.enqueuePageLocked(id, pos, seq)
+			}
+		}
+		e.spool = e.spool[1:]
+		e.spoolBytes -= sp.bytes
+	}
+	return nil
+}
+
+// UndoRecord is an old-value record returned by CommitUndo: the bytes that
+// [Off, Off+len(Old)) of Region held before the transaction modified them.
+// SegID and SegOff give the segment-space address of the same bytes, for
+// callers that persist the records across process restarts.
+type UndoRecord struct {
+	Region *Region
+	Off    int64 // region-relative
+	SegID  uint64
+	SegOff int64 // segment-space
+	Old    []byte
+}
+
+// CommitUndo commits the transaction like Commit, additionally returning
+// its old-value records.  This is the extension sketched in §8 of the
+// paper for layering distributed transactions on RVM: a subordinate keeps
+// the records until the two-phase-commit outcome is known, discards them
+// on global commit, and uses them to construct a compensating RVM
+// transaction on global abort.
+//
+// Records are returned in capture order; a compensating transaction must
+// apply them newest-first (iterate in reverse).  Only Restore transactions
+// carry old values, so CommitUndo fails on a NoRestore transaction.
+func (t *Tx) CommitUndo(mode CommitMode) ([]UndoRecord, error) {
+	if t.done {
+		return nil, ErrTxDone
+	}
+	if t.mode != Restore {
+		return nil, fmt.Errorf("rvm: CommitUndo requires a restore-mode transaction")
+	}
+	var undo []UndoRecord
+	idxs := make([]int, 0, len(t.regions))
+	for idx := range t.regions {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		tr := t.regions[idx]
+		r := tr.region
+		if t.eng.opts.NoIntraOpt {
+			for i, sp := range tr.raw {
+				undo = append(undo, UndoRecord{
+					Region: r, Off: sp.off,
+					SegID: r.seg.ID(), SegOff: r.segOff + sp.off,
+					Old: append([]byte(nil), tr.rawOld[i]...),
+				})
+			}
+		} else {
+			tr.old.Walk(func(iv itree.Interval) error {
+				undo = append(undo, UndoRecord{
+					Region: r, Off: int64(iv.Off),
+					SegID: r.seg.ID(), SegOff: r.segOff + int64(iv.Off),
+					Old: append([]byte(nil), iv.Data...),
+				})
+				return nil
+			})
+		}
+	}
+	if err := t.Commit(mode); err != nil {
+		return nil, err
+	}
+	return undo, nil
+}
+
+// Abort undoes the transaction by restoring the old values of its ranges
+// (paper §4.2 abort_transaction).  No-restore transactions cannot abort.
+func (t *Tx) Abort() error {
+	if t.done {
+		return ErrTxDone
+	}
+	if t.mode == NoRestore {
+		return ErrNoRestoreAbort
+	}
+	e := t.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	for _, tr := range t.regions {
+		r := tr.region
+		if e.opts.NoIntraOpt {
+			// Restore verbatim captures newest-first so earlier captures
+			// (pre-transaction values) land last.
+			for i := len(tr.raw) - 1; i >= 0; i-- {
+				copy(r.data[tr.raw[i].off:tr.raw[i].end], tr.rawOld[i])
+			}
+		} else {
+			tr.old.Walk(func(iv itree.Interval) error {
+				copy(r.data[iv.Off:], iv.Data)
+				return nil
+			})
+		}
+	}
+	t.finishLocked()
+	e.stats.Aborts++
+	return nil
+}

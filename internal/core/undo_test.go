@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCommitUndoReturnsOldValues(t *testing.T) {
+	v := newEnv(t, 1<<16, pageBytes(2), Options{})
+	r := v.mapWhole()
+	v.commit1(r, 0, []byte("0123456789"))
+
+	tx, _ := v.eng.Begin(Restore)
+	tx.Modify(r, 2, []byte("XXXX"))
+	undo, err := tx.CommitUndo(Flush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(undo) != 1 {
+		t.Fatalf("%d undo records", len(undo))
+	}
+	u := undo[0]
+	if u.Off != 2 || u.SegID != 1 || u.SegOff != 2 || !bytes.Equal(u.Old, []byte("2345")) {
+		t.Fatalf("undo record %+v", u)
+	}
+	// The commit itself went through.
+	if !bytes.Equal(r.Data()[:10], []byte("01XXXX6789")) {
+		t.Fatal("commit missing")
+	}
+}
+
+func TestCommitUndoNoIntraOptOrder(t *testing.T) {
+	// With optimizations disabled, overlapping set-ranges produce
+	// multiple captures; applying the returned records in reverse must
+	// still compensate exactly.
+	v := newEnv(t, 1<<17, pageBytes(2), Options{NoIntraOpt: true})
+	r := v.mapWhole()
+	v.commit1(r, 0, []byte("abcdefghij"))
+
+	tx, _ := v.eng.Begin(Restore)
+	tx.Modify(r, 0, []byte("11111"))
+	tx.Modify(r, 3, []byte("22222")) // overlaps; captures post-1 bytes
+	undo, err := tx.CommitUndo(Flush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(undo) != 2 {
+		t.Fatalf("%d undo records", len(undo))
+	}
+	comp, _ := v.eng.Begin(Restore)
+	for i := len(undo) - 1; i >= 0; i-- {
+		if err := comp.Modify(undo[i].Region, undo[i].Off, undo[i].Old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := comp.Commit(Flush); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Data()[:10]; !bytes.Equal(got, []byte("abcdefghij")) {
+		t.Fatalf("compensation produced %q", got)
+	}
+}
+
+func TestCommitUndoRejectsNoRestore(t *testing.T) {
+	v := newEnv(t, 1<<16, pageBytes(2), Options{})
+	r := v.mapWhole()
+	tx, _ := v.eng.Begin(NoRestore)
+	tx.Modify(r, 0, []byte("x"))
+	if _, err := tx.CommitUndo(Flush); err == nil {
+		t.Fatal("CommitUndo accepted a no-restore transaction")
+	}
+	// Still committable normally.
+	if err := tx.Commit(Flush); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitUndoAfterDone(t *testing.T) {
+	v := newEnv(t, 1<<16, pageBytes(2), Options{})
+	tx, _ := v.eng.Begin(Restore)
+	tx.Commit(Flush)
+	if _, err := tx.CommitUndo(Flush); err != ErrTxDone {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCommitUndoMultiRegion(t *testing.T) {
+	v := newEnv(t, 1<<17, pageBytes(4), Options{})
+	r1, err := v.eng.Map(v.segPath, 0, pageBytes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := v.eng.Map(v.segPath, pageBytes(2), pageBytes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := v.eng.Begin(Restore)
+	tx.Modify(r1, 4, []byte("one"))
+	tx.Modify(r2, 8, []byte("two"))
+	undo, err := tx.CommitUndo(NoFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(undo) != 2 {
+		t.Fatalf("%d records", len(undo))
+	}
+	// Segment-space offsets account for region bases.
+	if undo[0].SegOff != 4 || undo[1].SegOff != pageBytes(2)+8 {
+		t.Fatalf("seg offsets %d, %d", undo[0].SegOff, undo[1].SegOff)
+	}
+}

@@ -1,0 +1,59 @@
+package disksim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefault1993LogForce(t *testing.T) {
+	// The defaults must land a 4 KB random access near the paper's
+	// 17.4 ms average log force.
+	d := Default1993()
+	got := d.RandomIO(4096)
+	if got < 16*time.Millisecond || got > 19*time.Millisecond {
+		t.Fatalf("4 KB random IO = %v, want ~17.4ms", got)
+	}
+}
+
+func TestSequentialCheaperThanRandom(t *testing.T) {
+	d := Default1993()
+	if s, r := d.SequentialIO(4096), d.RandomIO(4096); s >= r {
+		t.Fatalf("sequential %v not cheaper than random %v", s, r)
+	}
+}
+
+func TestSortedSweepBetweenSequentialAndRandom(t *testing.T) {
+	d := Default1993()
+	per := d.SortedSweep(100, 4096) / 100
+	if per >= d.RandomIO(4096) {
+		t.Fatalf("sweep per-page %v not cheaper than random", per)
+	}
+	if per <= d.SequentialIO(4096) {
+		t.Fatalf("sweep per-page %v not costlier than pure sequential", per)
+	}
+	if d.SortedSweep(0, 4096) != 0 {
+		t.Fatal("empty sweep nonzero")
+	}
+}
+
+func TestTransferScalesWithBytes(t *testing.T) {
+	d := Default1993()
+	small := d.SequentialIO(4096)
+	big := d.SequentialIO(40960)
+	if big <= small*9 || big >= small*11 {
+		t.Fatalf("transfer not linear: %v vs %v", small, big)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	d := Default1993()
+	d.RandomIO(4096)
+	d.SequentialIO(8192)
+	d.SortedSweep(3, 4096)
+	if d.RandomIOs != 4 || d.SequentialIOs != 1 {
+		t.Fatalf("counters: %d random, %d sequential", d.RandomIOs, d.SequentialIOs)
+	}
+	if d.Bytes != 4096+8192+3*4096 {
+		t.Fatalf("bytes = %d", d.Bytes)
+	}
+}

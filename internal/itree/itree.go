@@ -1,0 +1,219 @@
+// Package itree implements an interval map over byte ranges.
+//
+// It is the data structure behind RVM's recovery trees: crash recovery scans
+// the write-ahead log from tail to head (newest committed transaction first)
+// and builds, for each external data segment, the set of latest committed
+// bytes for every modified range.  Because the scan runs newest-first, an
+// already-covered byte must never be overwritten by an older record; the
+// KeepExisting policy encodes exactly that rule.  The OverwriteExisting
+// policy supports the equivalent oldest-first replay and is used by tests to
+// cross-check the two directions against each other.
+//
+// Intervals are kept sorted, non-overlapping, and non-adjacent (adjacent
+// ranges with contiguous data are merged), so iterating a finished tree
+// yields the minimal set of writes to apply to a segment.
+package itree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects what happens when an inserted range overlaps bytes that are
+// already present in the map.
+type Policy int
+
+const (
+	// KeepExisting preserves bytes already in the map; the insertion only
+	// fills gaps.  Use when inserting newest-first.
+	KeepExisting Policy = iota
+	// OverwriteExisting replaces overlapped bytes with the new data.  Use
+	// when inserting oldest-first.
+	OverwriteExisting
+)
+
+// Interval is a contiguous run of bytes at Off.  Data always has the exact
+// length of the interval.
+type Interval struct {
+	Off  uint64
+	Data []byte
+}
+
+// End returns the exclusive upper bound of the interval.
+func (iv Interval) End() uint64 { return iv.Off + uint64(len(iv.Data)) }
+
+// Tree is an ordered map from byte offsets to bytes.  The zero value is an
+// empty tree ready for use.  Tree is not safe for concurrent use.
+type Tree struct {
+	ivs []Interval // sorted by Off; pairwise disjoint and non-adjacent
+}
+
+// Len returns the number of maximal intervals in the tree.
+func (t *Tree) Len() int { return len(t.ivs) }
+
+// Bytes returns the total number of bytes covered by the tree.
+func (t *Tree) Bytes() uint64 {
+	var n uint64
+	for _, iv := range t.ivs {
+		n += uint64(len(iv.Data))
+	}
+	return n
+}
+
+// search returns the index of the first interval whose End exceeds off, i.e.
+// the first interval that could overlap or follow a range starting at off.
+func (t *Tree) search(off uint64) int {
+	return sort.Search(len(t.ivs), func(i int) bool { return t.ivs[i].End() > off })
+}
+
+// Insert adds data at offset off under the given policy.  The data slice is
+// copied; callers may reuse their buffer.  Inserting an empty range is a
+// no-op.
+func (t *Tree) Insert(off uint64, data []byte, p Policy) {
+	if len(data) == 0 {
+		return
+	}
+	if off+uint64(len(data)) < off {
+		panic(fmt.Sprintf("itree: range [%d,+%d) overflows uint64", off, len(data)))
+	}
+	switch p {
+	case OverwriteExisting:
+		t.insertOverwrite(off, data)
+	case KeepExisting:
+		t.insertKeep(off, data)
+	default:
+		panic(fmt.Sprintf("itree: unknown policy %d", int(p)))
+	}
+}
+
+// insertOverwrite replaces any overlapped bytes with the new data, merging
+// with neighbours so the invariants hold.
+func (t *Tree) insertOverwrite(off uint64, data []byte) {
+	end := off + uint64(len(data))
+	i := t.search(off)
+
+	// Collect the pieces of existing intervals that survive: a possible
+	// prefix of ivs[i] before off, and a possible suffix of the last
+	// overlapped interval after end.
+	var prefix, suffix Interval
+	hasPrefix, hasSuffix := false, false
+	j := i
+	for j < len(t.ivs) && t.ivs[j].Off < end {
+		iv := t.ivs[j]
+		if iv.Off < off {
+			prefix = Interval{Off: iv.Off, Data: iv.Data[:off-iv.Off]}
+			hasPrefix = true
+		}
+		if iv.End() > end {
+			suffix = Interval{Off: end, Data: iv.Data[end-iv.Off:]}
+			hasSuffix = true
+		}
+		j++
+	}
+
+	// Build the replacement run: prefix + new data + suffix, merged into a
+	// single interval since they are contiguous by construction.
+	runOff := off
+	var run []byte
+	if hasPrefix {
+		runOff = prefix.Off
+		run = append(run, prefix.Data...)
+	}
+	run = append(run, data...)
+	if hasSuffix {
+		run = append(run, suffix.Data...)
+	}
+	t.splice(i, j, Interval{Off: runOff, Data: run})
+}
+
+// insertKeep fills only the gaps left by existing intervals.
+func (t *Tree) insertKeep(off uint64, data []byte) {
+	end := off + uint64(len(data))
+	i := t.search(off)
+	pos := off
+	for pos < end {
+		if i >= len(t.ivs) || t.ivs[i].Off >= end {
+			// No more existing intervals in range: insert the remainder.
+			t.insertOverwrite(pos, data[pos-off:])
+			return
+		}
+		iv := t.ivs[i]
+		if iv.Off > pos {
+			// Gap before the next existing interval.
+			t.insertOverwrite(pos, data[pos-off:iv.Off-off])
+			// insertOverwrite may have merged; recompute position.
+			i = t.search(iv.Off)
+		}
+		// Skip past the existing interval (its bytes win).
+		if t.ivs[i].End() > pos {
+			pos = t.ivs[i].End()
+		}
+		i++
+	}
+}
+
+// splice replaces ivs[i:j] with the single interval nv, then merges nv with
+// adjacent neighbours whose data is contiguous.
+func (t *Tree) splice(i, j int, nv Interval) {
+	// Merge with left neighbour if touching.
+	if i > 0 && t.ivs[i-1].End() == nv.Off {
+		nv = Interval{Off: t.ivs[i-1].Off, Data: append(append([]byte(nil), t.ivs[i-1].Data...), nv.Data...)}
+		i--
+	}
+	// Merge with right neighbour if touching.
+	if j < len(t.ivs) && nv.End() == t.ivs[j].Off {
+		nv.Data = append(nv.Data, t.ivs[j].Data...)
+		j++
+	}
+	out := make([]Interval, 0, len(t.ivs)-(j-i)+1)
+	out = append(out, t.ivs[:i]...)
+	out = append(out, nv)
+	out = append(out, t.ivs[j:]...)
+	t.ivs = out
+}
+
+// Get reads the byte at off, reporting whether it is covered.
+func (t *Tree) Get(off uint64) (byte, bool) {
+	i := t.search(off)
+	if i < len(t.ivs) && t.ivs[i].Off <= off {
+		return t.ivs[i].Data[off-t.ivs[i].Off], true
+	}
+	return 0, false
+}
+
+// Covered reports whether every byte of [off, off+n) is present.
+func (t *Tree) Covered(off, n uint64) bool {
+	if n == 0 {
+		return true
+	}
+	i := t.search(off)
+	return i < len(t.ivs) && t.ivs[i].Off <= off && t.ivs[i].End() >= off+n
+}
+
+// Walk calls fn for each maximal interval in ascending offset order.  The
+// callback must not retain or mutate the data slice.  Walk stops early if fn
+// returns a non-nil error and returns that error.
+func (t *Tree) Walk(fn func(iv Interval) error) error {
+	for _, iv := range t.ivs {
+		if err := fn(iv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset discards all intervals, retaining no storage.
+func (t *Tree) Reset() { t.ivs = nil }
+
+// checkInvariants panics if the tree's structural invariants are violated.
+// It is exported to the package's tests via export_test.go.
+func (t *Tree) checkInvariants() {
+	for i, iv := range t.ivs {
+		if len(iv.Data) == 0 {
+			panic(fmt.Sprintf("itree: empty interval at index %d", i))
+		}
+		if i > 0 && t.ivs[i-1].End() >= iv.Off {
+			panic(fmt.Sprintf("itree: intervals %d and %d overlap or touch", i-1, i))
+		}
+	}
+}

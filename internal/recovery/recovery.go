@@ -1,0 +1,160 @@
+// Package recovery implements RVM crash recovery and the epoch-truncation
+// reuse of it (paper §5.1.2).
+//
+// Crash recovery reads the log from tail to head, constructing an in-memory
+// tree of the latest committed changes for each data segment encountered in
+// the log.  The trees are then traversed, applying their modifications to
+// the corresponding external data segments.  Finally the log's head and
+// tail are updated to reflect an empty log.  Idempotency is achieved by
+// delaying that final step until all other recovery actions — including
+// syncing the segments — are complete: a crash during recovery simply
+// replays it.
+//
+// Epoch truncation applies the same procedure to an initial portion of the
+// log while forward processing continues in the rest: records are collected
+// under the log lock, applied to segments without it, and only then is the
+// log head advanced.
+package recovery
+
+import (
+	"fmt"
+
+	"github.com/rvm-go/rvm/internal/itree"
+	"github.com/rvm-go/rvm/internal/segment"
+	"github.com/rvm-go/rvm/internal/wal"
+)
+
+// SegmentLookup resolves a segment ID found in the log to an open segment.
+type SegmentLookup func(segID uint64) (*segment.Segment, error)
+
+// Stats reports what a recovery or truncation pass did.
+type Stats struct {
+	Records      int    // committed transaction records processed
+	Ranges       int    // modification ranges processed
+	TreeBytes    uint64 // distinct bytes applied to segments
+	RecordBytes  uint64 // bytes carried by the processed records
+	Segments     int    // distinct segments written
+	WritesMerged int    // maximal intervals written (tree writes)
+}
+
+// treeSet accumulates ranges into per-segment trees under a policy.
+type treeSet map[uint64]*itree.Tree
+
+func (ts treeSet) add(r wal.Range, p itree.Policy) {
+	tr := ts[r.Seg]
+	if tr == nil {
+		tr = &itree.Tree{}
+		ts[r.Seg] = tr
+	}
+	tr.Insert(r.Off, r.Data, p)
+}
+
+// apply writes every tree interval to its segment and syncs the touched
+// segments.
+func (ts treeSet) apply(lookup SegmentLookup, st *Stats) error {
+	for segID, tr := range ts {
+		seg, err := lookup(segID)
+		if err != nil {
+			return fmt.Errorf("recovery: segment %d referenced by log: %w", segID, err)
+		}
+		err = tr.Walk(func(iv itree.Interval) error {
+			st.WritesMerged++
+			return seg.WriteAt(iv.Data, int64(iv.Off))
+		})
+		if err != nil {
+			return err
+		}
+		if err := seg.Sync(); err != nil {
+			return err
+		}
+		st.Segments++
+		st.TreeBytes += tr.Bytes()
+	}
+	return nil
+}
+
+// Recover replays the entire live log onto the external data segments and
+// resets the log to empty.  It must run before any region is mapped.
+func Recover(l *wal.Log, lookup SegmentLookup) (Stats, error) {
+	var st Stats
+	trees := make(treeSet)
+	// Tail-to-head: newest record first, so earlier-seen bytes win.
+	err := l.ScanBackward(func(rec *wal.Record) error {
+		st.Records++
+		for _, r := range rec.Ranges {
+			st.Ranges++
+			st.RecordBytes += uint64(len(r.Data))
+			trees.add(r, itree.KeepExisting)
+		}
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+	if err := trees.apply(lookup, &st); err != nil {
+		return st, err
+	}
+	// All recovery actions are complete; only now mark the log empty.
+	pos, seq := l.Tail()
+	if err := l.SetHead(pos, seq); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// CollectEpoch snapshots the log's current live records (the "truncation
+// epoch") into per-segment trees, oldest-first.  Records appended after the
+// snapshot form the paper's "current epoch" and keep flowing while the
+// epoch is applied: collection takes the log lock only for the scan, and
+// Apply advances the head to the snapshotted tail afterwards (Figure 6).
+func CollectEpoch(l *wal.Log) (*Epoch, error) {
+	pos, seq := l.Tail()
+	e := &Epoch{trees: make(treeSet), headPos: pos, headSeq: seq, log: l}
+	stop := fmt.Errorf("stop")
+	err := l.ScanForward(func(rec *wal.Record) error {
+		if rec.Seq >= seq {
+			// A record appended between the Tail snapshot and the scan:
+			// it belongs to the current epoch, not this truncation.
+			return stop
+		}
+		e.stats.Records++
+		for _, r := range rec.Ranges {
+			e.stats.Ranges++
+			e.stats.RecordBytes += uint64(len(r.Data))
+			e.trees.add(r, itree.OverwriteExisting)
+		}
+		return nil
+	})
+	if err != nil && err != stop {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Epoch is a collected truncation epoch awaiting application.
+type Epoch struct {
+	log     *wal.Log
+	trees   treeSet
+	headPos int64  // the tail snapshot: new head after Apply
+	headSeq uint64 // sequence number expected at the new head
+	stats   Stats
+}
+
+// Records returns the number of transaction records in the epoch.
+func (e *Epoch) Records() int { return e.stats.Records }
+
+// EndSeq returns the first sequence number NOT in the epoch (records with
+// Seq < EndSeq are truncated by Apply).
+func (e *Epoch) EndSeq() uint64 { return e.headSeq }
+
+// Apply writes the epoch's changes to the segments, syncs them, and then
+// advances the log head past the epoch.
+func (e *Epoch) Apply(lookup SegmentLookup) (Stats, error) {
+	if err := e.trees.apply(lookup, &e.stats); err != nil {
+		return e.stats, err
+	}
+	if err := e.log.SetHead(e.headPos, e.headSeq); err != nil {
+		return e.stats, err
+	}
+	return e.stats, nil
+}

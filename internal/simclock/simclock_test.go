@@ -1,0 +1,49 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChargeBuckets(t *testing.T) {
+	var c Clock
+	c.Charge(CPU, 3*time.Millisecond, false)
+	c.Charge(IO, 10*time.Millisecond, false)
+	if c.CPU() != 3*time.Millisecond || c.IO() != 10*time.Millisecond {
+		t.Fatalf("buckets: cpu=%v io=%v", c.CPU(), c.IO())
+	}
+	if c.Elapsed() != 13*time.Millisecond {
+		t.Fatalf("elapsed %v", c.Elapsed())
+	}
+}
+
+func TestHiddenChargesSkipElapsed(t *testing.T) {
+	var c Clock
+	c.Charge(CPU, 5*time.Millisecond, true)
+	c.Charge(IO, 7*time.Millisecond, true)
+	if c.Elapsed() != 0 {
+		t.Fatalf("hidden charges leaked into elapsed: %v", c.Elapsed())
+	}
+	if c.CPU() != 5*time.Millisecond || c.IO() != 7*time.Millisecond {
+		t.Fatal("hidden charges missing from buckets")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Clock
+	c.Charge(CPU, time.Second, false)
+	c.Reset()
+	if c.Elapsed() != 0 || c.CPU() != 0 || c.IO() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative charge accepted")
+		}
+	}()
+	var c Clock
+	c.Charge(IO, -1, false)
+}

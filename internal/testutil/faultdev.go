@@ -1,0 +1,98 @@
+// Package testutil provides shared test infrastructure, chiefly a
+// fault-injecting storage device used to simulate crashes that tear writes
+// at arbitrary byte boundaries.
+package testutil
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrCrashed is returned by a FaultDevice once its write budget is
+// exhausted: the simulated machine has lost power.
+var ErrCrashed = errors.New("testutil: simulated crash")
+
+// Backing is the minimal storage a FaultDevice wraps.
+type Backing interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FaultDevice passes reads through and applies writes only until a byte
+// budget is exhausted; the write that crosses the budget is torn (applied
+// partially) and every subsequent write and sync fails with ErrCrashed.
+// A negative budget means unlimited.
+type FaultDevice struct {
+	mu      sync.Mutex
+	b       Backing
+	budget  int64
+	crashed bool
+}
+
+// NewFaultDevice wraps b with the given write budget in bytes.
+func NewFaultDevice(b Backing, budget int64) *FaultDevice {
+	return &FaultDevice{b: b, budget: budget}
+}
+
+// SetBudget resets the remaining write budget and clears the crashed state.
+func (d *FaultDevice) SetBudget(budget int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.budget = budget
+	d.crashed = false
+}
+
+// Crashed reports whether the simulated crash has occurred.
+func (d *FaultDevice) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// ReadAt reads through to the backing store; reads keep working after a
+// crash so tests can inspect the surviving bytes.
+func (d *FaultDevice) ReadAt(p []byte, off int64) (int, error) {
+	return d.b.ReadAt(p, off)
+}
+
+// WriteAt applies p up to the remaining budget.
+func (d *FaultDevice) WriteAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return 0, ErrCrashed
+	}
+	if d.budget < 0 {
+		return d.b.WriteAt(p, off)
+	}
+	if int64(len(p)) <= d.budget {
+		d.budget -= int64(len(p))
+		return d.b.WriteAt(p, off)
+	}
+	// Torn write: only the first budget bytes reach the device.
+	n := int(d.budget)
+	d.budget = 0
+	d.crashed = true
+	if n > 0 {
+		if _, err := d.b.WriteAt(p[:n], off); err != nil {
+			return 0, err
+		}
+	}
+	return n, ErrCrashed
+}
+
+// Sync fails after the crash; before it, it passes through.
+func (d *FaultDevice) Sync() error {
+	d.mu.Lock()
+	crashed := d.crashed
+	d.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return d.b.Sync()
+}
+
+// Close closes the backing store.
+func (d *FaultDevice) Close() error { return d.b.Close() }

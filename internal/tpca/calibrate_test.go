@@ -1,0 +1,66 @@
+package tpca_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/rvm-go/rvm/internal/camelot"
+	"github.com/rvm-go/rvm/internal/tpca"
+)
+
+// paperTable1 holds the paper's measured throughputs for comparison:
+// [ratio index] -> {rvm seq, rvm rand, rvm loc, cam seq, cam rand, cam loc}.
+var paperAccounts = []int{
+	32768, 65536, 98304, 131072, 163840, 196608, 229376,
+	262144, 294912, 327680, 360448, 393216, 425984, 458752,
+}
+
+var paperTable1 = [][6]float64{
+	{48.6, 47.9, 47.5, 48.1, 41.6, 44.5},
+	{48.5, 46.4, 46.6, 48.2, 34.2, 43.1},
+	{48.6, 45.5, 46.2, 48.9, 30.1, 41.2},
+	{48.2, 44.7, 45.1, 48.1, 29.2, 41.3},
+	{48.1, 43.9, 44.2, 48.1, 27.1, 40.3},
+	{47.7, 43.2, 43.4, 48.1, 25.8, 39.5},
+	{47.2, 42.5, 43.8, 48.2, 23.9, 37.9},
+	{46.9, 41.6, 41.1, 48.0, 21.7, 35.9},
+	{46.3, 40.8, 39.0, 48.0, 20.8, 35.2},
+	{46.9, 39.7, 39.0, 48.1, 19.1, 33.7},
+	{48.6, 33.8, 40.0, 48.3, 18.6, 33.3},
+	{46.9, 33.3, 39.4, 48.9, 18.7, 32.4},
+	{46.5, 30.9, 38.7, 48.0, 18.2, 32.3},
+	{46.4, 27.4, 35.4, 47.7, 17.9, 31.6},
+}
+
+// TestCalibrationTable prints model-vs-paper for every Table 1 cell when
+// RVM_CALIBRATE=1; otherwise it spot-checks shape properties on a subset.
+func TestCalibrationTable(t *testing.T) {
+	full := os.Getenv("RVM_CALIBRATE") == "1"
+	idxs := []int{0, 7, 13}
+	if full {
+		idxs = nil
+		for i := range paperAccounts {
+			idxs = append(idxs, i)
+		}
+	}
+	p := tpca.DefaultParams()
+	fmt.Printf("%8s %6s | %19s | %19s | %19s\n", "", "", "Sequential", "Random", "Localized")
+	fmt.Printf("%8s %6s | %9s %9s | %9s %9s | %9s %9s\n",
+		"accounts", "R/P%", "model", "paper", "model", "paper", "model", "paper")
+	for _, i := range idxs {
+		acct := paperAccounts[i]
+		row := [3]float64{}
+		camRow := [3]float64{}
+		for pi, pat := range []tpca.Pattern{tpca.Sequential, tpca.Random, tpca.Localized} {
+			cfg := tpca.Config{Accounts: acct, Pattern: pat, Seed: 42}
+			row[pi] = tpca.Run(cfg, tpca.NewRVM(p, tpca.RmemBytes(acct))).TPS
+			camRow[pi] = tpca.Run(cfg, camelot.New(p, tpca.RmemBytes(acct))).TPS
+		}
+		ratio := float64(tpca.RmemBytes(acct)) / float64(p.PmemBytes) * 100
+		fmt.Printf("%8d %5.1f%% | R %7.1f %9.1f | R %7.1f %9.1f | R %7.1f %9.1f\n",
+			acct, ratio, row[0], paperTable1[i][0], row[1], paperTable1[i][1], row[2], paperTable1[i][2])
+		fmt.Printf("%8s %6s | C %7.1f %9.1f | C %7.1f %9.1f | C %7.1f %9.1f\n",
+			"", "", camRow[0], paperTable1[i][3], camRow[1], paperTable1[i][4], camRow[2], paperTable1[i][5])
+	}
+}

@@ -1,0 +1,145 @@
+package tpca_test
+
+import (
+	"testing"
+
+	"github.com/rvm-go/rvm/internal/camelot"
+	"github.com/rvm-go/rvm/internal/tpca"
+)
+
+// runCell executes one (accounts, pattern) cell for both systems with a
+// reduced transaction count suitable for CI.
+func runCell(t *testing.T, accounts int, pat tpca.Pattern) (rvmRes, camRes tpca.Result) {
+	t.Helper()
+	p := tpca.DefaultParams()
+	cfg := tpca.Config{Accounts: accounts, Pattern: pat, Seed: 7, WarmupTx: 20000, MeasureTx: 20000}
+	rvmRes = tpca.Run(cfg, tpca.NewRVM(p, tpca.RmemBytes(accounts)))
+	camRes = tpca.Run(cfg, camelot.New(p, tpca.RmemBytes(accounts)))
+	return
+}
+
+// TestSequentialThroughputMatchesPaper: both systems flat near the
+// log-force bound (~48 tx/s; theoretical max 57.4).
+func TestSequentialThroughputMatchesPaper(t *testing.T) {
+	for _, acct := range []int{32768, 262144, 458752} {
+		r, c := runCell(t, acct, tpca.Sequential)
+		if r.TPS < 44 || r.TPS > 50 {
+			t.Errorf("RVM sequential @%d: %.1f tx/s, want ~46-49", acct, r.TPS)
+		}
+		if c.TPS < 42 || c.TPS > 50 {
+			t.Errorf("Camelot sequential @%d: %.1f tx/s, want ~44-49", acct, c.TPS)
+		}
+	}
+}
+
+// TestRVMBeatsCamelotEverywhere: the paper's headline — despite no VM
+// integration, RVM outperforms Camelot over the whole range (§7.1.2).
+func TestRVMBeatsCamelotEverywhere(t *testing.T) {
+	for _, acct := range []int{32768, 131072, 262144, 458752} {
+		for _, pat := range []tpca.Pattern{tpca.Sequential, tpca.Random, tpca.Localized} {
+			r, c := runCell(t, acct, pat)
+			if r.TPS < c.TPS {
+				t.Errorf("%v @%d: RVM %.1f < Camelot %.1f", pat, acct, r.TPS, c.TPS)
+			}
+		}
+	}
+}
+
+// TestRandomDegradesWithMemoryPressure: both systems decline as Rmem/Pmem
+// grows; RVM ends near ~27 tx/s and Camelot near ~18 (Table 1's last row).
+func TestRandomDegradesWithMemoryPressure(t *testing.T) {
+	rLow, cLow := runCell(t, 32768, tpca.Random)
+	rHigh, cHigh := runCell(t, 458752, tpca.Random)
+	if rHigh.TPS >= rLow.TPS {
+		t.Errorf("RVM random did not degrade: %.1f -> %.1f", rLow.TPS, rHigh.TPS)
+	}
+	if cHigh.TPS >= cLow.TPS {
+		t.Errorf("Camelot random did not degrade: %.1f -> %.1f", cLow.TPS, cHigh.TPS)
+	}
+	if rHigh.TPS < 24 || rHigh.TPS > 33 {
+		t.Errorf("RVM random @175%%: %.1f tx/s, paper 27.4", rHigh.TPS)
+	}
+	if cHigh.TPS < 15 || cHigh.TPS > 23 {
+		t.Errorf("Camelot random @175%%: %.1f tx/s, paper 17.9", cHigh.TPS)
+	}
+}
+
+// TestLocalitySensitivityAtLowRatio: at Rmem/Pmem = 12.5% RVM's throughput
+// is essentially independent of locality, while Camelot's already varies
+// strongly — the puzzle the paper traces to Disk Manager truncation.
+func TestLocalitySensitivityAtLowRatio(t *testing.T) {
+	var rvmTPS, camTPS [3]float64
+	for i, pat := range []tpca.Pattern{tpca.Sequential, tpca.Random, tpca.Localized} {
+		r, c := runCell(t, 32768, pat)
+		rvmTPS[i], camTPS[i] = r.TPS, c.TPS
+	}
+	rvmSpread := rvmTPS[0] - rvmTPS[1] // sequential minus random
+	camSpread := camTPS[0] - camTPS[1]
+	if rvmSpread > 3.5 {
+		t.Errorf("RVM locality spread at 12.5%% too large: %.1f tx/s", rvmSpread)
+	}
+	if camSpread < 2.0 {
+		t.Errorf("Camelot locality spread at 12.5%% too small: %.1f tx/s (paper: 6.5)", camSpread)
+	}
+	if camSpread < 1.5*rvmSpread {
+		t.Errorf("Camelot (%.1f) not clearly more locality-sensitive than RVM (%.1f)", camSpread, rvmSpread)
+	}
+}
+
+// TestLocalizedBetweenSequentialAndRandom: the average case sits between
+// best and worst for both systems (Figure 8b).
+func TestLocalizedBetweenSequentialAndRandom(t *testing.T) {
+	for _, acct := range []int{262144, 458752} {
+		rs, _ := runCell(t, acct, tpca.Sequential)
+		rr, _ := runCell(t, acct, tpca.Random)
+		rl, _ := runCell(t, acct, tpca.Localized)
+		if !(rr.TPS <= rl.TPS && rl.TPS <= rs.TPS) {
+			t.Errorf("RVM ordering broken @%d: seq %.1f loc %.1f rand %.1f",
+				acct, rs.TPS, rl.TPS, rr.TPS)
+		}
+	}
+}
+
+// TestCPUCostMatchesFigure9: RVM requires roughly half of Camelot's CPU
+// per transaction (§7.2), and Camelot's CPU rises with memory pressure
+// under random access.
+func TestCPUCostMatchesFigure9(t *testing.T) {
+	rSeq, cSeq := runCell(t, 131072, tpca.Sequential)
+	if ratio := cSeq.CPUMsPerT / rSeq.CPUMsPerT; ratio < 1.6 || ratio > 3.0 {
+		t.Errorf("sequential CPU ratio Camelot/RVM = %.2f, paper ~2", ratio)
+	}
+	rRand, cRand := runCell(t, 458752, tpca.Random)
+	if rRand.CPUMsPerT >= cRand.CPUMsPerT {
+		t.Errorf("RVM random CPU (%.1f ms) not below Camelot's (%.1f ms) at 175%%",
+			rRand.CPUMsPerT, cRand.CPUMsPerT)
+	}
+	_, cLow := runCell(t, 32768, tpca.Random)
+	if cRand.CPUMsPerT <= cLow.CPUMsPerT {
+		t.Errorf("Camelot random CPU flat: %.1f -> %.1f ms", cLow.CPUMsPerT, cRand.CPUMsPerT)
+	}
+}
+
+// TestGeneratorDeterminism: identical configs yield identical results.
+func TestGeneratorDeterminism(t *testing.T) {
+	p := tpca.DefaultParams()
+	cfg := tpca.Config{Accounts: 65536, Pattern: tpca.Localized, Seed: 3, WarmupTx: 5000, MeasureTx: 5000}
+	a := tpca.Run(cfg, tpca.NewRVM(p, tpca.RmemBytes(cfg.Accounts)))
+	b := tpca.Run(cfg, tpca.NewRVM(p, tpca.RmemBytes(cfg.Accounts)))
+	if a.TPS != b.TPS || a.CPUMsPerT != b.CPUMsPerT {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestRmemRatio: the account counts of Table 1 map to the paper's
+// Rmem/Pmem column.
+func TestRmemRatio(t *testing.T) {
+	p := tpca.DefaultParams()
+	got := float64(tpca.RmemBytes(458752)) / float64(p.PmemBytes)
+	if got < 1.74 || got > 1.76 {
+		t.Fatalf("458752 accounts -> ratio %.3f, want 1.75", got)
+	}
+	got = float64(tpca.RmemBytes(32768)) / float64(p.PmemBytes)
+	if got < 0.125 || got > 0.127 {
+		t.Fatalf("32768 accounts -> ratio %.3f, want 0.125", got)
+	}
+}

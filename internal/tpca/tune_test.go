@@ -1,0 +1,58 @@
+package tpca_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/rvm-go/rvm/internal/tpca"
+)
+
+// TestTuneRVM grid-searches the RVM model knobs against the paper's
+// Table 1 RVM cells.  Run with RVM_TUNE=1; skipped otherwise.
+func TestTuneRVM(t *testing.T) {
+	if os.Getenv("RVM_TUNE") != "1" {
+		t.Skip("set RVM_TUNE=1 to run the grid search")
+	}
+	patterns := []tpca.Pattern{tpca.Sequential, tpca.Random, tpca.Localized}
+	evalParams := func(p tpca.Params) float64 {
+		var sumSq float64
+		n := 0
+		for i, acct := range paperAccounts {
+			for pi, pat := range patterns {
+				cfg := tpca.Config{Accounts: acct, Pattern: pat, Seed: 42, WarmupTx: 30000, MeasureTx: 30000}
+				got := tpca.Run(cfg, tpca.NewRVM(p, tpca.RmemBytes(acct))).TPS
+				want := paperTable1[i][pi]
+				rel := (got - want) / want
+				sumSq += rel * rel
+				n++
+			}
+		}
+		return math.Sqrt(sumSq / float64(n))
+	}
+	best := math.Inf(1)
+	var bestP tpca.Params
+	for _, frac := range []float64{0.55, 0.58, 0.62} {
+		for _, poll := range []float64{0.0, 0.02} {
+			for _, evict := range []time.Duration{13 * time.Millisecond, 17 * time.Millisecond} {
+				for _, tcpu := range []time.Duration{2 * time.Millisecond, 3 * time.Millisecond} {
+					p := tpca.DefaultParams()
+					p.RVMFrameFrac = frac
+					p.RVMPollution = poll
+					p.RVMEvictIO = evict
+					p.RVMTruncCPU = tcpu
+					rms := evalParams(p)
+					fmt.Printf("frac=%.2f poll=%.2f evict=%v tcpu=%v  rms=%.4f\n", frac, poll, evict, tcpu, rms)
+					if rms < best {
+						best = rms
+						bestP = p
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("BEST rms=%.4f frac=%.2f poll=%.2f evict=%v tcpu=%v\n",
+		best, bestP.RVMFrameFrac, bestP.RVMPollution, bestP.RVMEvictIO, bestP.RVMTruncCPU)
+}

@@ -1,0 +1,159 @@
+// Package vmsim simulates the virtual-memory behaviour that drives the
+// paging-dependent curves of the paper's evaluation (Figures 8 and 9).
+//
+// It models a pool of physical page frames with either true LRU or FIFO
+// replacement.  FIFO is the default for the paper's experiments: Mach's
+// global page replacement was FIFO-with-second-chance, which — unlike
+// LRU — periodically evicts even hot pages, and is what gives the
+// localized workload its gradual, almost linear degradation.
+// Each page access either hits (free) or faults: a fault charges a read
+// from the paging/segment disk, an eviction of a dirty victim charges a
+// write, and fault service charges CPU.  The fault-service CPU cost is a
+// parameter because it is where RVM and Camelot differ structurally:
+// Camelot services faults through its user-level Disk Manager via Mach
+// IPC, while RVM relies on plain kernel paging.
+package vmsim
+
+import (
+	"container/list"
+	"time"
+
+	"github.com/rvm-go/rvm/internal/disksim"
+	"github.com/rvm-go/rvm/internal/simclock"
+)
+
+// PageID names a simulated page within a space (e.g. 0 = accounts,
+// 1 = audit trail).
+type PageID struct {
+	Space int
+	Page  int64
+}
+
+// Stats counts VM activity.
+type Stats struct {
+	Accesses    uint64
+	Faults      uint64
+	DirtyEvicts uint64
+	CleanEvicts uint64
+}
+
+// Policy selects the replacement policy.
+type Policy int
+
+const (
+	// FIFO evicts in arrival order (Mach-like global replacement).
+	FIFO Policy = iota
+	// LRU evicts the least recently used page.
+	LRU
+)
+
+// VM is a physical-memory simulator.
+type VM struct {
+	Policy   Policy
+	Frames   int           // physical frames available to the workload
+	PageSize int64         // bytes per page
+	FaultCPU time.Duration // CPU charged per fault service
+	// EvictWriteCost, when non-zero, overrides the disk model for the
+	// write that evicting a dirty page costs.  RVM's dirty pages go to
+	// swap in clustered page-outs (cheaper than a full random I/O);
+	// Camelot's go through the user-level Disk Manager.
+	EvictWriteCost time.Duration
+
+	clock *simclock.Clock
+	disk  *disksim.Disk
+
+	lru      *list.List // front = most recent; values are PageID
+	resident map[PageID]*entry
+
+	stats Stats
+}
+
+type entry struct {
+	elem  *list.Element
+	dirty bool
+}
+
+// New returns a VM with the given frame count, charging its I/O to disk
+// and its time to clock.
+func New(frames int, pageSize int64, faultCPU time.Duration, clock *simclock.Clock, disk *disksim.Disk) *VM {
+	return &VM{
+		Frames:   frames,
+		PageSize: pageSize,
+		FaultCPU: faultCPU,
+		clock:    clock,
+		disk:     disk,
+		lru:      list.New(),
+		resident: make(map[PageID]*entry),
+	}
+}
+
+// Touch accesses a page, faulting it in if necessary.  write marks the
+// page dirty (its eviction will cost a disk write).
+func (vm *VM) Touch(p PageID, write bool) {
+	vm.stats.Accesses++
+	if e, ok := vm.resident[p]; ok {
+		if vm.Policy == LRU {
+			vm.lru.MoveToFront(e.elem)
+		}
+		e.dirty = e.dirty || write
+		return
+	}
+	// Fault: make room, then read the page in.
+	vm.stats.Faults++
+	vm.clock.Charge(simclock.CPU, vm.FaultCPU, false)
+	for len(vm.resident) >= vm.Frames {
+		vm.evictLRU()
+	}
+	el := vm.lru.PushFront(p)
+	vm.resident[p] = &entry{elem: el, dirty: write}
+	vm.clock.Charge(simclock.IO, vm.disk.RandomIO(vm.PageSize), false)
+}
+
+// evictLRU removes the least-recently-used page, charging a write if it
+// is dirty.
+func (vm *VM) evictLRU() {
+	back := vm.lru.Back()
+	if back == nil {
+		return
+	}
+	p := back.Value.(PageID)
+	e := vm.resident[p]
+	if e.dirty {
+		vm.stats.DirtyEvicts++
+		cost := vm.EvictWriteCost
+		if cost == 0 {
+			cost = vm.disk.RandomIO(vm.PageSize)
+		}
+		vm.clock.Charge(simclock.IO, cost, false)
+	} else {
+		vm.stats.CleanEvicts++
+	}
+	vm.lru.Remove(back)
+	delete(vm.resident, p)
+}
+
+// Resident reports whether p occupies a frame.
+func (vm *VM) Resident(p PageID) bool {
+	_, ok := vm.resident[p]
+	return ok
+}
+
+// CleanResident clears the dirty bit of every resident page of a space —
+// used when a truncation pass has written the pages back itself.
+func (vm *VM) CleanResident(space int) int {
+	n := 0
+	for p, e := range vm.resident {
+		if p.Space == space && e.dirty {
+			e.dirty = false
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (vm *VM) Stats() Stats { return vm.stats }
+
+// ResetStats zeroes the counters (after warmup) without touching the
+// frame contents.
+func (vm *VM) ResetStats() { vm.stats = Stats{} }

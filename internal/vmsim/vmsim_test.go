@@ -1,0 +1,139 @@
+package vmsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rvm-go/rvm/internal/disksim"
+	"github.com/rvm-go/rvm/internal/simclock"
+)
+
+func newVM(frames int, policy Policy) (*VM, *simclock.Clock) {
+	clk := &simclock.Clock{}
+	vm := New(frames, 4096, time.Millisecond, clk, disksim.Default1993())
+	vm.Policy = policy
+	return vm, clk
+}
+
+func TestHitCostsNothing(t *testing.T) {
+	vm, clk := newVM(4, LRU)
+	vm.Touch(PageID{0, 1}, false)
+	before := clk.Elapsed()
+	vm.Touch(PageID{0, 1}, false)
+	if clk.Elapsed() != before {
+		t.Fatal("hit charged time")
+	}
+	st := vm.Stats()
+	if st.Accesses != 2 || st.Faults != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestFaultChargesReadAndCPU(t *testing.T) {
+	vm, clk := newVM(4, LRU)
+	vm.Touch(PageID{0, 1}, false)
+	if clk.CPU() != time.Millisecond {
+		t.Fatalf("fault CPU = %v", clk.CPU())
+	}
+	if clk.IO() < 16*time.Millisecond {
+		t.Fatalf("fault IO = %v", clk.IO())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	vm, _ := newVM(2, LRU)
+	a, b, c := PageID{0, 1}, PageID{0, 2}, PageID{0, 3}
+	vm.Touch(a, false)
+	vm.Touch(b, false)
+	vm.Touch(a, false) // a most recent
+	vm.Touch(c, false) // evicts b under LRU
+	if !vm.Resident(a) || vm.Resident(b) || !vm.Resident(c) {
+		t.Fatal("LRU eviction picked wrong victim")
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	vm, _ := newVM(2, FIFO)
+	a, b, c := PageID{0, 1}, PageID{0, 2}, PageID{0, 3}
+	vm.Touch(a, false)
+	vm.Touch(b, false)
+	vm.Touch(a, false) // recency must NOT matter under FIFO
+	vm.Touch(c, false) // evicts a (oldest arrival)
+	if vm.Resident(a) || !vm.Resident(b) || !vm.Resident(c) {
+		t.Fatal("FIFO eviction picked wrong victim")
+	}
+}
+
+func TestDirtyEvictionCostsWrite(t *testing.T) {
+	vm, clk := newVM(1, LRU)
+	vm.EvictWriteCost = 9 * time.Millisecond
+	vm.Touch(PageID{0, 1}, true) // dirty
+	ioAfterFault := clk.IO()
+	vm.Touch(PageID{0, 2}, false) // evicts dirty page
+	extra := clk.IO() - ioAfterFault
+	// Second fault read plus the 9ms eviction write.
+	if extra < 25*time.Millisecond {
+		t.Fatalf("dirty eviction too cheap: %v", extra)
+	}
+	if vm.Stats().DirtyEvicts != 1 {
+		t.Fatalf("stats %+v", vm.Stats())
+	}
+}
+
+func TestCleanEvictionFree(t *testing.T) {
+	vm, clk := newVM(1, LRU)
+	vm.Touch(PageID{0, 1}, false) // clean
+	io1 := clk.IO()
+	vm.Touch(PageID{0, 2}, false)
+	extra := clk.IO() - io1
+	if extra > 19*time.Millisecond { // just the new fault's read
+		t.Fatalf("clean eviction charged a write: %v", extra)
+	}
+	if vm.Stats().CleanEvicts != 1 {
+		t.Fatalf("stats %+v", vm.Stats())
+	}
+}
+
+func TestCleanResident(t *testing.T) {
+	vm, clk := newVM(4, LRU)
+	vm.Touch(PageID{0, 1}, true)
+	vm.Touch(PageID{0, 2}, true)
+	vm.Touch(PageID{1, 5}, true)
+	if n := vm.CleanResident(0); n != 2 {
+		t.Fatalf("cleaned %d pages of space 0", n)
+	}
+	// Space-0 evictions are now free; space-1 still dirty.
+	io := clk.IO()
+	vm.Touch(PageID{0, 9}, false)
+	vm.Touch(PageID{0, 10}, false) // forces evictions
+	_ = io
+	if vm.Stats().DirtyEvicts > 1 {
+		t.Fatalf("cleaned pages still evicted dirty: %+v", vm.Stats())
+	}
+}
+
+func TestResetStatsKeepsFrames(t *testing.T) {
+	vm, _ := newVM(4, LRU)
+	vm.Touch(PageID{0, 1}, false)
+	vm.ResetStats()
+	if vm.Stats().Faults != 0 {
+		t.Fatal("stats not reset")
+	}
+	if !vm.Resident(PageID{0, 1}) {
+		t.Fatal("reset dropped frames")
+	}
+}
+
+func TestWorkingSetLargerThanFramesThrashes(t *testing.T) {
+	vm, _ := newVM(8, FIFO)
+	for round := 0; round < 3; round++ {
+		for p := int64(0); p < 16; p++ {
+			vm.Touch(PageID{0, p}, false)
+		}
+	}
+	st := vm.Stats()
+	// Cyclic scan over 2x frames under FIFO misses every access.
+	if st.Faults != st.Accesses {
+		t.Fatalf("expected full thrash: %d faults / %d accesses", st.Faults, st.Accesses)
+	}
+}

@@ -1,0 +1,645 @@
+// Package wal implements RVM's write-ahead log.
+//
+// RVM uses a no-undo/redo value logging strategy (paper §5.1.1): because
+// uncommitted changes are never reflected to an external data segment, only
+// the new-value records of committed transactions are written to the log.
+// One log record holds an entire committed transaction — its modification
+// ranges followed by the commit trailer — so a record is the atomic unit of
+// commitment.  As in the paper's Figure 5, every record carries both a
+// forward displacement (totalLen in the header) and a reverse displacement
+// (totalLen repeated in the trailer), allowing the log to be read in either
+// direction; crash recovery walks it tail-to-head.
+//
+// On-disk layout:
+//
+//	offset 0:          status block, copy A (one page)
+//	offset PageSize:   status block, copy B (one page)
+//	offset 2*PageSize: record area (circular)
+//
+// The status block records the head of the live region and the sequence
+// number expected there.  The tail is never persisted on the commit path:
+// Open rediscovers it by scanning forward from the head while records carry
+// consecutive sequence numbers and valid CRCs.  This keeps a committing
+// transaction at a single fsync, matching the paper's single log force per
+// commit (17.4 ms on their disks).
+//
+// Records never straddle the end of the record area.  When an append would
+// cross it, a wrap record pads out the remaining gap; when a record would
+// leave a gap too small to hold even a wrap record, the record absorbs the
+// gap as padding.  Consequently every header and trailer is contiguous on
+// disk, and the backward walk is a pair of contiguous reads per record.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"github.com/rvm-go/rvm/internal/mapping"
+)
+
+const (
+	// statusMagic identifies a log status block.
+	statusMagic = 0x52564c53 // "RVLS"
+	// recMagic identifies a log record header.
+	recMagic = 0x52564c47 // "RVLG"
+	// formatVersion is the on-disk format version.
+	formatVersion = 1
+
+	headerSize  = 32 // magic, totalLen, type, flags, nranges, seqno, tid
+	trailerSize = 16 // seqno, totalLen (reverse displacement), crc
+	// minRecordSize is the smallest encodable record (a wrap record).
+	minRecordSize = headerSize + trailerSize
+	// rangeHdrSize prefixes each modification range: segID, off, len.
+	rangeHdrSize = 8 + 8 + 4
+
+	statusSize = 4 + 4 + 8 + 8 + 8 + 8 + 4 // magic, ver, gen, areaSize, head, headSeq, crc
+)
+
+// Record types.
+const (
+	recTx   = 1 // a committed transaction's new-value records
+	recWrap = 2 // padding to the end of the record area
+)
+
+var (
+	// ErrLogFull is returned by Append when the record does not fit in the
+	// free space of the log; the caller should truncate and retry.
+	ErrLogFull = errors.New("wal: log full")
+	// ErrTooBig is returned when a record can never fit, even in an empty
+	// log.
+	ErrTooBig = errors.New("wal: record larger than log")
+	// ErrNotLog is returned when a file lacks a valid status block.
+	ErrNotLog = errors.New("wal: file is not an RVM log")
+)
+
+// Device is the storage a Log runs on.  *os.File satisfies it; tests inject
+// fault devices that tear writes to simulate crashes.
+type Device interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Sync() error
+	Close() error
+}
+
+// Range is one modification range of a transaction: new values for
+// Data bytes at Off within segment Seg.
+type Range struct {
+	Seg  uint64
+	Off  uint64
+	Data []byte
+}
+
+// Record is a decoded log record.
+type Record struct {
+	Pos    int64 // record-area offset of the record's first byte
+	Seq    uint64
+	TID    uint64
+	Flags  uint8
+	Ranges []Range
+}
+
+// Stats counts log activity since Open.
+type Stats struct {
+	Appends       uint64 // transaction records appended
+	BytesAppended uint64 // bytes of records appended (incl. wrap/padding)
+	Forces        uint64 // fsyncs issued
+	Wraps         uint64 // wrap records written
+}
+
+// Log is an open write-ahead log.  All methods are safe for concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	dev      Device
+	areaSize int64
+
+	head    int64  // area offset of oldest live byte
+	headSeq uint64 // seqno expected at head
+	used    int64  // live bytes (head..tail, circular)
+	nextSeq uint64 // seqno of the next record to append
+	gen     uint64 // status block generation
+	dirty   bool   // appended bytes not yet forced
+
+	noSync bool
+
+	stats Stats
+}
+
+// align8 rounds n up to a multiple of 8.
+func align8(n int64) int64 { return (n + 7) &^ 7 }
+
+// encodedLen returns the unpadded encoded length of a transaction record.
+func encodedLen(ranges []Range) int64 {
+	n := int64(headerSize + trailerSize)
+	for _, r := range ranges {
+		n += rangeHdrSize + int64(len(r.Data))
+	}
+	return align8(n)
+}
+
+// Create initializes a new log file at path with a record area of at least
+// areaSize bytes (rounded up to whole pages).  It fails if path exists.
+func Create(path string, areaSize int64) error {
+	if areaSize < int64(mapping.PageSize) {
+		return fmt.Errorf("wal: area size %d smaller than one page", areaSize)
+	}
+	areaSize = mapping.RoundUp(areaSize)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := f.Truncate(2*int64(mapping.PageSize) + areaSize); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("wal: size log: %w", err)
+	}
+	st := statusBlock{gen: 1, areaSize: areaSize, head: 0, headSeq: 1}
+	if err := writeStatus(f, 0, st); err != nil {
+		os.Remove(path)
+		return err
+	}
+	if err := writeStatus(f, 1, st); err != nil {
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+type statusBlock struct {
+	gen      uint64
+	areaSize int64
+	head     int64
+	headSeq  uint64
+}
+
+func writeStatus(dev Device, slot int, st statusBlock) error {
+	b := make([]byte, statusSize)
+	binary.BigEndian.PutUint32(b[0:], statusMagic)
+	binary.BigEndian.PutUint32(b[4:], formatVersion)
+	binary.BigEndian.PutUint64(b[8:], st.gen)
+	binary.BigEndian.PutUint64(b[16:], uint64(st.areaSize))
+	binary.BigEndian.PutUint64(b[24:], uint64(st.head))
+	binary.BigEndian.PutUint64(b[32:], st.headSeq)
+	binary.BigEndian.PutUint32(b[40:], crc32.ChecksumIEEE(b[:40]))
+	off := int64(slot) * int64(mapping.PageSize)
+	if _, err := dev.WriteAt(b, off); err != nil {
+		return fmt.Errorf("wal: write status slot %d: %w", slot, err)
+	}
+	return nil
+}
+
+func readStatus(dev Device, slot int) (statusBlock, bool) {
+	b := make([]byte, statusSize)
+	off := int64(slot) * int64(mapping.PageSize)
+	if _, err := dev.ReadAt(b, off); err != nil {
+		return statusBlock{}, false
+	}
+	if binary.BigEndian.Uint32(b[0:]) != statusMagic ||
+		binary.BigEndian.Uint32(b[4:]) != formatVersion ||
+		crc32.ChecksumIEEE(b[:40]) != binary.BigEndian.Uint32(b[40:]) {
+		return statusBlock{}, false
+	}
+	return statusBlock{
+		gen:      binary.BigEndian.Uint64(b[8:]),
+		areaSize: int64(binary.BigEndian.Uint64(b[16:])),
+		head:     int64(binary.BigEndian.Uint64(b[24:])),
+		headSeq:  binary.BigEndian.Uint64(b[32:]),
+	}, true
+}
+
+// Open opens the log at path, validating the status block and rediscovering
+// the tail by a forward scan.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l, err := OpenDevice(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// OpenDevice opens a log on an arbitrary device (used by tests to inject
+// faults).
+func OpenDevice(dev Device) (*Log, error) {
+	a, okA := readStatus(dev, 0)
+	b, okB := readStatus(dev, 1)
+	var st statusBlock
+	switch {
+	case okA && okB:
+		st = a
+		if b.gen > a.gen {
+			st = b
+		}
+	case okA:
+		st = a
+	case okB:
+		st = b
+	default:
+		return nil, ErrNotLog
+	}
+	l := &Log{
+		dev:      dev,
+		areaSize: st.areaSize,
+		head:     st.head,
+		headSeq:  st.headSeq,
+		gen:      st.gen,
+	}
+	if err := l.findTail(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// areaOff converts a record-area offset into a device offset.
+func areaOff(pos int64) int64 { return 2*int64(mapping.PageSize) + pos }
+
+// readRecordAt decodes and validates the record at area offset pos.  It
+// returns (nil, nil) when the bytes there are not a valid next record (torn
+// write or stale data), which ends a forward scan.
+func (l *Log) readRecordAt(pos int64, wantSeq uint64) (*Record, int64, error) {
+	if l.areaSize-pos < minRecordSize {
+		return nil, 0, nil // cannot even hold a header+trailer here
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := l.dev.ReadAt(hdr, areaOff(pos)); err != nil {
+		return nil, 0, fmt.Errorf("wal: read header at %d: %w", pos, err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != recMagic {
+		return nil, 0, nil
+	}
+	totalLen := int64(binary.BigEndian.Uint32(hdr[4:]))
+	if totalLen < minRecordSize || totalLen%8 != 0 || pos+totalLen > l.areaSize {
+		return nil, 0, nil
+	}
+	buf := make([]byte, totalLen)
+	if _, err := l.dev.ReadAt(buf, areaOff(pos)); err != nil {
+		return nil, 0, fmt.Errorf("wal: read record at %d: %w", pos, err)
+	}
+	if crc32.ChecksumIEEE(buf[:totalLen-4]) != binary.BigEndian.Uint32(buf[totalLen-4:]) {
+		return nil, 0, nil
+	}
+	seq := binary.BigEndian.Uint64(buf[16:])
+	if seq != wantSeq && wantSeq != 0 {
+		return nil, 0, nil
+	}
+	if binary.BigEndian.Uint64(buf[totalLen-trailerSize:]) != seq {
+		return nil, 0, nil
+	}
+	if int64(binary.BigEndian.Uint32(buf[totalLen-8:])) != totalLen {
+		return nil, 0, nil
+	}
+	rec := &Record{
+		Pos:   pos,
+		Seq:   seq,
+		TID:   binary.BigEndian.Uint64(buf[24:]),
+		Flags: buf[9],
+	}
+	typ := buf[8]
+	nranges := binary.BigEndian.Uint32(hdr[12:])
+	if typ == recWrap {
+		if nranges != 0 {
+			return nil, 0, nil
+		}
+		return rec, totalLen, nil // Ranges nil marks a wrap record
+	}
+	if typ != recTx {
+		return nil, 0, nil
+	}
+	p := int64(headerSize)
+	rec.Ranges = make([]Range, 0, nranges)
+	for i := uint32(0); i < nranges; i++ {
+		if p+rangeHdrSize > totalLen-trailerSize {
+			return nil, 0, nil
+		}
+		r := Range{
+			Seg: binary.BigEndian.Uint64(buf[p:]),
+			Off: binary.BigEndian.Uint64(buf[p+8:]),
+		}
+		n := int64(binary.BigEndian.Uint32(buf[p+16:]))
+		p += rangeHdrSize
+		if p+n > totalLen-trailerSize {
+			return nil, 0, nil
+		}
+		r.Data = append([]byte(nil), buf[p:p+n]...)
+		p += n
+		rec.Ranges = append(rec.Ranges, r)
+	}
+	return rec, totalLen, nil
+}
+
+// findTail scans forward from head to locate the end of the live region.
+func (l *Log) findTail() error {
+	pos := l.head
+	seq := l.headSeq
+	var used int64
+	for used < l.areaSize {
+		rec, n, err := l.readRecordAt(pos, seq)
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			break
+		}
+		used += n
+		seq++
+		pos += n
+		if pos == l.areaSize {
+			pos = 0
+		}
+	}
+	l.used = used
+	l.nextSeq = seq
+	return nil
+}
+
+// tailPos returns the current append position.
+func (l *Log) tailPos() int64 { return (l.head + l.used) % l.areaSize }
+
+// Append writes one committed transaction's new-value records at the tail.
+// The write reaches the OS but is not forced; call Force for durability.
+// It returns the record's area position, its sequence number, and the total
+// bytes consumed (including any wrap record).
+func (l *Log) Append(tid uint64, flags uint8, ranges []Range) (pos int64, seq uint64, nbytes int64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	need := encodedLen(ranges)
+	if need > l.areaSize {
+		return 0, 0, 0, fmt.Errorf("%w: need %d, area %d", ErrTooBig, need, l.areaSize)
+	}
+
+	total := need
+	at := l.tailPos()
+	gap := l.areaSize - at
+	wrap := false
+	if need > gap {
+		wrap = true
+		total += gap
+	} else if rem := gap - need; rem > 0 && rem < minRecordSize {
+		// Absorb a runt gap as padding so the area end stays walkable.
+		need += rem
+		total = need
+	}
+	if l.used+total > l.areaSize {
+		return 0, 0, 0, fmt.Errorf("%w: need %d, free %d", ErrLogFull, total, l.areaSize-l.used)
+	}
+
+	if wrap {
+		if err := l.writeRecord(at, recWrap, 0, 0, nil, gap); err != nil {
+			return 0, 0, 0, err
+		}
+		l.used += gap
+		l.stats.Wraps++
+		l.stats.BytesAppended += uint64(gap)
+		at = 0
+	}
+	if err := l.writeRecord(at, recTx, tid, flags, ranges, need); err != nil {
+		return 0, 0, 0, err
+	}
+	seq = l.nextSeq - 1
+	l.used += need
+	l.dirty = true
+	l.stats.Appends++
+	l.stats.BytesAppended += uint64(need)
+	return at, seq, total, nil
+}
+
+// writeRecord encodes and writes one record of totalLen bytes at area
+// offset pos, consuming the next sequence number.
+func (l *Log) writeRecord(pos int64, typ uint8, tid uint64, flags uint8, ranges []Range, totalLen int64) error {
+	buf := make([]byte, totalLen)
+	binary.BigEndian.PutUint32(buf[0:], recMagic)
+	binary.BigEndian.PutUint32(buf[4:], uint32(totalLen))
+	buf[8] = typ
+	buf[9] = flags
+	binary.BigEndian.PutUint32(buf[12:], uint32(len(ranges)))
+	seq := l.nextSeq
+	binary.BigEndian.PutUint64(buf[16:], seq)
+	binary.BigEndian.PutUint64(buf[24:], tid)
+	p := int64(headerSize)
+	for _, r := range ranges {
+		binary.BigEndian.PutUint64(buf[p:], r.Seg)
+		binary.BigEndian.PutUint64(buf[p+8:], r.Off)
+		binary.BigEndian.PutUint32(buf[p+16:], uint32(len(r.Data)))
+		p += rangeHdrSize
+		copy(buf[p:], r.Data)
+		p += int64(len(r.Data))
+	}
+	binary.BigEndian.PutUint64(buf[totalLen-trailerSize:], seq)
+	binary.BigEndian.PutUint32(buf[totalLen-8:], uint32(totalLen))
+	binary.BigEndian.PutUint32(buf[totalLen-4:], crc32.ChecksumIEEE(buf[:totalLen-4]))
+	if _, err := l.dev.WriteAt(buf, areaOff(pos)); err != nil {
+		return fmt.Errorf("wal: append at %d: %w", pos, err)
+	}
+	l.nextSeq = seq + 1
+	l.dirty = true
+	return nil
+}
+
+// Force makes all appended records durable (fsync).  It is a no-op when
+// nothing was appended since the last Force.
+func (l *Log) Force() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.dirty {
+		return nil
+	}
+	if !l.noSync {
+		if err := l.dev.Sync(); err != nil {
+			return fmt.Errorf("wal: force: %w", err)
+		}
+	}
+	l.dirty = false
+	l.stats.Forces++
+	return nil
+}
+
+// SetNoSync disables the physical fsyncs behind Force and SetHead.  All
+// logging, optimization, and truncation logic is unaffected — only the
+// permanence guarantee is forfeited.  Used by benchmark harnesses that
+// measure log traffic, not durability.
+func (l *Log) SetNoSync(v bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.noSync = v
+}
+
+// ScanForward visits live records oldest-first.  Wrap records are skipped.
+// fn must not retain the record's range data beyond the call.
+func (l *Log) ScanForward(fn func(*Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.scanForwardLocked(fn)
+}
+
+func (l *Log) scanForwardLocked(fn func(*Record) error) error {
+	pos, seq := l.head, l.headSeq
+	var seen int64
+	for seen < l.used {
+		rec, n, err := l.readRecordAt(pos, seq)
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			return fmt.Errorf("wal: live region corrupt at %d (seq %d)", pos, seq)
+		}
+		if rec.Ranges != nil { // skip wrap records
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		seen += n
+		seq++
+		pos += n
+		if pos == l.areaSize {
+			pos = 0
+		}
+	}
+	return nil
+}
+
+// ScanBackward visits live records newest-first, walking the reverse
+// displacements from the tail — the direction crash recovery reads the log
+// (paper §5.1.2).  Wrap records are skipped.
+func (l *Log) ScanBackward(fn func(*Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pos := l.tailPos()
+	seq := l.nextSeq
+	var seen int64
+	for seen < l.used {
+		if pos == 0 {
+			pos = l.areaSize
+		}
+		trailer := make([]byte, trailerSize)
+		if _, err := l.dev.ReadAt(trailer, areaOff(pos-trailerSize)); err != nil {
+			return fmt.Errorf("wal: read trailer before %d: %w", pos, err)
+		}
+		totalLen := int64(binary.BigEndian.Uint32(trailer[8:]))
+		if totalLen < minRecordSize || totalLen > pos {
+			return fmt.Errorf("wal: bad reverse displacement %d at %d", totalLen, pos)
+		}
+		start := pos - totalLen
+		seq--
+		rec, n, err := l.readRecordAt(start, seq)
+		if err != nil {
+			return err
+		}
+		if rec == nil || n != totalLen {
+			return fmt.Errorf("wal: live region corrupt at %d (backward, seq %d)", start, seq)
+		}
+		if rec.Ranges != nil {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		seen += n
+		pos = start
+	}
+	return nil
+}
+
+// SetHead advances the head of the live region to pos, expecting seq there,
+// and persists the new status block.  pos must be the start of a live
+// record or the tail.  Freed space becomes available to Append immediately.
+func (l *Log) SetHead(pos int64, seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	freed := pos - l.head
+	if freed < 0 {
+		freed += l.areaSize
+	}
+	if freed == 0 && seq != l.headSeq {
+		// pos == head is ambiguous when the log is completely full: the
+		// sequence number distinguishes "free nothing" (seq == headSeq)
+		// from "free everything" (seq == nextSeq, i.e. the tail).
+		if seq == l.nextSeq && l.used == l.areaSize {
+			freed = l.used
+		} else {
+			return fmt.Errorf("wal: SetHead(%d, seq %d) does not match a live record", pos, seq)
+		}
+	}
+	if freed > l.used {
+		return fmt.Errorf("wal: SetHead(%d) beyond tail", pos)
+	}
+	newUsed := l.used - freed
+	if err := l.persistStatusLocked(pos, seq); err != nil {
+		return err
+	}
+	l.head, l.headSeq, l.used = pos, seq, newUsed
+	return nil
+}
+
+// persistStatusLocked writes the next-generation status block to the
+// alternate slot and syncs.
+func (l *Log) persistStatusLocked(head int64, headSeq uint64) error {
+	gen := l.gen + 1
+	st := statusBlock{gen: gen, areaSize: l.areaSize, head: head, headSeq: headSeq}
+	if err := writeStatus(l.dev, int(gen%2), st); err != nil {
+		return err
+	}
+	if !l.noSync {
+		if err := l.dev.Sync(); err != nil {
+			return fmt.Errorf("wal: sync status: %w", err)
+		}
+	}
+	l.gen = gen
+	l.stats.Forces++
+	return nil
+}
+
+// Head returns the area offset and expected sequence number of the oldest
+// live record.
+func (l *Log) Head() (int64, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head, l.headSeq
+}
+
+// Tail returns the append position and the sequence number the next record
+// will get.
+func (l *Log) Tail() (int64, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tailPos(), l.nextSeq
+}
+
+// Used returns the number of live bytes in the record area.
+func (l *Log) Used() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}
+
+// AreaSize returns the record area capacity in bytes.
+func (l *Log) AreaSize() int64 { return l.areaSize }
+
+// Stats returns a snapshot of activity counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close releases the underlying device without forcing.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dev == nil {
+		return nil
+	}
+	err := l.dev.Close()
+	l.dev = nil
+	return err
+}

@@ -1,0 +1,589 @@
+// Package rbtree implements a recoverable B+ tree: a sorted index whose
+// nodes live in an rds heap inside recoverable virtual memory, so every
+// mutation is exactly as atomic and permanent as the enclosing RVM
+// transaction.
+//
+// The paper positions RVM as the meta-data substrate for "distributed
+// file systems and databases, object-oriented repositories, CAD tools,
+// and CASE tools" (§1); a crash-consistent index over recoverable storage
+// is the piece those applications build first.  rbtree is that piece,
+// assembled purely from the layers below it: rvm for transactions, rds
+// for allocation, stable offsets as the paper's absolute pointers.
+//
+// Keys are byte strings up to MaxKeyLen; values are opaque uint64 words
+// (store rds.Offsets in them to reference larger recoverable objects).
+// Leaves are chained for range scans.  Deletion is lazy: entries leave
+// their leaf immediately, but nodes are not merged or rebalanced — lookup
+// and scan stay correct, and the common meta-data workloads (grow-mostly,
+// delete-rarely) never notice.  All mutating operations take the caller's
+// transaction, so a directory update, its allocation, and its index
+// insertion commit or abort together.
+package rbtree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	rvm "github.com/rvm-go/rvm"
+	"github.com/rvm-go/rvm/rds"
+)
+
+const (
+	// MaxKeyLen is the largest permitted key.
+	MaxKeyLen = 64
+
+	order    = 16        // children per internal node
+	maxKeys  = order - 1 // keys per internal node
+	maxLeaf  = 16        // entries per leaf
+	keySlot  = 2 + MaxKeyLen
+	nodeMeta = 8 // [1 flags][1 n][6 pad]
+
+	flagLeaf = 1
+
+	// Node block layout (uniform for both kinds):
+	//   [nodeMeta][8 next][children order*8][keys order*keySlot][values maxLeaf*8]
+	offNext     = nodeMeta
+	offChildren = offNext + 8
+	offKeys     = offChildren + order*8
+	offValues   = offKeys + order*keySlot
+	nodeSize    = offValues + maxLeaf*8
+
+	// Anchor block: [8 root][8 count][8 height]
+	anchorSize = 24
+)
+
+// Errors returned by the tree.
+var (
+	ErrKeyTooLong = errors.New("rbtree: key exceeds MaxKeyLen")
+	ErrEmptyKey   = errors.New("rbtree: empty key")
+	ErrCorrupt    = errors.New("rbtree: node invariant violated")
+)
+
+// Tree is an attached recoverable B+ tree.
+type Tree struct {
+	db     *rvm.RVM
+	heap   *rds.Heap
+	anchor rds.Offset
+}
+
+// Create allocates a new empty tree in heap, inside tx, and returns it.
+// Persist t.Anchor() somewhere reachable (e.g. the heap root) to reopen
+// the tree later.
+func Create(db *rvm.RVM, heap *rds.Heap, tx *rvm.Tx) (*Tree, error) {
+	anchor, err := heap.Alloc(tx, anchorSize)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{db: db, heap: heap, anchor: anchor}
+	root, err := t.allocNode(tx, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.setAnchor(tx, root, 0, 1); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open attaches to an existing tree at anchor.
+func Open(db *rvm.RVM, heap *rds.Heap, anchor rds.Offset) (*Tree, error) {
+	b, err := heap.Bytes(anchor)
+	if err != nil {
+		return nil, fmt.Errorf("rbtree: bad anchor: %w", err)
+	}
+	if len(b) < anchorSize {
+		return nil, fmt.Errorf("%w: anchor block too small", ErrCorrupt)
+	}
+	return &Tree{db: db, heap: heap, anchor: anchor}, nil
+}
+
+// Anchor returns the tree's anchor offset, stable across restarts.
+func (t *Tree) Anchor() rds.Offset { return t.anchor }
+
+// ---------------------------------------------------------------------------
+// Low-level node access.
+// ---------------------------------------------------------------------------
+
+func be64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 | uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+func putBE64(b []byte, v uint64) {
+	b[0], b[1], b[2], b[3] = byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32)
+	b[4], b[5], b[6], b[7] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+func (t *Tree) anchorBytes() []byte {
+	b, err := t.heap.Bytes(t.anchor)
+	if err != nil {
+		panic(fmt.Sprintf("rbtree: anchor vanished: %v", err))
+	}
+	return b
+}
+
+// Root returns the current root node offset.
+func (t *Tree) root() rds.Offset { return rds.Offset(be64(t.anchorBytes())) }
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int { return int(be64(t.anchorBytes()[8:])) }
+
+// Height returns the number of node levels.
+func (t *Tree) Height() int { return int(be64(t.anchorBytes()[16:])) }
+
+func (t *Tree) setAnchor(tx *rvm.Tx, root rds.Offset, count, height uint64) error {
+	if err := t.heap.SetRange(tx, t.anchor, 0, anchorSize); err != nil {
+		return err
+	}
+	b := t.anchorBytes()
+	putBE64(b, uint64(root))
+	putBE64(b[8:], count)
+	putBE64(b[16:], height)
+	return nil
+}
+
+func (t *Tree) bumpCount(tx *rvm.Tx, delta int64) error {
+	if err := t.heap.SetRange(tx, t.anchor, 8, 8); err != nil {
+		return err
+	}
+	b := t.anchorBytes()
+	putBE64(b[8:], uint64(int64(be64(b[8:]))+delta))
+	return nil
+}
+
+// node is a decoded view over a block's bytes (aliasing region memory).
+type node struct {
+	off rds.Offset
+	b   []byte
+}
+
+func (t *Tree) load(off rds.Offset) (node, error) {
+	b, err := t.heap.Bytes(off)
+	if err != nil {
+		return node{}, err
+	}
+	if len(b) < nodeSize {
+		return node{}, fmt.Errorf("%w: node block too small", ErrCorrupt)
+	}
+	return node{off: off, b: b}, nil
+}
+
+func (n node) leaf() bool       { return n.b[0]&flagLeaf != 0 }
+func (n node) count() int       { return int(n.b[1]) }
+func (n node) setCount(c int)   { n.b[1] = byte(c) }
+func (n node) next() rds.Offset { return rds.Offset(be64(n.b[offNext:])) }
+
+func (n node) key(i int) []byte {
+	s := n.b[offKeys+i*keySlot:]
+	kl := int(s[0])<<8 | int(s[1])
+	return s[2 : 2+kl]
+}
+
+func (n node) setKey(i int, k []byte) {
+	s := n.b[offKeys+i*keySlot:]
+	s[0], s[1] = byte(len(k)>>8), byte(len(k))
+	copy(s[2:2+MaxKeyLen], k)
+}
+
+func (n node) child(i int) rds.Offset       { return rds.Offset(be64(n.b[offChildren+i*8:])) }
+func (n node) setChild(i int, c rds.Offset) { putBE64(n.b[offChildren+i*8:], uint64(c)) }
+
+func (n node) value(i int) uint64       { return be64(n.b[offValues+i*8:]) }
+func (n node) setValue(i int, v uint64) { putBE64(n.b[offValues+i*8:], v) }
+
+// cover declares the whole node in tx (node edits shift many slots;
+// covering the block keeps the code simple and the intra-transaction
+// optimizer coalesces overlapping covers for free).
+func (t *Tree) cover(tx *rvm.Tx, n node) error {
+	return t.heap.SetRange(tx, n.off, 0, nodeSize)
+}
+
+func (t *Tree) allocNode(tx *rvm.Tx, leaf bool) (rds.Offset, error) {
+	off, err := t.heap.Alloc(tx, nodeSize)
+	if err != nil {
+		return 0, err
+	}
+	n, err := t.load(off)
+	if err != nil {
+		return 0, err
+	}
+	// Alloc zeroes and covers the payload already.
+	if leaf {
+		n.b[0] = flagLeaf
+	}
+	return off, nil
+}
+
+// search returns the position of key within the node's keys and whether
+// it is an exact match.
+func (n node) search(key []byte) (int, bool) {
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(n.key(mid), key) {
+		case 0:
+			return mid, true
+		case -1:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// ---------------------------------------------------------------------------
+// Lookup and scans.
+// ---------------------------------------------------------------------------
+
+// Get returns the value for key.
+func (t *Tree) Get(key []byte) (uint64, bool, error) {
+	if err := checkKey(key); err != nil {
+		return 0, false, err
+	}
+	n, err := t.findLeaf(key)
+	if err != nil {
+		return 0, false, err
+	}
+	i, ok := n.search(key)
+	if !ok {
+		return 0, false, nil
+	}
+	return n.value(i), true, nil
+}
+
+// findLeaf descends to the leaf that would hold key.
+func (t *Tree) findLeaf(key []byte) (node, error) {
+	n, err := t.load(t.root())
+	if err != nil {
+		return node{}, err
+	}
+	for !n.leaf() {
+		i, exact := n.search(key)
+		if exact {
+			i++ // routing keys equal to the search key route right
+		}
+		n, err = t.load(n.child(i))
+		if err != nil {
+			return node{}, err
+		}
+	}
+	return n, nil
+}
+
+// Ascend calls fn for every (key, value) with from <= key < to, in key
+// order.  A nil `to` means "to the end"; a nil `from` means "from the
+// start".  fn must not mutate the tree; returning false stops the scan.
+func (t *Tree) Ascend(from, to []byte, fn func(key []byte, value uint64) bool) error {
+	start := from
+	if start == nil {
+		start = []byte{}
+	}
+	n, err := t.findLeaf(start)
+	if err != nil {
+		return err
+	}
+	i, _ := n.search(start)
+	for {
+		for ; i < n.count(); i++ {
+			k := n.key(i)
+			if to != nil && bytes.Compare(k, to) >= 0 {
+				return nil
+			}
+			if !fn(append([]byte(nil), k...), n.value(i)) {
+				return nil
+			}
+		}
+		nx := n.next()
+		if nx == 0 {
+			return nil
+		}
+		n, err = t.load(nx)
+		if err != nil {
+			return err
+		}
+		i = 0
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Insertion.
+// ---------------------------------------------------------------------------
+
+func checkKey(key []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	if len(key) > MaxKeyLen {
+		return fmt.Errorf("%w: %d bytes", ErrKeyTooLong, len(key))
+	}
+	return nil
+}
+
+// Put inserts or updates key under tx.  It reports whether the key was
+// newly inserted (false = updated in place).
+func (t *Tree) Put(tx *rvm.Tx, key []byte, value uint64) (bool, error) {
+	if err := checkKey(key); err != nil {
+		return false, err
+	}
+	root, err := t.load(t.root())
+	if err != nil {
+		return false, err
+	}
+	if t.full(root) {
+		// Grow: new root with the old root as its only child, then split.
+		newRootOff, err := t.allocNode(tx, false)
+		if err != nil {
+			return false, err
+		}
+		newRoot, err := t.load(newRootOff)
+		if err != nil {
+			return false, err
+		}
+		if err := t.cover(tx, newRoot); err != nil {
+			return false, err
+		}
+		newRoot.setChild(0, root.off)
+		if err := t.splitChild(tx, newRoot, 0); err != nil {
+			return false, err
+		}
+		if err := t.setAnchor(tx, newRootOff, uint64(t.Len()), uint64(t.Height()+1)); err != nil {
+			return false, err
+		}
+		root = newRoot
+	}
+	inserted, err := t.insertNonFull(tx, root, key, value)
+	if err != nil {
+		return false, err
+	}
+	if inserted {
+		if err := t.bumpCount(tx, 1); err != nil {
+			return false, err
+		}
+	}
+	return inserted, nil
+}
+
+func (t *Tree) full(n node) bool {
+	if n.leaf() {
+		return n.count() >= maxLeaf
+	}
+	return n.count() >= maxKeys
+}
+
+// insertNonFull inserts into the subtree at n, which is guaranteed not to
+// be full (children are split preemptively on the way down).
+func (t *Tree) insertNonFull(tx *rvm.Tx, n node, key []byte, value uint64) (bool, error) {
+	for {
+		i, exact := n.search(key)
+		if n.leaf() {
+			if err := t.cover(tx, n); err != nil {
+				return false, err
+			}
+			if exact {
+				n.setValue(i, value)
+				return false, nil
+			}
+			// Shift entries right to open slot i.
+			for j := n.count(); j > i; j-- {
+				n.setKey(j, n.key(j-1))
+				n.setValue(j, n.value(j-1))
+			}
+			n.setKey(i, key)
+			n.setValue(i, value)
+			n.setCount(n.count() + 1)
+			return true, nil
+		}
+		if exact {
+			i++
+		}
+		child, err := t.load(n.child(i))
+		if err != nil {
+			return false, err
+		}
+		if t.full(child) {
+			if err := t.splitChild(tx, n, i); err != nil {
+				return false, err
+			}
+			// The split hoisted a key into n at position i; re-route.
+			if bytes.Compare(key, n.key(i)) >= 0 {
+				i++
+			}
+			child, err = t.load(n.child(i))
+			if err != nil {
+				return false, err
+			}
+		}
+		n = child
+	}
+}
+
+// splitChild splits the full child at index i of parent, hoisting a
+// routing key into the parent (which must have room).
+func (t *Tree) splitChild(tx *rvm.Tx, parent node, i int) error {
+	child, err := t.load(parent.child(i))
+	if err != nil {
+		return err
+	}
+	rightOff, err := t.allocNode(tx, child.leaf())
+	if err != nil {
+		return err
+	}
+	right, err := t.load(rightOff)
+	if err != nil {
+		return err
+	}
+	// Reload: the allocation may have grown structures, and we must cover
+	// all three nodes before editing.
+	if err := t.cover(tx, parent); err != nil {
+		return err
+	}
+	if err := t.cover(tx, child); err != nil {
+		return err
+	}
+	if err := t.cover(tx, right); err != nil {
+		return err
+	}
+
+	var hoist []byte
+	if child.leaf() {
+		// B+ leaf split: upper half moves right; the first right key is
+		// copied (not moved) up as the routing key; leaves stay chained.
+		mid := child.count() / 2
+		rc := 0
+		for j := mid; j < child.count(); j++ {
+			right.setKey(rc, child.key(j))
+			right.setValue(rc, child.value(j))
+			rc++
+		}
+		right.setCount(rc)
+		child.setCount(mid)
+		putBE64(right.b[offNext:], uint64(child.next()))
+		putBE64(child.b[offNext:], uint64(rightOff))
+		hoist = append([]byte(nil), right.key(0)...)
+	} else {
+		// Internal split: the median key moves up.
+		mid := child.count() / 2
+		hoist = append([]byte(nil), child.key(mid)...)
+		rc := 0
+		for j := mid + 1; j < child.count(); j++ {
+			right.setKey(rc, child.key(j))
+			rc++
+		}
+		for j := mid + 1; j <= child.count(); j++ {
+			right.setChild(j-mid-1, child.child(j))
+		}
+		right.setCount(rc)
+		child.setCount(mid)
+	}
+
+	// Insert hoist + right pointer into the parent at position i.
+	for j := parent.count(); j > i; j-- {
+		parent.setKey(j, parent.key(j-1))
+		parent.setChild(j+1, parent.child(j))
+	}
+	parent.setKey(i, hoist)
+	parent.setChild(i+1, rightOff)
+	parent.setCount(parent.count() + 1)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Deletion (lazy).
+// ---------------------------------------------------------------------------
+
+// Delete removes key under tx, reporting whether it was present.  Nodes
+// are not merged (lazy deletion); see the package comment.
+func (t *Tree) Delete(tx *rvm.Tx, key []byte) (bool, error) {
+	if err := checkKey(key); err != nil {
+		return false, err
+	}
+	n, err := t.findLeaf(key)
+	if err != nil {
+		return false, err
+	}
+	i, ok := n.search(key)
+	if !ok {
+		return false, nil
+	}
+	if err := t.cover(tx, n); err != nil {
+		return false, err
+	}
+	for j := i; j < n.count()-1; j++ {
+		n.setKey(j, n.key(j+1))
+		n.setValue(j, n.value(j+1))
+	}
+	n.setCount(n.count() - 1)
+	if err := t.bumpCount(tx, -1); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+// ---------------------------------------------------------------------------
+
+// Check walks the whole tree validating structural invariants: key order
+// within nodes, routing consistency, uniform leaf depth, the leaf chain's
+// global order, and the anchor's count.  Run it after crash recovery in
+// tests (the "salvager" role).
+func (t *Tree) Check() error {
+	counted := 0
+	var prevLeafKey []byte
+	var walk func(off rds.Offset, depth int, lo, hi []byte) (int, error)
+	walk = func(off rds.Offset, depth int, lo, hi []byte) (int, error) {
+		n, err := t.load(off)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < n.count(); i++ {
+			k := n.key(i)
+			if i > 0 && bytes.Compare(n.key(i-1), k) >= 0 {
+				return 0, fmt.Errorf("%w: keys out of order in node %d", ErrCorrupt, off)
+			}
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return 0, fmt.Errorf("%w: key below routing bound in node %d", ErrCorrupt, off)
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return 0, fmt.Errorf("%w: key above routing bound in node %d", ErrCorrupt, off)
+			}
+		}
+		if n.leaf() {
+			for i := 0; i < n.count(); i++ {
+				if prevLeafKey != nil && bytes.Compare(prevLeafKey, n.key(i)) >= 0 {
+					return 0, fmt.Errorf("%w: leaf chain out of order at node %d", ErrCorrupt, off)
+				}
+				prevLeafKey = append(prevLeafKey[:0], n.key(i)...)
+				counted++
+			}
+			return depth, nil
+		}
+		leafDepth := -1
+		for i := 0; i <= n.count(); i++ {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.key(i - 1)
+			}
+			if i < n.count() {
+				chi = n.key(i)
+			}
+			d, err := walk(n.child(i), depth+1, clo, chi)
+			if err != nil {
+				return 0, err
+			}
+			if leafDepth == -1 {
+				leafDepth = d
+			} else if d != leafDepth {
+				return 0, fmt.Errorf("%w: leaves at unequal depth under node %d", ErrCorrupt, off)
+			}
+		}
+		return leafDepth, nil
+	}
+	if _, err := walk(t.root(), 1, nil, nil); err != nil {
+		return err
+	}
+	if counted != t.Len() {
+		return fmt.Errorf("%w: anchor count %d, walked %d", ErrCorrupt, t.Len(), counted)
+	}
+	return nil
+}

@@ -1,0 +1,521 @@
+// Package rds implements Recoverable Dynamic Storage: a heap allocator
+// whose metadata and payload both live in recoverable virtual memory.
+//
+// The paper (§4.1) describes "a recoverable memory allocator, layered on
+// RVM, [that] supports heap management of storage within a segment"; the
+// original RVM release shipped it as the rds library.  This package is
+// that layer: Format initializes a heap inside a mapped region, and
+// Alloc/Free run inside the caller's RVM transaction so heap mutations
+// are exactly as atomic and permanent as the application data they
+// accompany.  After a crash, Attach finds the heap exactly as the last
+// committed transaction left it — no separate salvage step.
+//
+// Blocks are identified by Offset, a region-relative position that is
+// stable across crashes and re-mappings (the Go analogue of the paper's
+// "absolute pointers in segments", made stable by the segment loader).
+//
+// The allocator is a classic boundary-tag first-fit heap: every block
+// carries a size/flag header and footer, free blocks are threaded on a
+// doubly-linked free list kept in recoverable memory, and Free coalesces
+// with both neighbours.
+package rds
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	rvm "github.com/rvm-go/rvm"
+)
+
+// Offset identifies an allocated block's payload within the heap's region.
+// Offsets remain valid across crashes, Unmap/Map cycles, and process
+// restarts.
+type Offset int64
+
+// Heap layout constants.  All sizes in bytes.
+const (
+	magic       = 0x52445348 // "RDSH"
+	version     = 1
+	hdrSize     = 64 // heap header at region offset 0
+	tagSize     = 8  // block header / footer: size | flags
+	linkSize    = 16 // next+prev free-list offsets, in free block payloads
+	minPayload  = linkSize
+	minBlock    = 2*tagSize + minPayload
+	freeFlag    = 1 // low bit of the tag word
+	sizeMask    = ^uint64(7)
+	nilOffset   = 0 // region offset 0 is the header, so 0 marks "none"
+	payloadBase = hdrSize
+)
+
+// Heap header field offsets (within the first hdrSize bytes).
+const (
+	offMagic    = 0
+	offVersion  = 4
+	offHeapSize = 8  // total bytes managed (region length)
+	offFreeHead = 16 // offset of first free block (its header), or 0
+	offNAlloc   = 24 // cumulative allocations
+	offNFree    = 32 // cumulative frees
+	offLiveByte = 40 // bytes in live payloads
+	offRoot     = 48 // application root pointer (an Offset, or 0)
+)
+
+// Errors returned by the allocator.
+var (
+	ErrNotHeap      = errors.New("rds: region does not contain an RDS heap")
+	ErrCorrupt      = errors.New("rds: heap metadata corrupt")
+	ErrNoSpace      = errors.New("rds: insufficient free space")
+	ErrBadOffset    = errors.New("rds: offset does not name an allocated block")
+	ErrDoubleFree   = errors.New("rds: block is already free")
+	ErrSizeTooLarge = errors.New("rds: requested size exceeds heap capacity")
+)
+
+// Heap is an attached recoverable heap.  Heap itself holds no mutable
+// state — everything lives in the region — so any number of Heap values
+// may refer to the same region.  Serialize concurrent transactions above
+// this layer (e.g. package rvmlock); rds inherits RVM's concurrency
+// contract.
+type Heap struct {
+	db  *rvm.RVM
+	reg *rvm.Region
+}
+
+func u64(b []byte) uint64      { return binary.BigEndian.Uint64(b) }
+func put64(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }
+
+// Format initializes an RDS heap covering the whole region, inside its own
+// committed transaction.  The region must be at least one page.
+func Format(db *rvm.RVM, reg *rvm.Region) (*Heap, error) {
+	if reg.Length() < hdrSize+minBlock {
+		return nil, fmt.Errorf("rds: region of %d bytes too small for a heap", reg.Length())
+	}
+	tx, err := db.Begin(rvm.Restore)
+	if err != nil {
+		return nil, err
+	}
+	// Only the metadata areas need to be written (and logged): the heap
+	// header and the initial free block's tags and links.  Block payloads
+	// are zeroed at Alloc time, so any stale bytes between them are
+	// unreachable — logging the whole region here would cost a log record
+	// the size of the heap.
+	if err := tx.SetRange(reg, 0, hdrSize); err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	d := reg.Data()
+	for i := 0; i < hdrSize; i++ {
+		d[i] = 0
+	}
+	binary.BigEndian.PutUint32(d[offMagic:], magic)
+	binary.BigEndian.PutUint32(d[offVersion:], version)
+	put64(d[offHeapSize:], uint64(reg.Length()))
+	// One big free block spanning the rest of the region.
+	first := int64(payloadBase)
+	blockLen := reg.Length() - first
+	h := &Heap{db: db, reg: reg}
+	if err := h.setRangeBlock(tx, first, blockLen); err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	h.writeTags(first, uint64(blockLen)|freeFlag)
+	h.setLinks(first, nilOffset, nilOffset)
+	put64(d[offFreeHead:], uint64(first))
+	if err := tx.Commit(rvm.Flush); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Attach opens an existing heap in the region, validating its header.
+func Attach(db *rvm.RVM, reg *rvm.Region) (*Heap, error) {
+	d := reg.Data()
+	if len(d) < hdrSize {
+		return nil, ErrNotHeap
+	}
+	if binary.BigEndian.Uint32(d[offMagic:]) != magic {
+		return nil, ErrNotHeap
+	}
+	if v := binary.BigEndian.Uint32(d[offVersion:]); v != version {
+		return nil, fmt.Errorf("rds: unsupported heap version %d", v)
+	}
+	if int64(u64(d[offHeapSize:])) != reg.Length() {
+		return nil, fmt.Errorf("%w: header claims %d bytes, region has %d", ErrCorrupt, u64(d[offHeapSize:]), reg.Length())
+	}
+	return &Heap{db: db, reg: reg}, nil
+}
+
+// Region returns the region the heap lives in.
+func (h *Heap) Region() *rvm.Region { return h.reg }
+
+// blockAt reads the tag of the block whose header is at off.
+func (h *Heap) blockAt(off int64) (size int64, free bool, err error) {
+	d := h.reg.Data()
+	if off < payloadBase || off+tagSize > int64(len(d)) {
+		return 0, false, fmt.Errorf("%w: header offset %d", ErrCorrupt, off)
+	}
+	tag := u64(d[off:])
+	size = int64(tag & sizeMask)
+	if size < minBlock || off+size > int64(len(d)) {
+		return 0, false, fmt.Errorf("%w: block at %d has size %d", ErrCorrupt, off, size)
+	}
+	if foot := u64(d[off+size-tagSize:]); foot != tag {
+		return 0, false, fmt.Errorf("%w: header/footer mismatch at %d", ErrCorrupt, off)
+	}
+	return size, tag&freeFlag != 0, nil
+}
+
+// writeTags writes header and footer for the block at off.
+func (h *Heap) writeTags(off int64, tag uint64) {
+	d := h.reg.Data()
+	size := int64(tag & sizeMask)
+	put64(d[off:], tag)
+	put64(d[off+size-tagSize:], tag)
+}
+
+// links returns the free-list next/prev of the free block at off.
+func (h *Heap) links(off int64) (next, prev int64) {
+	d := h.reg.Data()
+	return int64(u64(d[off+tagSize:])), int64(u64(d[off+tagSize+8:]))
+}
+
+func (h *Heap) setLinks(off, next, prev int64) {
+	d := h.reg.Data()
+	put64(d[off+tagSize:], uint64(next))
+	put64(d[off+tagSize+8:], uint64(prev))
+}
+
+// freeHead reads the head of the free list.
+func (h *Heap) freeHead() int64 { return int64(u64(h.reg.Data()[offFreeHead:])) }
+
+// setRangeBlock covers a block's metadata (tags and links) in tx.
+func (h *Heap) setRangeBlock(tx *rvm.Tx, off, size int64) error {
+	// Header + links area, and footer.
+	if err := tx.SetRange(h.reg, off, tagSize+linkSize); err != nil {
+		return err
+	}
+	return tx.SetRange(h.reg, off+size-tagSize, tagSize)
+}
+
+// unlink removes the free block at off from the free list under tx.
+func (h *Heap) unlink(tx *rvm.Tx, off int64) error {
+	next, prev := h.links(off)
+	if prev == nilOffset {
+		if err := tx.SetRange(h.reg, offFreeHead, 8); err != nil {
+			return err
+		}
+		put64(h.reg.Data()[offFreeHead:], uint64(next))
+	} else {
+		if err := tx.SetRange(h.reg, prev+tagSize, linkSize); err != nil {
+			return err
+		}
+		h.setLinks(prev, next, mustPrev(h, prev))
+	}
+	if next != nilOffset {
+		if err := tx.SetRange(h.reg, next+tagSize, linkSize); err != nil {
+			return err
+		}
+		nn, _ := h.links(next)
+		h.setLinks(next, nn, prev)
+	}
+	return nil
+}
+
+func mustPrev(h *Heap, off int64) int64 {
+	_, p := h.links(off)
+	return p
+}
+
+// pushFree inserts the free block at off at the head of the free list.
+func (h *Heap) pushFree(tx *rvm.Tx, off int64) error {
+	head := h.freeHead()
+	if err := tx.SetRange(h.reg, offFreeHead, 8); err != nil {
+		return err
+	}
+	if err := tx.SetRange(h.reg, off+tagSize, linkSize); err != nil {
+		return err
+	}
+	h.setLinks(off, head, nilOffset)
+	if head != nilOffset {
+		if err := tx.SetRange(h.reg, head+tagSize, linkSize); err != nil {
+			return err
+		}
+		hn, _ := h.links(head)
+		h.setLinks(head, hn, off)
+	}
+	put64(h.reg.Data()[offFreeHead:], uint64(off))
+	return nil
+}
+
+// align8 rounds n up to a multiple of 8.
+func align8(n int64) int64 { return (n + 7) &^ 7 }
+
+// Alloc allocates size usable bytes inside tx and returns the payload
+// offset.  The new payload is zeroed (and the zeroing is part of the
+// transaction).  The allocation becomes permanent when tx commits; if tx
+// aborts, the heap is unchanged.
+func (h *Heap) Alloc(tx *rvm.Tx, size int64) (Offset, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("rds: invalid allocation size %d", size)
+	}
+	need := align8(size) + 2*tagSize
+	if need < minBlock {
+		need = minBlock
+	}
+	if need > h.reg.Length()-hdrSize {
+		return 0, fmt.Errorf("%w: %d bytes", ErrSizeTooLarge, size)
+	}
+	// First fit.
+	for off := h.freeHead(); off != nilOffset; {
+		bsize, free, err := h.blockAt(off)
+		if err != nil {
+			return 0, err
+		}
+		if !free {
+			return 0, fmt.Errorf("%w: free list points at allocated block %d", ErrCorrupt, off)
+		}
+		next, _ := h.links(off)
+		if bsize >= need {
+			if err := h.allocateFrom(tx, off, bsize, need); err != nil {
+				return 0, err
+			}
+			// Zero the payload under the transaction.
+			pay := off + tagSize
+			payLen := blockPayload(h, off)
+			if err := tx.SetRange(h.reg, pay, payLen); err != nil {
+				return 0, err
+			}
+			d := h.reg.Data()
+			for i := pay; i < pay+payLen; i++ {
+				d[i] = 0
+			}
+			if err := h.bumpStats(tx, 1, 0, payLen); err != nil {
+				return 0, err
+			}
+			return Offset(pay), nil
+		}
+		off = next
+	}
+	return 0, fmt.Errorf("%w: %d bytes requested", ErrNoSpace, size)
+}
+
+// blockPayload returns the usable payload length of the block at off.
+func blockPayload(h *Heap, off int64) int64 {
+	size := int64(u64(h.reg.Data()[off:]) & sizeMask)
+	return size - 2*tagSize
+}
+
+// allocateFrom carves `need` bytes out of the free block at off (size
+// bsize), splitting when the remainder can stand alone.
+func (h *Heap) allocateFrom(tx *rvm.Tx, off, bsize, need int64) error {
+	if err := h.unlink(tx, off); err != nil {
+		return err
+	}
+	rem := bsize - need
+	if rem >= minBlock {
+		if err := h.setRangeBlock(tx, off, need); err != nil {
+			return err
+		}
+		h.writeTags(off, uint64(need))
+		remOff := off + need
+		if err := h.setRangeBlock(tx, remOff, rem); err != nil {
+			return err
+		}
+		h.writeTags(remOff, uint64(rem)|freeFlag)
+		if err := h.pushFree(tx, remOff); err != nil {
+			return err
+		}
+	} else {
+		if err := h.setRangeBlock(tx, off, bsize); err != nil {
+			return err
+		}
+		h.writeTags(off, uint64(bsize))
+	}
+	return nil
+}
+
+// Free returns the block whose payload starts at off to the heap, inside
+// tx, coalescing with free neighbours.
+func (h *Heap) Free(tx *rvm.Tx, off Offset) error {
+	hdr := int64(off) - tagSize
+	size, free, err := h.blockAt(hdr)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadOffset, err)
+	}
+	if free {
+		return fmt.Errorf("%w: payload %d", ErrDoubleFree, int64(off))
+	}
+	payLen := size - 2*tagSize
+	start, total := hdr, size
+
+	// Coalesce with the following block.
+	if after := hdr + size; after < h.reg.Length() {
+		asize, afree, err := h.blockAt(after)
+		if err == nil && afree {
+			if err := h.unlink(tx, after); err != nil {
+				return err
+			}
+			total += asize
+		}
+	}
+	// Coalesce with the preceding block, found via its footer.
+	if hdr > payloadBase {
+		ptag := u64(h.reg.Data()[hdr-tagSize:])
+		if ptag&freeFlag != 0 {
+			psize := int64(ptag & sizeMask)
+			prev := hdr - psize
+			if _, pfree, err := h.blockAt(prev); err == nil && pfree {
+				if err := h.unlink(tx, prev); err != nil {
+					return err
+				}
+				start = prev
+				total += psize
+			}
+		}
+	}
+	if err := h.setRangeBlock(tx, start, total); err != nil {
+		return err
+	}
+	h.writeTags(start, uint64(total)|freeFlag)
+	if err := h.pushFree(tx, start); err != nil {
+		return err
+	}
+	return h.bumpStats(tx, 0, 1, -payLen)
+}
+
+// bumpStats updates the cumulative counters in the heap header under tx.
+func (h *Heap) bumpStats(tx *rvm.Tx, dAlloc, dFree uint64, dLive int64) error {
+	if err := tx.SetRange(h.reg, offNAlloc, 24); err != nil {
+		return err
+	}
+	d := h.reg.Data()
+	put64(d[offNAlloc:], u64(d[offNAlloc:])+dAlloc)
+	put64(d[offNFree:], u64(d[offNFree:])+dFree)
+	put64(d[offLiveByte:], uint64(int64(u64(d[offLiveByte:]))+dLive))
+	return nil
+}
+
+// Bytes returns the payload of the allocated block at off.  The slice
+// aliases region memory: writes to it must be bracketed by SetRange on an
+// active transaction, like any recoverable memory.
+func (h *Heap) Bytes(off Offset) ([]byte, error) {
+	hdr := int64(off) - tagSize
+	size, free, err := h.blockAt(hdr)
+	if err != nil || free {
+		return nil, ErrBadOffset
+	}
+	return h.reg.Data()[off : int64(off)+size-2*tagSize], nil
+}
+
+// Size returns the usable payload size of the allocated block at off.
+func (h *Heap) Size(off Offset) (int64, error) {
+	b, err := h.Bytes(off)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(b)), nil
+}
+
+// SetRange covers [off+from, off+from+n) of the block's payload in tx — a
+// convenience for transactional writes to a block.
+func (h *Heap) SetRange(tx *rvm.Tx, off Offset, from, n int64) error {
+	b, err := h.Bytes(off)
+	if err != nil {
+		return err
+	}
+	if from < 0 || n < 0 || from+n > int64(len(b)) {
+		return fmt.Errorf("rds: range [%d,+%d) outside block of %d bytes", from, n, len(b))
+	}
+	return tx.SetRange(h.reg, int64(off)+from, n)
+}
+
+// SetRoot stores an application root pointer in the heap header under tx.
+// The root is how persistent data structures find their entry block after
+// a restart: allocate the structure, then point the root at it, all in one
+// transaction.  Pass 0 to clear.
+func (h *Heap) SetRoot(tx *rvm.Tx, off Offset) error {
+	if off != 0 {
+		if _, err := h.Bytes(off); err != nil {
+			return err
+		}
+	}
+	if err := tx.SetRange(h.reg, offRoot, 8); err != nil {
+		return err
+	}
+	put64(h.reg.Data()[offRoot:], uint64(off))
+	return nil
+}
+
+// Root returns the application root pointer, or 0 if unset.
+func (h *Heap) Root() Offset {
+	return Offset(u64(h.reg.Data()[offRoot:]))
+}
+
+// Stats reports heap occupancy.
+type Stats struct {
+	HeapBytes  int64  // total managed bytes
+	LiveBytes  int64  // bytes in live payloads
+	FreeBytes  int64  // bytes in free blocks (including their tags)
+	FreeBlocks int    // blocks on the free list
+	Allocs     uint64 // cumulative allocations
+	Frees      uint64 // cumulative frees
+}
+
+// Stats walks the free list and returns occupancy numbers.
+func (h *Heap) Stats() (Stats, error) {
+	d := h.reg.Data()
+	st := Stats{
+		HeapBytes: h.reg.Length(),
+		LiveBytes: int64(u64(d[offLiveByte:])),
+		Allocs:    u64(d[offNAlloc:]),
+		Frees:     u64(d[offNFree:]),
+	}
+	seen := map[int64]bool{}
+	for off := h.freeHead(); off != nilOffset; {
+		if seen[off] {
+			return st, fmt.Errorf("%w: free list cycle at %d", ErrCorrupt, off)
+		}
+		seen[off] = true
+		size, free, err := h.blockAt(off)
+		if err != nil {
+			return st, err
+		}
+		if !free {
+			return st, fmt.Errorf("%w: allocated block %d on free list", ErrCorrupt, off)
+		}
+		st.FreeBytes += size
+		st.FreeBlocks++
+		off, _ = h.links(off)
+	}
+	return st, nil
+}
+
+// Check validates the whole heap: every block walkable header-to-header,
+// tags consistent, free blocks exactly the free-list members, no adjacent
+// free blocks (coalescing invariant).
+func (h *Heap) Check() error {
+	onList := map[int64]bool{}
+	for off := h.freeHead(); off != nilOffset; {
+		if onList[off] {
+			return fmt.Errorf("%w: free list cycle", ErrCorrupt)
+		}
+		onList[off] = true
+		off2, _ := h.links(off)
+		off = off2
+	}
+	prevFree := false
+	for off := int64(payloadBase); off < h.reg.Length(); {
+		size, free, err := h.blockAt(off)
+		if err != nil {
+			return err
+		}
+		if free && prevFree {
+			return fmt.Errorf("%w: adjacent free blocks at %d", ErrCorrupt, off)
+		}
+		if free != onList[off] {
+			return fmt.Errorf("%w: block %d free=%v but list membership=%v", ErrCorrupt, off, free, onList[off])
+		}
+		prevFree = free
+		off += size
+	}
+	return nil
+}

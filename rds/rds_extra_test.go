@@ -1,0 +1,124 @@
+package rds
+
+import (
+	"errors"
+	"testing"
+
+	rvm "github.com/rvm-go/rvm"
+)
+
+func TestRootPointer(t *testing.T) {
+	f := newFixture(t, 2)
+	if f.heap.Root() != 0 {
+		t.Fatal("fresh heap has a root")
+	}
+	off := f.alloc1(t, 32)
+	tx, _ := f.db.Begin(rvm.Restore)
+	if err := f.heap.SetRoot(tx, off); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+	if f.heap.Root() != off {
+		t.Fatalf("root %d want %d", f.heap.Root(), off)
+	}
+	// Persists across a crash.
+	db2, err := rvm.Open(rvm.Options{LogPath: f.logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	reg2, _ := db2.Map(f.segPath, 0, f.reg.Length())
+	h2, err := Attach(db2, reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Root() != off {
+		t.Fatalf("recovered root %d want %d", h2.Root(), off)
+	}
+	// Clearing works; invalid roots are rejected.
+	tx2, _ := db2.Begin(rvm.Restore)
+	if err := h2.SetRoot(tx2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.SetRoot(tx2, Offset(12345)); !errors.Is(err, ErrBadOffset) && err == nil {
+		t.Fatalf("wild root accepted: %v", err)
+	}
+	tx2.Commit(rvm.NoFlush)
+}
+
+func TestSetRangeBounds(t *testing.T) {
+	f := newFixture(t, 2)
+	off := f.alloc1(t, 64)
+	tx, _ := f.db.Begin(rvm.Restore)
+	defer tx.Commit(rvm.NoFlush)
+	if err := f.heap.SetRange(tx, off, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.heap.SetRange(tx, off, 60, 10); err == nil {
+		t.Fatal("out-of-block range accepted")
+	}
+	if err := f.heap.SetRange(tx, off, -1, 4); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestSizeAccessor(t *testing.T) {
+	f := newFixture(t, 2)
+	off := f.alloc1(t, 100)
+	n, err := f.heap.Size(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 100 {
+		t.Fatalf("Size=%d", n)
+	}
+	if _, err := f.heap.Size(Offset(3)); err == nil {
+		t.Fatal("size of wild offset succeeded")
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	f := newFixture(t, 2)
+	off := f.alloc1(t, 64)
+	// Corrupt the block header outside any transaction (simulating an
+	// application scribbling over heap metadata — the class of bug the
+	// Coda post-mortem tooling hunted).
+	hdr := int64(off) - 8
+	f.reg.Data()[hdr] ^= 0xFF
+	if err := f.heap.Check(); err == nil {
+		t.Fatal("Check missed corrupted block header")
+	}
+}
+
+func TestFormatTooSmall(t *testing.T) {
+	// A region smaller than header+minimum block must be rejected.
+	f := newFixture(t, 2)
+	_ = f
+	dir := t.TempDir()
+	logPath := dir + "/l.log"
+	segPath := dir + "/s.seg"
+	if err := rvm.CreateLog(logPath, 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	if err := rvm.CreateSegment(segPath, 9, int64(rvm.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	db, err := rvm.Open(rvm.Options{LogPath: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Map one page, then attempt to format a heap over a region that is
+	// large enough — we can't map sub-page regions, so exercise the guard
+	// directly with the page-sized region (should succeed) and rely on
+	// the arithmetic check for the error branch.
+	reg, err := db.Map(segPath, 0, int64(rvm.PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Format(db, reg); err != nil {
+		t.Fatalf("page-sized heap rejected: %v", err)
+	}
+}

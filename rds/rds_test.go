@@ -1,0 +1,410 @@
+package rds
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	rvm "github.com/rvm-go/rvm"
+)
+
+type fixture struct {
+	db      *rvm.RVM
+	reg     *rvm.Region
+	heap    *Heap
+	logPath string
+	segPath string
+}
+
+func newFixture(t *testing.T, pages int) *fixture {
+	t.Helper()
+	dir := t.TempDir()
+	f := &fixture{
+		logPath: filepath.Join(dir, "rds.log"),
+		segPath: filepath.Join(dir, "rds.seg"),
+	}
+	if err := rvm.CreateLog(f.logPath, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := rvm.CreateSegment(f.segPath, 1, int64(pages)*int64(rvm.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	db, err := rvm.Open(rvm.Options{LogPath: f.logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.db = db
+	t.Cleanup(func() { db.Close() })
+	reg, err := db.Map(f.segPath, 0, int64(pages)*int64(rvm.PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.reg = reg
+	h, err := Format(db, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.heap = h
+	return f
+}
+
+// alloc1 allocates inside a fresh committed transaction.
+func (f *fixture) alloc1(t *testing.T, size int64) Offset {
+	t.Helper()
+	tx, _ := f.db.Begin(rvm.Restore)
+	off, err := f.heap.Alloc(tx, size)
+	if err != nil {
+		tx.Abort()
+		t.Fatal(err)
+	}
+	if err := tx.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+	return off
+}
+
+func (f *fixture) free1(t *testing.T, off Offset) {
+	t.Helper()
+	tx, _ := f.db.Begin(rvm.Restore)
+	if err := f.heap.Free(tx, off); err != nil {
+		tx.Abort()
+		t.Fatal(err)
+	}
+	if err := tx.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatAttach(t *testing.T) {
+	f := newFixture(t, 2)
+	h2, err := Attach(f.db, f.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := h2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FreeBlocks != 1 || st.LiveBytes != 0 {
+		t.Fatalf("fresh heap stats: %+v", st)
+	}
+	if err := h2.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachRejectsUnformatted(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "l")
+	segPath := filepath.Join(dir, "s")
+	rvm.CreateLog(logPath, 1<<16)
+	rvm.CreateSegment(segPath, 1, int64(rvm.PageSize))
+	db, err := rvm.Open(rvm.Options{LogPath: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	reg, _ := db.Map(segPath, 0, int64(rvm.PageSize))
+	if _, err := Attach(db, reg); !errors.Is(err, ErrNotHeap) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAllocWriteFreeCycle(t *testing.T) {
+	f := newFixture(t, 2)
+	off := f.alloc1(t, 100)
+	b, err := f.heap.Bytes(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) < 100 {
+		t.Fatalf("payload %d < 100", len(b))
+	}
+	for _, c := range b {
+		if c != 0 {
+			t.Fatal("payload not zeroed")
+		}
+	}
+	tx, _ := f.db.Begin(rvm.Restore)
+	if err := f.heap.SetRange(tx, off, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	copy(b, "hello")
+	if err := tx.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+	f.free1(t, off)
+	if _, err := f.heap.Bytes(off); !errors.Is(err, ErrBadOffset) {
+		t.Fatalf("Bytes on freed block: %v", err)
+	}
+	if err := f.heap.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	f := newFixture(t, 2)
+	off := f.alloc1(t, 64)
+	f.free1(t, off)
+	tx, _ := f.db.Begin(rvm.Restore)
+	defer tx.Commit(rvm.NoFlush)
+	err := f.heap.Free(tx, off)
+	if !errors.Is(err, ErrDoubleFree) && !errors.Is(err, ErrBadOffset) {
+		t.Fatalf("double free: %v", err)
+	}
+}
+
+func TestAllocTooLarge(t *testing.T) {
+	f := newFixture(t, 1)
+	tx, _ := f.db.Begin(rvm.Restore)
+	defer tx.Abort()
+	if _, err := f.heap.Alloc(tx, f.reg.Length()); !errors.Is(err, ErrSizeTooLarge) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := f.heap.Alloc(tx, 0); err == nil {
+		t.Fatal("zero-size alloc accepted")
+	}
+}
+
+func TestExhaustionAndReuse(t *testing.T) {
+	f := newFixture(t, 1)
+	var offs []Offset
+	for {
+		tx, _ := f.db.Begin(rvm.Restore)
+		off, err := f.heap.Alloc(tx, 256)
+		if errors.Is(err, ErrNoSpace) {
+			tx.Abort()
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(rvm.Flush); err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+		if len(offs) > 100 {
+			t.Fatal("never exhausted")
+		}
+	}
+	if len(offs) < 5 {
+		t.Fatalf("only %d allocations fit", len(offs))
+	}
+	// Free everything; the heap must coalesce back to one block.
+	for _, off := range offs {
+		f.free1(t, off)
+	}
+	st, err := f.heap.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FreeBlocks != 1 {
+		t.Fatalf("fragmented after full free: %+v", st)
+	}
+	if st.LiveBytes != 0 {
+		t.Fatalf("live bytes leaked: %+v", st)
+	}
+	// And a big allocation fits again.
+	f.alloc1(t, 2048)
+}
+
+func TestAbortUndoesAllocation(t *testing.T) {
+	f := newFixture(t, 2)
+	before, _ := f.heap.Stats()
+	tx, _ := f.db.Begin(rvm.Restore)
+	if _, err := f.heap.Alloc(tx, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := f.heap.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.LiveBytes != before.LiveBytes || after.FreeBlocks != before.FreeBlocks {
+		t.Fatalf("abort leaked: before %+v after %+v", before, after)
+	}
+	if err := f.heap.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapSurvivesCrash(t *testing.T) {
+	f := newFixture(t, 2)
+	off := f.alloc1(t, 40)
+	tx, _ := f.db.Begin(rvm.Restore)
+	b, _ := f.heap.Bytes(off)
+	f.heap.SetRange(tx, off, 0, 9)
+	copy(b, "persisted")
+	if err := tx.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+	// Allocation that never commits must vanish at recovery.
+	tx2, _ := f.db.Begin(rvm.Restore)
+	if _, err := f.heap.Alloc(tx2, 64); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: reopen without commit or close.
+	db2, err := rvm.Open(rvm.Options{LogPath: f.logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	reg2, err := db2.Map(f.segPath, 0, f.reg.Length())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Attach(db2, reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Check(); err != nil {
+		t.Fatalf("heap corrupt after crash: %v", err)
+	}
+	b2, err := h2.Bytes(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b2[:9], []byte("persisted")) {
+		t.Fatalf("payload lost: %q", b2[:9])
+	}
+	st, _ := h2.Stats()
+	if st.Allocs != 1 {
+		t.Fatalf("uncommitted alloc leaked into stats: %+v", st)
+	}
+}
+
+// TestRandomizedAllocFreeModel drives random alloc/free/write traffic,
+// checking heap invariants and payload integrity against a model, with
+// periodic crash-recovery cycles.
+func TestRandomizedAllocFreeModel(t *testing.T) {
+	f := newFixture(t, 8)
+	rng := rand.New(rand.NewSource(17))
+	type block struct {
+		off  Offset
+		data []byte
+	}
+	live := map[Offset]*block{}
+	h := f.heap
+	db := f.db
+	reg := f.reg
+
+	reopen := func() {
+		var err error
+		db2, err := rvm.Open(rvm.Options{LogPath: f.logPath})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg, err = db2.Map(f.segPath, 0, f.reg.Length())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err = Attach(db2, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := db
+		db = db2
+		_ = old // crashed engine abandoned
+	}
+
+	steps := 400
+	if testing.Short() {
+		steps = 80
+	}
+	for i := 0; i < steps; i++ {
+		switch r := rng.Intn(10); {
+		case r < 4: // alloc + write
+			size := int64(1 + rng.Intn(600))
+			tx, _ := db.Begin(rvm.Restore)
+			off, err := h.Alloc(tx, size)
+			if errors.Is(err, ErrNoSpace) {
+				tx.Abort()
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := make([]byte, size)
+			rng.Read(data)
+			if err := h.SetRange(tx, off, 0, size); err != nil {
+				t.Fatal(err)
+			}
+			b, _ := h.Bytes(off)
+			copy(b, data)
+			if err := tx.Commit(rvm.Flush); err != nil {
+				t.Fatal(err)
+			}
+			live[off] = &block{off, data}
+		case r < 6: // free one
+			for off := range live {
+				tx, _ := db.Begin(rvm.Restore)
+				if err := h.Free(tx, off); err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Commit(rvm.Flush); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, off)
+				break
+			}
+		case r < 7: // aborted alloc: no effect
+			tx, _ := db.Begin(rvm.Restore)
+			if _, err := h.Alloc(tx, int64(1+rng.Intn(300))); err == nil {
+				tx.Abort()
+			} else {
+				tx.Abort()
+			}
+		case r < 8 && i%37 == 0: // crash + recover
+			reopen()
+		default: // verify a random block
+			for off, bl := range live {
+				b, err := h.Bytes(off)
+				if err != nil {
+					t.Fatalf("step %d: lost block %d: %v", i, off, err)
+				}
+				if !bytes.Equal(b[:len(bl.data)], bl.data) {
+					t.Fatalf("step %d: block %d corrupted", i, off)
+				}
+				break
+			}
+		}
+		if i%25 == 0 {
+			if err := h.Check(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	// Final: all blocks intact.
+	for off, bl := range live {
+		b, err := h.Bytes(off)
+		if err != nil {
+			t.Fatalf("final: block %d: %v", off, err)
+		}
+		if !bytes.Equal(b[:len(bl.data)], bl.data) {
+			t.Fatalf("final: block %d corrupted", off)
+		}
+	}
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	f := newFixture(t, 2)
+	a := f.alloc1(t, 100)
+	b := f.alloc1(t, 200)
+	st, _ := f.heap.Stats()
+	if st.Allocs != 2 || st.Frees != 0 || st.LiveBytes < 300 {
+		t.Fatalf("stats: %+v", st)
+	}
+	f.free1(t, a)
+	f.free1(t, b)
+	st, _ = f.heap.Stats()
+	if st.Frees != 2 || st.LiveBytes != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

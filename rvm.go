@@ -1,0 +1,229 @@
+// Package rvm is a Go implementation of Recoverable Virtual Memory, after
+// Satyanarayanan, Mashburn, Kumar, Steere & Kistler, "Lightweight
+// Recoverable Virtual Memory" (SOSP 1993).
+//
+// RVM offers transactional guarantees — atomicity and process-failure
+// permanence — on regions of memory backed by external data segments.  It
+// is a user-level library with no special operating-system support: a
+// write-ahead log plus ordinary files and fsync.  Serializability and
+// media resilience are intentionally not provided; layer them above
+// (package rvmlock) and below (mirrored storage) as needed.
+//
+// # Model
+//
+// A segment is a disk file created with CreateSegment.  Applications Map
+// page-aligned regions of segments into memory and read the mapped bytes
+// directly.  To change recoverable memory, bracket the writes in a
+// transaction:
+//
+//	db, _ := rvm.Open(rvm.Options{LogPath: "a.log"})
+//	reg, _ := db.Map("accounts.seg", 0, 1<<20)
+//	tx, _ := db.Begin(rvm.Restore)
+//	tx.SetRange(reg, 128, 8)              // declare the bytes to change
+//	copy(reg.Data()[128:136], newValue)   // mutate mapped memory
+//	tx.Commit(rvm.Flush)                  // force to the write-ahead log
+//
+// After a crash, Open replays the log so that newly mapped regions always
+// present the committed image.
+//
+// # Transaction flavours
+//
+// Begin(NoRestore) declares that the transaction will never Abort, letting
+// RVM skip old-value copies.  Commit(NoFlush) spools the commit instead of
+// forcing it ("lazy" transactions with bounded persistence); an explicit
+// Flush makes all spooled commits durable at once.  Atomicity holds in
+// every combination; only permanence is weakened by NoFlush.
+//
+// Duplicate, overlapping and adjacent SetRange calls within a transaction
+// are coalesced (intra-transaction optimization), and a no-flush commit
+// that subsumes an earlier unflushed one replaces it in the spool
+// (inter-transaction optimization), exactly as in §5.2 of the paper.
+package rvm
+
+import (
+	"github.com/rvm-go/rvm/internal/core"
+	"github.com/rvm-go/rvm/internal/mapping"
+)
+
+// Region is a mapped region of an external data segment.  Read its memory
+// via Data; write it only under a transaction's SetRange.
+type Region = core.Region
+
+// Tx is an active transaction.  Use one goroutine per Tx; separate
+// transactions may run concurrently (RVM does not serialize them — see
+// package rvmlock for that).
+type Tx = core.Tx
+
+// Statistics are cumulative counters since Open.
+type Statistics = core.Statistics
+
+// QueryInfo describes engine and region state.
+type QueryInfo = core.QueryInfo
+
+// UndoRecord is an old-value record returned by Tx.CommitUndo — the §8
+// extension for layering distributed transactions (see package rvmdist).
+type UndoRecord = core.UndoRecord
+
+// TxMode selects abortability at Begin.
+type TxMode = core.TxMode
+
+// CommitMode selects the permanence guarantee at Commit.
+type CommitMode = core.CommitMode
+
+const (
+	// Restore transactions may Abort; RVM keeps old-value copies.
+	Restore = core.Restore
+	// NoRestore transactions promise never to Abort and skip the copies.
+	NoRestore = core.NoRestore
+
+	// Flush forces the commit to the log before returning.
+	Flush = core.Flush
+	// NoFlush spools the commit for a later Flush (bounded persistence).
+	NoFlush = core.NoFlush
+)
+
+// Errors returned by the library.
+var (
+	ErrClosed         = core.ErrClosed
+	ErrTxDone         = core.ErrTxDone
+	ErrRegionUnmapped = core.ErrRegionUnmapped
+	ErrUncommitted    = core.ErrUncommitted
+	ErrNoRestoreAbort = core.ErrNoRestoreAbort
+	ErrBounds         = core.ErrBounds
+	ErrOverlap        = core.ErrOverlap
+	ErrBadAlignment   = core.ErrBadAlignment
+	ErrActiveTx       = core.ErrActiveTx
+)
+
+// PageSize is the granularity of region mapping: offsets and lengths
+// passed to Map must be multiples of it.
+var PageSize = mapping.PageSize
+
+// Options configures Open.
+type Options struct {
+	// LogPath names the write-ahead log created earlier with CreateLog.
+	LogPath string
+	// UseMmap backs regions with anonymous mmap memory instead of the Go
+	// heap.  Both are correct; mmap keeps large regions out of the GC's
+	// working set.
+	UseMmap bool
+	// DemandPaging maps regions copy-on-write over the segment file:
+	// pages are read on first touch instead of en masse at Map time (the
+	// external-pager option the paper lists as future work).  Writes stay
+	// private; the segment file is only ever updated by truncation.
+	DemandPaging bool
+	// TruncateThreshold is the fraction of log capacity that triggers
+	// background truncation (default 0.5; set negative to disable).
+	TruncateThreshold float64
+	// Incremental selects incremental truncation for background
+	// truncations; otherwise epoch truncation is used (paper §5.1.2).
+	Incremental bool
+	// NoIntraOpt and NoInterOpt disable the two log optimizations of
+	// paper §5.2.  They exist for measurement; leave them false.
+	NoIntraOpt bool
+	NoInterOpt bool
+	// NoSync disables physical fsyncs, forfeiting the permanence
+	// guarantee.  For benchmark harnesses that measure log traffic, not
+	// durability; leave it false.
+	NoSync bool
+	// SpoolLimit bounds the memory held by committed no-flush
+	// transactions awaiting a Flush; crossing it flushes implicitly.
+	// Zero selects the 1 MiB default, negative disables the bound.
+	SpoolLimit int64
+}
+
+// RVM is an open recoverable-virtual-memory instance: one write-ahead log
+// and any number of mapped regions.  All methods are safe for concurrent
+// use.
+type RVM struct {
+	eng *core.Engine
+}
+
+// CreateLog creates a new write-ahead log at path with a record area of at
+// least size bytes (rounded up to whole pages).  Equivalent to the paper's
+// create_log primitive.
+func CreateLog(path string, size int64) error { return core.CreateLog(path, size) }
+
+// CreateSegment creates a new external data segment of the given length
+// (rounded up to whole pages).  The id must be unique among segments used
+// with the same log; it is how log records name the segment.
+func CreateSegment(path string, id uint64, length int64) error {
+	return core.CreateSegment(path, id, length)
+}
+
+// Open initializes RVM on an existing log, performing crash recovery
+// before returning (the paper's initialize primitive).
+func Open(o Options) (*RVM, error) {
+	thr := o.TruncateThreshold
+	if thr == 0 {
+		thr = 0.5
+	}
+	backend := mapping.Heap
+	if o.UseMmap {
+		backend = mapping.Mmap
+	}
+	eng, err := core.Open(core.Options{
+		LogPath:           o.LogPath,
+		Backend:           backend,
+		DemandPaging:      o.DemandPaging,
+		TruncateThreshold: thr,
+		Incremental:       o.Incremental,
+		NoIntraOpt:        o.NoIntraOpt,
+		NoInterOpt:        o.NoInterOpt,
+		NoSync:            o.NoSync,
+		SpoolLimit:        o.SpoolLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RVM{eng: eng}, nil
+}
+
+// Close flushes committed work, truncates the log so the next Open is
+// fast, and releases all files (the paper's terminate).  It fails with
+// ErrActiveTx if transactions are still unresolved.
+func (r *RVM) Close() error { return r.eng.Close() }
+
+// Map maps [segOff, segOff+length) of the segment at segPath into memory
+// and returns the region, whose memory holds the committed image.  Offsets
+// and lengths must be multiples of PageSize, and the range must not
+// overlap a currently mapped region of the same segment.
+func (r *RVM) Map(segPath string, segOff, length int64) (*Region, error) {
+	return r.eng.Map(segPath, segOff, length)
+}
+
+// Unmap releases a quiescent region (no uncommitted transactions), first
+// making its committed changes visible to future Maps.
+func (r *RVM) Unmap(reg *Region) error { return r.eng.Unmap(reg) }
+
+// Begin starts a transaction.
+func (r *RVM) Begin(mode TxMode) (*Tx, error) { return r.eng.Begin(mode) }
+
+// Flush blocks until every committed no-flush transaction is forced to the
+// log, bounding the persistence window.
+func (r *RVM) Flush() error { return r.eng.Flush() }
+
+// Truncate blocks until all committed changes in the log are reflected to
+// the external data segments and the log is empty.  RVM also truncates
+// transparently in the background; this hands the timing to the
+// application (paper §4.2).
+func (r *RVM) Truncate() error { return r.eng.Truncate() }
+
+// TruncateIncremental runs incremental truncation until the live log drops
+// to targetFraction of capacity, reverting to epoch truncation if blocked
+// (paper §5.1.2).
+func (r *RVM) TruncateIncremental(targetFraction float64) error {
+	return r.eng.TruncateIncremental(targetFraction)
+}
+
+// Query reports engine state, plus region state when reg is non-nil.
+func (r *RVM) Query(reg *Region) (QueryInfo, error) { return r.eng.Query(reg) }
+
+// SetOptions adjusts the truncation tunables at runtime.
+func (r *RVM) SetOptions(truncateThreshold float64, incremental bool) {
+	r.eng.SetOptions(truncateThreshold, incremental)
+}
+
+// Stats returns a snapshot of cumulative counters, in the spirit of the
+// real RVM's rvm_statistics.
+func (r *RVM) Stats() Statistics { return r.eng.Stats() }

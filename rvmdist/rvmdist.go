@@ -1,0 +1,600 @@
+// Package rvmdist layers distributed transactions on RVM, following the
+// sketch in §8 of the paper: "Support for distributed transactions could
+// be provided by a library built on RVM.  Such a library would provide
+// coordinator and subordinate routines for each phase of a two-phase
+// commit ... The communication mechanism could be left unspecified until
+// runtime by using upcalls from the library to perform communications."
+//
+// The subordinate's first-phase commit is a real, durable local RVM
+// commit.  To make it revocable, the old-value records of the transaction
+// are preserved — in recoverable memory, inside the same transaction, so
+// prepare is atomic — until the outcome of the two-phase commit is clear.
+// On global commit the records are discarded; on global abort they drive a
+// compensating RVM transaction, exactly as the paper proposes (the
+// in-memory form of the same records is available directly from
+// Tx.CommitUndo).
+//
+// The coordinator runs presumed-abort 2PC: only commit decisions are
+// logged (in its own recoverable heap), so a coordinator crash before the
+// decision record aborts the transaction implicitly, and a crash after it
+// is repaired by RetryPending.
+package rvmdist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	rvm "github.com/rvm-go/rvm"
+	"github.com/rvm-go/rvm/rds"
+)
+
+// Transport delivers the coordinator's upcalls to subordinates.  Sites are
+// named by opaque strings; tests and single-process applications route to
+// local Subordinates, distributed ones marshal over their own RPC.
+type Transport interface {
+	// Prepare asks a site to locally commit its part of gtid and vote.
+	Prepare(site, gtid string) (vote bool, err error)
+	// Commit tells a site the global outcome is commit.  Must be
+	// idempotent: retries after crashes deliver it more than once.
+	Commit(site, gtid string) error
+	// Abort tells a site the global outcome is abort.  Must be idempotent
+	// and tolerate sites that never prepared (presumed abort).
+	Abort(site, gtid string) error
+}
+
+// Errors returned by the layer.
+var (
+	ErrAborted       = errors.New("rvmdist: transaction aborted")
+	ErrPartialCommit = errors.New("rvmdist: commit decided but not yet delivered to all sites; use RetryPending")
+	ErrUnknownGTID   = errors.New("rvmdist: unknown global transaction")
+	ErrNoRegion      = errors.New("rvmdist: no registered region covers an undo record")
+)
+
+// ---------------------------------------------------------------------------
+// Persistent record lists (shared by coordinator and subordinate).
+//
+// Both sides keep a singly-linked list of variable-size records in an rds
+// heap, anchored at the heap root.  Record payload layout:
+//
+//	[8 next][2 gtidLen][gtid][body...]
+// ---------------------------------------------------------------------------
+
+func u16(b []byte) int           { return int(binary.BigEndian.Uint16(b)) }
+func put16(b []byte, v int)      { binary.BigEndian.PutUint16(b, uint16(v)) }
+func u64at(b []byte) uint64      { return binary.BigEndian.Uint64(b) }
+func put64at(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }
+
+// listInsert links a freshly allocated block at the head of the root list.
+func listInsert(h *rds.Heap, tx *rvm.Tx, block rds.Offset) error {
+	b, err := h.Bytes(block)
+	if err != nil {
+		return err
+	}
+	if err := h.SetRange(tx, block, 0, 8); err != nil {
+		return err
+	}
+	put64at(b[0:], uint64(h.Root()))
+	return h.SetRoot(tx, block)
+}
+
+// listRemove unlinks block from the root list and frees it, under tx.
+func listRemove(h *rds.Heap, tx *rvm.Tx, block rds.Offset) error {
+	cur := h.Root()
+	var prev rds.Offset
+	for cur != 0 {
+		cb, err := h.Bytes(cur)
+		if err != nil {
+			return err
+		}
+		next := rds.Offset(u64at(cb[0:]))
+		if cur == block {
+			if prev == 0 {
+				if err := h.SetRoot(tx, next); err != nil {
+					return err
+				}
+			} else {
+				pb, err := h.Bytes(prev)
+				if err != nil {
+					return err
+				}
+				if err := h.SetRange(tx, prev, 0, 8); err != nil {
+					return err
+				}
+				put64at(pb[0:], uint64(next))
+			}
+			return h.Free(tx, block)
+		}
+		prev, cur = cur, next
+	}
+	return fmt.Errorf("rvmdist: block %d not on list", block)
+}
+
+// listWalk visits every record block on the root list.
+func listWalk(h *rds.Heap, fn func(block rds.Offset, gtid string, body []byte) error) error {
+	for cur := h.Root(); cur != 0; {
+		b, err := h.Bytes(cur)
+		if err != nil {
+			return err
+		}
+		next := rds.Offset(u64at(b[0:]))
+		gl := u16(b[8:])
+		gtid := string(b[10 : 10+gl])
+		if err := fn(cur, gtid, b[10+gl:]); err != nil {
+			return err
+		}
+		cur = next
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Subordinate
+// ---------------------------------------------------------------------------
+
+// PrepTx is the transaction handle passed to a subordinate's work
+// function.  It mirrors rvm.Tx's SetRange/Modify but additionally captures
+// old values so the prepare can later be compensated.
+type PrepTx struct {
+	tx   *rvm.Tx
+	undo []rvm.UndoRecord
+}
+
+// SetRange declares an upcoming modification, capturing the current bytes
+// for a possible compensating transaction.
+func (p *PrepTx) SetRange(reg *rvm.Region, off, n int64) error {
+	if n < 0 || off < 0 || off+n > reg.Length() {
+		return fmt.Errorf("rvmdist: range [%d,+%d) outside region", off, n)
+	}
+	p.undo = append(p.undo, rvm.UndoRecord{
+		Region: reg, Off: off,
+		SegID: reg.SegmentID(), SegOff: reg.SegmentOffset() + off,
+		Old: append([]byte(nil), reg.Data()[off:off+n]...),
+	})
+	return p.tx.SetRange(reg, off, n)
+}
+
+// Modify is SetRange followed by a copy into the region.
+func (p *PrepTx) Modify(reg *rvm.Region, off int64, data []byte) error {
+	if err := p.SetRange(reg, off, int64(len(data))); err != nil {
+		return err
+	}
+	copy(reg.Data()[off:], data)
+	return nil
+}
+
+// Subordinate is one site's half of two-phase commit.  Its pending-prepare
+// records live in a dedicated rds heap (give it its own region) so they
+// survive crashes between prepare and the global decision.
+type Subordinate struct {
+	mu      sync.Mutex
+	db      *rvm.RVM
+	heap    *rds.Heap
+	regions []*rvm.Region
+	pending map[string]rds.Offset
+}
+
+// NewSubordinate attaches a subordinate to its pending-record heap,
+// re-loading any prepares left unresolved by a crash (inspect Pending and
+// call ResolveAll after registering regions).
+func NewSubordinate(db *rvm.RVM, heap *rds.Heap) (*Subordinate, error) {
+	s := &Subordinate{db: db, heap: heap, pending: make(map[string]rds.Offset)}
+	err := listWalk(heap, func(block rds.Offset, gtid string, body []byte) error {
+		s.pending[gtid] = block
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Register makes a mapped region available for compensating transactions.
+// Register every region the site's transactions touch, especially before
+// ResolveAll after a restart.
+func (s *Subordinate) Register(reg *rvm.Region) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.regions = append(s.regions, reg)
+}
+
+// findRegion locates a registered region covering [segOff, segOff+n) of
+// segment segID and returns it with the region-relative offset.
+func (s *Subordinate) findRegion(segID uint64, segOff, n int64) (*rvm.Region, int64, error) {
+	for _, reg := range s.regions {
+		if reg.SegmentID() != segID {
+			continue
+		}
+		rel := segOff - reg.SegmentOffset()
+		if rel >= 0 && rel+n <= reg.Length() {
+			return reg, rel, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: segment %d [%d,+%d)", ErrNoRegion, segID, segOff, n)
+}
+
+// Prepare runs work inside a local RVM transaction, commits it durably,
+// and records the old values so the commit can be compensated.  It returns
+// the site's vote: false (with the work rolled back) if work failed.
+func (s *Subordinate) Prepare(gtid string, work func(*PrepTx) error) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.pending[gtid]; dup {
+		return false, fmt.Errorf("rvmdist: gtid %q already prepared", gtid)
+	}
+	tx, err := s.db.Begin(rvm.Restore)
+	if err != nil {
+		return false, err
+	}
+	p := &PrepTx{tx: tx}
+	if err := work(p); err != nil {
+		if aerr := tx.Abort(); aerr != nil {
+			return false, aerr
+		}
+		return false, nil // vote no, locally clean
+	}
+	// Persist the pending record in the same transaction: prepare is
+	// atomic with the data it guards.
+	size := int64(8 + 2 + len(gtid) + 4)
+	for _, u := range p.undo {
+		size += 8 + 8 + 4 + int64(len(u.Old))
+	}
+	block, err := s.heap.Alloc(tx, size)
+	if err != nil {
+		tx.Abort()
+		return false, err
+	}
+	b, err := s.heap.Bytes(block)
+	if err != nil {
+		tx.Abort()
+		return false, err
+	}
+	if err := s.heap.SetRange(tx, block, 0, size); err != nil {
+		tx.Abort()
+		return false, err
+	}
+	put16(b[8:], len(gtid))
+	copy(b[10:], gtid)
+	pos := 10 + len(gtid)
+	binary.BigEndian.PutUint32(b[pos:], uint32(len(p.undo)))
+	pos += 4
+	for _, u := range p.undo {
+		put64at(b[pos:], u.SegID)
+		put64at(b[pos+8:], uint64(u.SegOff))
+		binary.BigEndian.PutUint32(b[pos+16:], uint32(len(u.Old)))
+		pos += 20
+		copy(b[pos:], u.Old)
+		pos += len(u.Old)
+	}
+	if err := listInsert(s.heap, tx, block); err != nil {
+		tx.Abort()
+		return false, err
+	}
+	if err := tx.Commit(rvm.Flush); err != nil {
+		return false, err
+	}
+	s.pending[gtid] = block
+	return true, nil
+}
+
+// Commit resolves a prepared transaction as globally committed: the undo
+// records are discarded.  Unknown gtids are a no-op (idempotent retries).
+func (s *Subordinate) Commit(gtid string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	block, ok := s.pending[gtid]
+	if !ok {
+		return nil
+	}
+	tx, err := s.db.Begin(rvm.Restore)
+	if err != nil {
+		return err
+	}
+	if err := listRemove(s.heap, tx, block); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Commit(rvm.Flush); err != nil {
+		return err
+	}
+	delete(s.pending, gtid)
+	return nil
+}
+
+// Abort resolves a prepared transaction as globally aborted by running a
+// compensating RVM transaction built from the saved old-value records.
+// Unknown gtids are a no-op (presumed abort).
+func (s *Subordinate) Abort(gtid string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	block, ok := s.pending[gtid]
+	if !ok {
+		return nil
+	}
+	b, err := s.heap.Bytes(block)
+	if err != nil {
+		return err
+	}
+	gl := u16(b[8:])
+	pos := 10 + gl
+	nrec := int(binary.BigEndian.Uint32(b[pos:]))
+	pos += 4
+	type rec struct {
+		segID uint64
+		off   int64
+		old   []byte
+	}
+	recs := make([]rec, 0, nrec)
+	for i := 0; i < nrec; i++ {
+		segID := u64at(b[pos:])
+		off := int64(u64at(b[pos+8:]))
+		n := int(binary.BigEndian.Uint32(b[pos+16:]))
+		pos += 20
+		recs = append(recs, rec{segID, off, append([]byte(nil), b[pos:pos+n]...)})
+		pos += n
+	}
+	tx, err := s.db.Begin(rvm.Restore)
+	if err != nil {
+		return err
+	}
+	// Compensate newest capture first.
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		reg, rel, err := s.findRegion(r.segID, r.off, int64(len(r.old)))
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.SetRange(reg, rel, int64(len(r.old))); err != nil {
+			tx.Abort()
+			return err
+		}
+		copy(reg.Data()[rel:], r.old)
+	}
+	if err := listRemove(s.heap, tx, block); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Commit(rvm.Flush); err != nil {
+		return err
+	}
+	delete(s.pending, gtid)
+	return nil
+}
+
+// Pending lists prepared transactions awaiting a global outcome, sorted.
+func (s *Subordinate) Pending() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.pending))
+	for g := range s.pending {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResolveAll drives every pending prepare to its outcome: committed(gtid)
+// reports the global decision (true = commit).  Use after a restart, once
+// the relevant regions are Registered.
+func (s *Subordinate) ResolveAll(committed func(gtid string) (bool, error)) error {
+	for _, g := range s.Pending() {
+		ok, err := committed(g)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if err := s.Commit(g); err != nil {
+				return err
+			}
+		} else {
+			if err := s.Abort(g); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+// Coordinator drives presumed-abort two-phase commit.  Its decision log
+// lives in a dedicated rds heap.
+type Coordinator struct {
+	mu        sync.Mutex
+	db        *rvm.RVM
+	heap      *rds.Heap
+	transport Transport
+	decided   map[string][]string // gtid -> sites still owed a Commit
+}
+
+// NewCoordinator attaches a coordinator to its decision-log heap,
+// reloading commit decisions that were not fully delivered before a crash
+// (deliver them with RetryPending).
+func NewCoordinator(db *rvm.RVM, heap *rds.Heap, transport Transport) (*Coordinator, error) {
+	c := &Coordinator{db: db, heap: heap, transport: transport, decided: make(map[string][]string)}
+	err := listWalk(heap, func(_ rds.Offset, gtid string, body []byte) error {
+		n := u16(body[0:])
+		sites := make([]string, 0, n)
+		pos := 2
+		for i := 0; i < n; i++ {
+			sl := u16(body[pos:])
+			sites = append(sites, string(body[pos+2:pos+2+sl]))
+			pos += 2 + sl
+		}
+		c.decided[gtid] = sites
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// logDecision durably records "gtid committed at sites".
+func (c *Coordinator) logDecision(gtid string, sites []string) error {
+	size := int64(8 + 2 + len(gtid) + 2)
+	for _, s := range sites {
+		size += 2 + int64(len(s))
+	}
+	tx, err := c.db.Begin(rvm.Restore)
+	if err != nil {
+		return err
+	}
+	block, err := c.heap.Alloc(tx, size)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	b, _ := c.heap.Bytes(block)
+	if err := c.heap.SetRange(tx, block, 0, size); err != nil {
+		tx.Abort()
+		return err
+	}
+	put16(b[8:], len(gtid))
+	copy(b[10:], gtid)
+	pos := 10 + len(gtid)
+	put16(b[pos:], len(sites))
+	pos += 2
+	for _, s := range sites {
+		put16(b[pos:], len(s))
+		copy(b[pos+2:], s)
+		pos += 2 + len(s)
+	}
+	if err := listInsert(c.heap, tx, block); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit(rvm.Flush)
+}
+
+// forgetDecision removes gtid's decision record once all sites acked.
+func (c *Coordinator) forgetDecision(gtid string) error {
+	var target rds.Offset
+	err := listWalk(c.heap, func(block rds.Offset, g string, _ []byte) error {
+		if g == gtid {
+			target = block
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if target == 0 {
+		return nil
+	}
+	tx, err := c.db.Begin(rvm.Restore)
+	if err != nil {
+		return err
+	}
+	if err := listRemove(c.heap, tx, target); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit(rvm.Flush)
+}
+
+// Run executes two-phase commit for gtid across sites.  It returns nil on
+// full commit, ErrAborted when any site voted no or failed to prepare, and
+// ErrPartialCommit when the commit decision is durable but some site has
+// not yet acknowledged it (RetryPending finishes the job).
+func (c *Coordinator) Run(gtid string, sites []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Phase 1: prepare everywhere.
+	prepared := make([]string, 0, len(sites))
+	for _, site := range sites {
+		vote, err := c.transport.Prepare(site, gtid)
+		if err != nil || !vote {
+			// Presumed abort: roll back every site that prepared; sites
+			// that never heard of gtid treat Abort as a no-op.
+			for _, p := range prepared {
+				_ = c.transport.Abort(p, gtid) // best effort; retries are the app's policy
+			}
+			_ = c.transport.Abort(site, gtid)
+			if err != nil {
+				return fmt.Errorf("%w: prepare at %s: %v", ErrAborted, site, err)
+			}
+			return fmt.Errorf("%w: %s voted no", ErrAborted, site)
+		}
+		prepared = append(prepared, site)
+	}
+	// Decision point: log commit durably before telling anyone.
+	if err := c.logDecision(gtid, sites); err != nil {
+		for _, p := range prepared {
+			_ = c.transport.Abort(p, gtid)
+		}
+		return fmt.Errorf("%w: decision log: %v", ErrAborted, err)
+	}
+	c.decided[gtid] = append([]string(nil), sites...)
+	// Phase 2: deliver the commit.
+	return c.deliverLocked(gtid)
+}
+
+// deliverLocked sends Commit to every site still owed one.
+func (c *Coordinator) deliverLocked(gtid string) error {
+	sites, ok := c.decided[gtid]
+	if !ok {
+		return nil
+	}
+	var remaining []string
+	for _, site := range sites {
+		if err := c.transport.Commit(site, gtid); err != nil {
+			remaining = append(remaining, site)
+		}
+	}
+	if len(remaining) > 0 {
+		c.decided[gtid] = remaining
+		return fmt.Errorf("%w: %d site(s) unreached", ErrPartialCommit, len(remaining))
+	}
+	delete(c.decided, gtid)
+	return c.forgetDecision(gtid)
+}
+
+// Outcome reports the durable decision for gtid: true only if a commit
+// record exists (presumed abort otherwise).  Subordinates use it from
+// ResolveAll after a crash.
+func (c *Coordinator) Outcome(gtid string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.decided[gtid]
+	return ok
+}
+
+// Pending lists commit decisions not yet delivered to every site.
+func (c *Coordinator) Pending() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.decided))
+	for g := range c.decided {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RetryPending re-delivers every undelivered commit decision.
+func (c *Coordinator) RetryPending() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var firstErr error
+	for _, g := range c.pendingLocked() {
+		if err := c.deliverLocked(g); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (c *Coordinator) pendingLocked() []string {
+	out := make([]string, 0, len(c.decided))
+	for g := range c.decided {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}

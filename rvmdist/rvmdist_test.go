@@ -1,0 +1,454 @@
+package rvmdist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	rvm "github.com/rvm-go/rvm"
+	"github.com/rvm-go/rvm/rds"
+)
+
+// site is one in-process "machine": its own log, data segment, pending
+// heap, and subordinate.
+type site struct {
+	name    string
+	dir     string
+	logPath string
+	dataSeg string
+	metaSeg string
+	db      *rvm.RVM
+	data    *rvm.Region
+	sub     *Subordinate
+}
+
+func page() int64 { return int64(rvm.PageSize) }
+
+func newSite(t *testing.T, name string) *site {
+	t.Helper()
+	dir := t.TempDir()
+	s := &site{
+		name:    name,
+		dir:     dir,
+		logPath: filepath.Join(dir, "site.log"),
+		dataSeg: filepath.Join(dir, "data.seg"),
+		metaSeg: filepath.Join(dir, "meta.seg"),
+	}
+	if err := rvm.CreateLog(s.logPath, 1<<18); err != nil {
+		t.Fatal(err)
+	}
+	if err := rvm.CreateSegment(s.dataSeg, 1, page()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rvm.CreateSegment(s.metaSeg, 2, 2*page()); err != nil {
+		t.Fatal(err)
+	}
+	s.open(t, true)
+	return s
+}
+
+// open (re)opens the site's RVM state; format=true formats the meta heap.
+func (s *site) open(t *testing.T, format bool) {
+	t.Helper()
+	db, err := rvm.Open(rvm.Options{LogPath: s.logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.db = db
+	t.Cleanup(func() { db.Close() })
+	s.data, err = db.Map(s.dataSeg, 0, page())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := db.Map(s.metaSeg, 0, 2*page())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var heap *rds.Heap
+	if format {
+		heap, err = rds.Format(db, meta)
+	} else {
+		heap, err = rds.Attach(db, meta)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sub, err = NewSubordinate(db, heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sub.Register(s.data)
+}
+
+// crash drops the site's engine without closing and reopens it.
+func (s *site) crash(t *testing.T) {
+	t.Helper()
+	s.open(t, false)
+}
+
+// memTransport routes upcalls to local sites, with injectable failures.
+type memTransport struct {
+	sites     map[string]*site
+	work      map[string]func(*PrepTx) error // per site
+	voteNo    map[string]bool
+	commitErr map[string]bool
+}
+
+func (m *memTransport) Prepare(siteName, gtid string) (bool, error) {
+	if m.voteNo[siteName] {
+		return false, nil
+	}
+	s := m.sites[siteName]
+	return s.sub.Prepare(gtid, m.work[siteName])
+}
+
+func (m *memTransport) Commit(siteName, gtid string) error {
+	if m.commitErr[siteName] {
+		return fmt.Errorf("site %s unreachable", siteName)
+	}
+	return m.sites[siteName].sub.Commit(gtid)
+}
+
+func (m *memTransport) Abort(siteName, gtid string) error {
+	return m.sites[siteName].sub.Abort(gtid)
+}
+
+// coordinatorHost builds a coordinator with its own RVM state.
+func newCoordinator(t *testing.T, tr Transport) (*Coordinator, func(t *testing.T) *Coordinator) {
+	t.Helper()
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "coord.log")
+	metaSeg := filepath.Join(dir, "meta.seg")
+	if err := rvm.CreateLog(logPath, 1<<18); err != nil {
+		t.Fatal(err)
+	}
+	if err := rvm.CreateSegment(metaSeg, 1, 2*page()); err != nil {
+		t.Fatal(err)
+	}
+	db, err := rvm.Open(rvm.Options{LogPath: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	meta, err := db.Map(metaSeg, 0, 2*page())
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := rds.Format(db, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := NewCoordinator(db, heap, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopen := func(t *testing.T) *Coordinator {
+		db2, err := rvm.Open(rvm.Options{LogPath: logPath})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db2.Close() })
+		meta2, err := db2.Map(metaSeg, 0, 2*page())
+		if err != nil {
+			t.Fatal(err)
+		}
+		heap2, err := rds.Attach(db2, meta2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		co2, err := NewCoordinator(db2, heap2, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return co2
+	}
+	return co, reopen
+}
+
+func writeWork(s *site, off int64, data string) func(*PrepTx) error {
+	return func(p *PrepTx) error {
+		return p.Modify(s.data, off, []byte(data))
+	}
+}
+
+func setup3(t *testing.T) (*memTransport, []string) {
+	t.Helper()
+	tr := &memTransport{
+		sites:     map[string]*site{},
+		work:      map[string]func(*PrepTx) error{},
+		voteNo:    map[string]bool{},
+		commitErr: map[string]bool{},
+	}
+	var names []string
+	for _, n := range []string{"alpha", "beta", "gamma"} {
+		s := newSite(t, n)
+		tr.sites[n] = s
+		tr.work[n] = writeWork(s, 0, "value@"+n)
+		names = append(names, n)
+	}
+	return tr, names
+}
+
+func TestTwoPhaseCommitHappyPath(t *testing.T) {
+	tr, names := setup3(t)
+	co, _ := newCoordinator(t, tr)
+	if err := co.Run("g1", names); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		s := tr.sites[n]
+		want := []byte("value@" + n)
+		if !bytes.Equal(s.data.Data()[:len(want)], want) {
+			t.Fatalf("site %s missing committed data", n)
+		}
+		if p := s.sub.Pending(); len(p) != 0 {
+			t.Fatalf("site %s still pending: %v", n, p)
+		}
+		// Durable across a crash.
+		s.crash(t)
+		if !bytes.Equal(s.data.Data()[:len(want)], want) {
+			t.Fatalf("site %s lost data after crash", n)
+		}
+	}
+	if p := co.Pending(); len(p) != 0 {
+		t.Fatalf("coordinator still pending: %v", p)
+	}
+}
+
+func TestVoteNoAbortsEverywhere(t *testing.T) {
+	tr, names := setup3(t)
+	tr.voteNo["gamma"] = true
+	co, _ := newCoordinator(t, tr)
+	err := co.Run("g2", names)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("got %v", err)
+	}
+	for _, n := range names {
+		s := tr.sites[n]
+		for _, b := range s.data.Data()[:16] {
+			if b != 0 {
+				t.Fatalf("site %s retains aborted data", n)
+			}
+		}
+		if p := s.sub.Pending(); len(p) != 0 {
+			t.Fatalf("site %s pending after abort: %v", n, p)
+		}
+	}
+}
+
+func TestCompensationRestoresPriorState(t *testing.T) {
+	tr, names := setup3(t)
+	alpha := tr.sites["alpha"]
+	// Seed committed data at alpha, then run a 2PC that overwrites it and
+	// aborts: compensation must restore the seed.
+	tx, _ := alpha.db.Begin(rvm.Restore)
+	tx.Modify(alpha.data, 0, []byte("seed-value"))
+	if err := tx.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+	tr.voteNo["gamma"] = true
+	co, _ := newCoordinator(t, tr)
+	if err := co.Run("g3", names); !errors.Is(err, ErrAborted) {
+		t.Fatalf("got %v", err)
+	}
+	if !bytes.Equal(alpha.data.Data()[:10], []byte("seed-value")) {
+		t.Fatalf("compensation failed: %q", alpha.data.Data()[:10])
+	}
+	// And the compensated state is what recovery yields.
+	alpha.crash(t)
+	if !bytes.Equal(alpha.data.Data()[:10], []byte("seed-value")) {
+		t.Fatal("compensation not durable")
+	}
+}
+
+func TestSubordinateCrashBetweenPrepareAndDecision(t *testing.T) {
+	tr, _ := setup3(t)
+	beta := tr.sites["beta"]
+	vote, err := beta.sub.Prepare("g4", writeWork(beta, 0, "prepared!"))
+	if err != nil || !vote {
+		t.Fatalf("prepare: %v %v", vote, err)
+	}
+	// Crash after prepare.
+	beta.crash(t)
+	if p := beta.sub.Pending(); len(p) != 1 || p[0] != "g4" {
+		t.Fatalf("pending after crash: %v", p)
+	}
+	// Outcome abort: compensate.
+	if err := beta.sub.ResolveAll(func(string) (bool, error) { return false, nil }); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range beta.data.Data()[:9] {
+		if b != 0 {
+			t.Fatal("aborted prepare leaked after crash")
+		}
+	}
+
+	// Again, with outcome commit this time.
+	vote, err = beta.sub.Prepare("g5", writeWork(beta, 0, "prepared!"))
+	if err != nil || !vote {
+		t.Fatal("second prepare failed")
+	}
+	beta.crash(t)
+	if err := beta.sub.ResolveAll(func(string) (bool, error) { return true, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(beta.data.Data()[:9], []byte("prepared!")) {
+		t.Fatal("committed prepare lost after crash")
+	}
+	if p := beta.sub.Pending(); len(p) != 0 {
+		t.Fatalf("pending not cleared: %v", p)
+	}
+}
+
+func TestCoordinatorCrashAfterDecision(t *testing.T) {
+	tr, names := setup3(t)
+	tr.commitErr["gamma"] = true // phase 2 cannot reach gamma
+	co, reopen := newCoordinator(t, tr)
+	err := co.Run("g6", names)
+	if !errors.Is(err, ErrPartialCommit) {
+		t.Fatalf("got %v", err)
+	}
+	// gamma is prepared but undecided; alpha and beta committed.
+	if p := tr.sites["gamma"].sub.Pending(); len(p) != 1 {
+		t.Fatalf("gamma pending: %v", p)
+	}
+	// Coordinator crashes and restarts: the decision survived.
+	co2 := reopen(t)
+	if !co2.Outcome("g6") {
+		t.Fatal("commit decision lost across coordinator crash")
+	}
+	tr.commitErr["gamma"] = false
+	if err := co2.RetryPending(); err != nil {
+		t.Fatal(err)
+	}
+	gamma := tr.sites["gamma"]
+	if !bytes.Equal(gamma.data.Data()[:11], []byte("value@gamma")) {
+		t.Fatal("gamma never committed")
+	}
+	if co2.Outcome("g6") {
+		t.Fatal("decision record not garbage-collected after full delivery")
+	}
+}
+
+func TestIdempotentOutcomeDelivery(t *testing.T) {
+	tr, _ := setup3(t)
+	alpha := tr.sites["alpha"]
+	vote, err := alpha.sub.Prepare("g7", writeWork(alpha, 0, "x"))
+	if err != nil || !vote {
+		t.Fatal("prepare failed")
+	}
+	if err := alpha.sub.Commit("g7"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alpha.sub.Commit("g7"); err != nil { // retry is a no-op
+		t.Fatal(err)
+	}
+	if err := alpha.sub.Abort("g7"); err != nil { // late abort of resolved gtid: no-op
+		t.Fatal(err)
+	}
+	if err := alpha.sub.Abort("never-prepared"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicatePrepareRejected(t *testing.T) {
+	tr, _ := setup3(t)
+	alpha := tr.sites["alpha"]
+	if _, err := alpha.sub.Prepare("g8", writeWork(alpha, 0, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alpha.sub.Prepare("g8", writeWork(alpha, 0, "y")); err == nil {
+		t.Fatal("duplicate prepare accepted")
+	}
+	alpha.sub.Abort("g8")
+}
+
+func TestWorkErrorVotesNo(t *testing.T) {
+	tr, _ := setup3(t)
+	alpha := tr.sites["alpha"]
+	vote, err := alpha.sub.Prepare("g9", func(p *PrepTx) error {
+		if err := p.Modify(alpha.data, 0, []byte("half")); err != nil {
+			return err
+		}
+		return fmt.Errorf("application validation failed")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vote {
+		t.Fatal("failing work voted yes")
+	}
+	// The half-done work was rolled back locally.
+	for _, b := range alpha.data.Data()[:4] {
+		if b != 0 {
+			t.Fatal("failed work leaked")
+		}
+	}
+}
+
+func TestMultiplePendingPrepares(t *testing.T) {
+	tr, _ := setup3(t)
+	alpha := tr.sites["alpha"]
+	for i := 0; i < 5; i++ {
+		g := fmt.Sprintf("multi-%d", i)
+		if _, err := alpha.sub.Prepare(g, writeWork(alpha, int64(i*32), fmt.Sprintf("w%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alpha.crash(t)
+	if p := alpha.sub.Pending(); len(p) != 5 {
+		t.Fatalf("pending after crash: %v", p)
+	}
+	// Commit evens, abort odds.
+	err := alpha.sub.ResolveAll(func(g string) (bool, error) {
+		var i int
+		fmt.Sscanf(g, "multi-%d", &i)
+		return i%2 == 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got := alpha.data.Data()[i*32 : i*32+2]
+		want := []byte{0, 0}
+		if i%2 == 0 {
+			want = []byte(fmt.Sprintf("w%d", i))
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("gtid %d: got %q want %q", i, got, want)
+		}
+	}
+}
+
+func TestCommitUndoDirectly(t *testing.T) {
+	// The §8 extension on the core API: CommitUndo returns the old-value
+	// records, and applying them in reverse compensates the commit.
+	s := newSite(t, "solo")
+	tx, _ := s.db.Begin(rvm.Restore)
+	tx.Modify(s.data, 0, []byte("AAAA"))
+	tx.Modify(s.data, 2, []byte("BBBB"))
+	undo, err := tx.CommitUndo(rvm.Flush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(undo) == 0 {
+		t.Fatal("no undo records")
+	}
+	comp, _ := s.db.Begin(rvm.Restore)
+	for i := len(undo) - 1; i >= 0; i-- {
+		u := undo[i]
+		if err := comp.Modify(u.Region, u.Off, u.Old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := comp.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range s.data.Data()[:6] {
+		if b != 0 {
+			t.Fatalf("compensation incomplete: % x", s.data.Data()[:6])
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package rvmlock provides serializability as a layer above RVM.
+//
+// RVM deliberately factors out concurrency control (paper §3.1): it is
+// internally thread-safe but does not serialize application transactions.
+// "If serializability is required, a layer above RVM has to enforce it.
+// That layer is also responsible for coping with deadlocks, starvation and
+// other unpleasant concurrency control problems."  This package is that
+// layer: a strict two-phase lock manager over application-chosen lock
+// names, at whatever granularity suits the application's abstractions —
+// one lock per account, per directory, per B-tree node.
+//
+// Usage pattern:
+//
+//	lk := mgr.Begin()
+//	defer lk.Release()                       // strict 2PL: release at end
+//	if err := lk.Acquire("acct/42", rvmlock.Exclusive); err != nil { ... }
+//	tx, _ := db.Begin(rvm.Restore)
+//	... mutate under tx ...
+//	tx.Commit(rvm.Flush)
+//
+// Deadlocks are detected by cycle search on the wait-for graph; the
+// requester that would close a cycle gets ErrDeadlock and should abort its
+// RVM transaction and retry.
+package rvmlock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits a single writer.
+	Exclusive
+)
+
+// ErrDeadlock is returned to the transaction whose request would close a
+// wait-for cycle.
+var ErrDeadlock = errors.New("rvmlock: deadlock detected")
+
+// ErrReleased is returned when acquiring on an already-released token.
+var ErrReleased = errors.New("rvmlock: lock token already released")
+
+// lockState tracks one lock name.
+type lockState struct {
+	holders map[int]Mode // token id -> strongest held mode
+}
+
+// Manager is a lock manager.  One Manager serializes one family of lock
+// names; applications usually create a single Manager next to their RVM
+// instance.
+type Manager struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	locks  map[string]*lockState
+	waits  map[int]map[int]bool // waiter -> blockers (wait-for graph)
+	nextID int
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	m := &Manager{
+		locks: make(map[string]*lockState),
+		waits: make(map[int]map[int]bool),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Locks is a two-phase lock scope, typically one per transaction.
+type Locks struct {
+	mgr      *Manager
+	id       int
+	held     map[string]Mode
+	released bool
+}
+
+// Begin opens a lock scope.
+func (m *Manager) Begin() *Locks {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	return &Locks{mgr: m, id: m.nextID, held: make(map[string]Mode)}
+}
+
+// blockers returns the token ids preventing l from holding key in mode.
+func (m *Manager) blockers(key string, mode Mode, id int) []int {
+	st := m.locks[key]
+	if st == nil {
+		return nil
+	}
+	var out []int
+	for hid, hmode := range st.holders {
+		if hid == id {
+			continue
+		}
+		if mode == Exclusive || hmode == Exclusive {
+			out = append(out, hid)
+		}
+	}
+	return out
+}
+
+// wouldDeadlock reports whether adding edges waiter->blockers closes a
+// cycle in the wait-for graph.
+func (m *Manager) wouldDeadlock(waiter int, blockers []int) bool {
+	// DFS from each blocker looking for a path back to the waiter.
+	seen := map[int]bool{}
+	var stack []int
+	stack = append(stack, blockers...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == waiter {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for b := range m.waits[n] {
+			stack = append(stack, b)
+		}
+	}
+	return false
+}
+
+// Acquire takes key in the given mode, blocking until granted.  Acquiring
+// a lock already held is a no-op (or an upgrade from Shared to Exclusive).
+// If waiting would deadlock, Acquire returns ErrDeadlock immediately and
+// the scope's other locks remain held.
+func (l *Locks) Acquire(key string, mode Mode) error {
+	m := l.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l.released {
+		return ErrReleased
+	}
+	if have, ok := l.held[key]; ok && (have == Exclusive || mode == Shared) {
+		return nil // already strong enough
+	}
+	for {
+		blockers := m.blockers(key, mode, l.id)
+		if len(blockers) == 0 {
+			break
+		}
+		if m.wouldDeadlock(l.id, blockers) {
+			delete(m.waits, l.id)
+			return fmt.Errorf("%w: %q", ErrDeadlock, key)
+		}
+		bs := make(map[int]bool, len(blockers))
+		for _, b := range blockers {
+			bs[b] = true
+		}
+		m.waits[l.id] = bs
+		m.cond.Wait()
+		if l.released {
+			delete(m.waits, l.id)
+			return ErrReleased
+		}
+	}
+	delete(m.waits, l.id)
+	st := m.locks[key]
+	if st == nil {
+		st = &lockState{holders: make(map[int]Mode)}
+		m.locks[key] = st
+	}
+	st.holders[l.id] = mode
+	l.held[key] = mode
+	return nil
+}
+
+// TryAcquire takes key without blocking, reporting whether it was granted.
+func (l *Locks) TryAcquire(key string, mode Mode) bool {
+	m := l.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l.released {
+		return false
+	}
+	if have, ok := l.held[key]; ok && (have == Exclusive || mode == Shared) {
+		return true
+	}
+	if len(m.blockers(key, mode, l.id)) > 0 {
+		return false
+	}
+	st := m.locks[key]
+	if st == nil {
+		st = &lockState{holders: make(map[int]Mode)}
+		m.locks[key] = st
+	}
+	st.holders[l.id] = mode
+	l.held[key] = mode
+	return true
+}
+
+// Held reports the mode held on key, if any.
+func (l *Locks) Held(key string) (Mode, bool) {
+	m := l.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mode, ok := l.held[key]
+	return mode, ok
+}
+
+// Release drops every lock in the scope (strict two-phase release point).
+// It is idempotent.  Call it after the RVM transaction commits or aborts.
+func (l *Locks) Release() {
+	m := l.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l.released {
+		return
+	}
+	l.released = true
+	for key := range l.held {
+		st := m.locks[key]
+		delete(st.holders, l.id)
+		if len(st.holders) == 0 {
+			delete(m.locks, key)
+		}
+	}
+	delete(m.waits, l.id)
+	m.cond.Broadcast()
+}
+
+// Stats reports lock-manager occupancy (for debugging and tests).
+type Stats struct {
+	LockedKeys int // names with at least one holder
+	Waiters    int // scopes currently blocked
+}
+
+// Stats returns a snapshot.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{LockedKeys: len(m.locks), Waiters: len(m.waits)}
+}

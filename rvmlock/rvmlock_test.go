@@ -1,0 +1,272 @@
+package rvmlock
+
+import (
+	"encoding/binary"
+	"errors"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	rvm "github.com/rvm-go/rvm"
+)
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := NewManager()
+	a, b := m.Begin(), m.Begin()
+	if err := a.Acquire("k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire("k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	a.Release()
+	b.Release()
+	if st := m.Stats(); st.LockedKeys != 0 {
+		t.Fatalf("locks leaked: %+v", st)
+	}
+}
+
+func TestExclusiveBlocksUntilRelease(t *testing.T) {
+	m := NewManager()
+	a, b := m.Begin(), m.Begin()
+	if err := a.Acquire("k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- b.Acquire("k", Exclusive) }()
+	select {
+	case err := <-got:
+		t.Fatalf("second exclusive acquired immediately: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	a.Release()
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+}
+
+func TestSharedBlocksExclusive(t *testing.T) {
+	m := NewManager()
+	a, b := m.Begin(), m.Begin()
+	a.Acquire("k", Shared)
+	if b.TryAcquire("k", Exclusive) {
+		t.Fatal("exclusive granted over shared")
+	}
+	if !b.TryAcquire("k", Shared) {
+		t.Fatal("shared denied alongside shared")
+	}
+	a.Release()
+	b.Release()
+}
+
+func TestReacquireAndUpgrade(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	if err := a.Acquire("k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire("k", Shared); err != nil { // no-op
+		t.Fatal(err)
+	}
+	if err := a.Acquire("k", Exclusive); err != nil { // sole holder upgrade
+		t.Fatal(err)
+	}
+	if mode, ok := a.Held("k"); !ok || mode != Exclusive {
+		t.Fatalf("held %v/%v", mode, ok)
+	}
+	// Downgrade request is a no-op; stays exclusive.
+	if err := a.Acquire("k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if mode, _ := a.Held("k"); mode != Exclusive {
+		t.Fatal("downgraded")
+	}
+	a.Release()
+}
+
+func TestTwoPartyDeadlock(t *testing.T) {
+	m := NewManager()
+	a, b := m.Begin(), m.Begin()
+	a.Acquire("x", Exclusive)
+	b.Acquire("y", Exclusive)
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire("y", Exclusive) }() // a waits on b
+	time.Sleep(30 * time.Millisecond)
+	err := b.Acquire("x", Exclusive) // would close the cycle
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("no deadlock reported: %v", err)
+	}
+	b.Release() // victim aborts
+	if err := <-done; err != nil {
+		t.Fatalf("survivor failed: %v", err)
+	}
+	a.Release()
+}
+
+func TestThreePartyDeadlock(t *testing.T) {
+	m := NewManager()
+	a, b, c := m.Begin(), m.Begin(), m.Begin()
+	a.Acquire("1", Exclusive)
+	b.Acquire("2", Exclusive)
+	c.Acquire("3", Exclusive)
+	e1 := make(chan error, 1)
+	e2 := make(chan error, 1)
+	go func() { e1 <- a.Acquire("2", Exclusive) }()
+	go func() { e2 <- b.Acquire("3", Exclusive) }()
+	time.Sleep(50 * time.Millisecond)
+	err := c.Acquire("1", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("3-cycle undetected: %v", err)
+	}
+	c.Release()
+	if err := <-e2; err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	if err := <-e1; err != nil {
+		t.Fatal(err)
+	}
+	a.Release()
+}
+
+func TestUpgradeDeadlock(t *testing.T) {
+	// Two shared holders both upgrading is the classic upgrade deadlock.
+	m := NewManager()
+	a, b := m.Begin(), m.Begin()
+	a.Acquire("k", Shared)
+	b.Acquire("k", Shared)
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire("k", Exclusive) }()
+	time.Sleep(30 * time.Millisecond)
+	err := b.Acquire("k", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("upgrade deadlock undetected: %v", err)
+	}
+	b.Release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	a.Release()
+}
+
+func TestReleaseIsIdempotentAndInvalidates(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	a.Acquire("k", Exclusive)
+	a.Release()
+	a.Release()
+	if err := a.Acquire("k", Shared); !errors.Is(err, ErrReleased) {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	if a.TryAcquire("k", Shared) {
+		t.Fatal("try-acquire after release succeeded")
+	}
+}
+
+func TestReleaseWakesWaiterOnOwnToken(t *testing.T) {
+	// Releasing a token that is blocked in Acquire must unblock it with
+	// ErrReleased rather than leaving the goroutine stuck.
+	m := NewManager()
+	a, b := m.Begin(), m.Begin()
+	a.Acquire("k", Exclusive)
+	done := make(chan error, 1)
+	go func() { done <- b.Acquire("k", Exclusive) }()
+	time.Sleep(30 * time.Millisecond)
+	b.Release()
+	a.Release()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrReleased) && err != nil {
+			t.Fatalf("waiter got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter stuck after its token was released")
+	}
+}
+
+// TestSerializableCounterOverRVM is the integration test: many goroutines
+// increment a shared counter in recoverable memory, serialized by the lock
+// manager.  Without the locks the increments would race; with them the
+// final committed value is exact.
+func TestSerializableCounterOverRVM(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "l.log")
+	segPath := filepath.Join(dir, "s.seg")
+	if err := rvm.CreateLog(logPath, 1<<18); err != nil {
+		t.Fatal(err)
+	}
+	if err := rvm.CreateSegment(segPath, 1, int64(rvm.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	db, err := rvm.Open(rvm.Options{LogPath: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := db.Map(segPath, 0, int64(rvm.PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager()
+	const workers = 6
+	const perWorker = 20
+	var wg sync.WaitGroup
+	var failures atomic.Int32
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				lk := m.Begin()
+				if err := lk.Acquire("counter", Exclusive); err != nil {
+					failures.Add(1)
+					lk.Release()
+					continue
+				}
+				tx, err := db.Begin(rvm.Restore)
+				if err != nil {
+					lk.Release()
+					failures.Add(1)
+					continue
+				}
+				if err := tx.SetRange(reg, 0, 8); err != nil {
+					tx.Abort()
+					lk.Release()
+					failures.Add(1)
+					continue
+				}
+				v := binary.BigEndian.Uint64(reg.Data())
+				binary.BigEndian.PutUint64(reg.Data(), v+1)
+				if err := tx.Commit(rvm.NoFlush); err != nil {
+					failures.Add(1)
+				}
+				lk.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d operations failed", n)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint64(reg.Data()); got != workers*perWorker {
+		t.Fatalf("counter %d want %d", got, workers*perWorker)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Survives restart.
+	db2, err := rvm.Open(rvm.Options{LogPath: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	reg2, _ := db2.Map(segPath, 0, int64(rvm.PageSize))
+	if got := binary.BigEndian.Uint64(reg2.Data()); got != workers*perWorker {
+		t.Fatalf("recovered counter %d", got)
+	}
+}

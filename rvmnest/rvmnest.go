@@ -1,0 +1,152 @@
+// Package rvmnest layers nested transactions on RVM, following the
+// implementation sketch in §8 of the paper: nesting is bookkeeping above
+// RVM — volatile undo logs per nesting level — and "only top-level begin,
+// commit, and abort operations would be visible to RVM.  Recovery would be
+// simple, since the restoration of committed state would be handled
+// entirely by RVM."
+//
+// A child transaction's SetRange captures the current bytes into the
+// child's own undo log before delegating to the top-level RVM transaction
+// (whose own old-value copies serve the top-level abort).  Child abort
+// replays the child's undo newest-first; child commit donates its undo
+// records to the parent so a later parent abort undoes the child's work
+// too.  Durability remains exactly RVM's: nothing is permanent until the
+// top level commits.
+package rvmnest
+
+import (
+	"errors"
+	"fmt"
+
+	rvm "github.com/rvm-go/rvm"
+)
+
+// Errors returned by the nesting layer.
+var (
+	ErrDone        = errors.New("rvmnest: transaction already resolved")
+	ErrActiveChild = errors.New("rvmnest: operation with an active child transaction")
+	ErrNotRoot     = errors.New("rvmnest: only the top-level transaction may do this")
+)
+
+// undoRec is one volatile old-value capture.
+type undoRec struct {
+	reg *rvm.Region
+	off int64
+	old []byte
+}
+
+// Tx is a node in a nesting tree.  Use each node from one goroutine; the
+// classic nested-transaction discipline applies — a parent is suspended
+// while its child runs.
+type Tx struct {
+	db       *rvm.RVM
+	parent   *Tx
+	root     *Tx
+	rtx      *rvm.Tx // non-nil on the root only
+	undo     []undoRec
+	children int
+	done     bool
+}
+
+// Begin starts a top-level transaction.  The underlying RVM transaction is
+// a Restore transaction (the root must be abortable for children to be).
+func Begin(db *rvm.RVM) (*Tx, error) {
+	rtx, err := db.Begin(rvm.Restore)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tx{db: db, rtx: rtx}
+	t.root = t
+	return t, nil
+}
+
+// Child starts a nested transaction under t.
+func (t *Tx) Child() (*Tx, error) {
+	if t.done {
+		return nil, ErrDone
+	}
+	t.children++
+	return &Tx{db: t.db, parent: t, root: t.root}, nil
+}
+
+// IsRoot reports whether t is the top-level transaction.
+func (t *Tx) IsRoot() bool { return t.parent == nil }
+
+// SetRange declares an upcoming modification of [off, off+n) in reg at
+// this nesting level.
+func (t *Tx) SetRange(reg *rvm.Region, off, n int64) error {
+	if t.done {
+		return ErrDone
+	}
+	if t.children > 0 {
+		return ErrActiveChild
+	}
+	if n < 0 || off < 0 || off+n > reg.Length() {
+		return fmt.Errorf("rvmnest: range [%d,+%d) outside region", off, n)
+	}
+	// Volatile capture for this level's abort.  The root needs no extra
+	// capture: RVM's own old-value copy (taken inside rtx.SetRange below)
+	// already serves the top-level abort.
+	if !t.IsRoot() {
+		t.undo = append(t.undo, undoRec{
+			reg: reg,
+			off: off,
+			old: append([]byte(nil), reg.Data()[off:off+n]...),
+		})
+	}
+	return t.root.rtx.SetRange(reg, off, n)
+}
+
+// Modify is SetRange followed by copying data into the region.
+func (t *Tx) Modify(reg *rvm.Region, off int64, data []byte) error {
+	if err := t.SetRange(reg, off, int64(len(data))); err != nil {
+		return err
+	}
+	copy(reg.Data()[off:], data)
+	return nil
+}
+
+// Commit resolves this level.  A child's effects become part of its
+// parent (visible to it, undone by its abort); the root's effects reach
+// RVM with the given commit mode.  Committing the root with active
+// children is an error.
+func (t *Tx) Commit(mode rvm.CommitMode) error {
+	if t.done {
+		return ErrDone
+	}
+	if t.children > 0 {
+		return ErrActiveChild
+	}
+	t.done = true
+	if t.IsRoot() {
+		return t.rtx.Commit(mode)
+	}
+	// Donate undo records to the parent, preserving chronological order.
+	t.parent.undo = append(t.parent.undo, t.undo...)
+	t.undo = nil
+	t.parent.children--
+	return nil
+}
+
+// Abort undoes this level.  A child abort restores memory from its
+// volatile undo log (newest capture first) and leaves the parent intact; a
+// root abort delegates to RVM.
+func (t *Tx) Abort() error {
+	if t.done {
+		return ErrDone
+	}
+	if t.children > 0 {
+		return ErrActiveChild
+	}
+	t.done = true
+	if t.IsRoot() {
+		return t.rtx.Abort()
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		copy(u.reg.Data()[u.off:], u.old)
+	}
+	t.undo = nil
+	t.parent.children--
+	return nil
+}

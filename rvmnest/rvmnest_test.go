@@ -1,0 +1,229 @@
+package rvmnest
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	rvm "github.com/rvm-go/rvm"
+)
+
+type fixture struct {
+	db      *rvm.RVM
+	reg     *rvm.Region
+	logPath string
+	segPath string
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	dir := t.TempDir()
+	f := &fixture{
+		logPath: filepath.Join(dir, "l.log"),
+		segPath: filepath.Join(dir, "s.seg"),
+	}
+	if err := rvm.CreateLog(f.logPath, 1<<17); err != nil {
+		t.Fatal(err)
+	}
+	if err := rvm.CreateSegment(f.segPath, 1, int64(rvm.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	db, err := rvm.Open(rvm.Options{LogPath: f.logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.db = db
+	t.Cleanup(func() { db.Close() })
+	reg, err := db.Map(f.segPath, 0, int64(rvm.PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.reg = reg
+	return f
+}
+
+func (f *fixture) seed(t *testing.T, s string) {
+	t.Helper()
+	top, err := Begin(f.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Modify(f.reg, 0, []byte(s)); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChildCommitVisibleAndDurableViaRoot(t *testing.T) {
+	f := newFixture(t)
+	top, _ := Begin(f.db)
+	child, err := top.Child()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Modify(f.reg, 0, []byte("nested")); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+	// Visible to the parent before the root commits.
+	if !bytes.Equal(f.reg.Data()[:6], []byte("nested")) {
+		t.Fatal("child commit not visible to parent")
+	}
+	if err := top.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+	// Durable only via the root: crash and check.
+	db2, err := rvm.Open(rvm.Options{LogPath: f.logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	reg2, _ := db2.Map(f.segPath, 0, int64(rvm.PageSize))
+	if !bytes.Equal(reg2.Data()[:6], []byte("nested")) {
+		t.Fatal("nested commit lost after crash")
+	}
+}
+
+func TestChildCommitNotDurableWithoutRootCommit(t *testing.T) {
+	f := newFixture(t)
+	f.seed(t, "base--")
+	top, _ := Begin(f.db)
+	child, _ := top.Child()
+	child.Modify(f.reg, 0, []byte("kidkid"))
+	child.Commit(rvm.Flush)
+	// Crash before the root commits.
+	db2, err := rvm.Open(rvm.Options{LogPath: f.logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	reg2, _ := db2.Map(f.segPath, 0, int64(rvm.PageSize))
+	if !bytes.Equal(reg2.Data()[:6], []byte("base--")) {
+		t.Fatalf("child commit was durable without root commit: %q", reg2.Data()[:6])
+	}
+}
+
+func TestChildAbortRestoresParentView(t *testing.T) {
+	f := newFixture(t)
+	f.seed(t, "parentdata")
+	top, _ := Begin(f.db)
+	if err := top.Modify(f.reg, 0, []byte("PARENT")); err != nil {
+		t.Fatal(err)
+	}
+	child, _ := top.Child()
+	if err := child.Modify(f.reg, 0, []byte("child!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// The parent's own modification survives; the child's is undone.
+	if got := f.reg.Data()[:10]; !bytes.Equal(got, []byte("PARENTdata")) {
+		t.Fatalf("after child abort: %q", got)
+	}
+	if err := top.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentAbortUndoesCommittedChild(t *testing.T) {
+	f := newFixture(t)
+	f.seed(t, "0123456789")
+	top, _ := Begin(f.db)
+	child, _ := top.Child()
+	child.Modify(f.reg, 2, []byte("XX"))
+	if err := child.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.reg.Data()[:10]; !bytes.Equal(got, []byte("0123456789")) {
+		t.Fatalf("parent abort left %q", got)
+	}
+}
+
+func TestDeepNestingMixedOutcomes(t *testing.T) {
+	f := newFixture(t)
+	f.seed(t, "aaaaaaaaaa")
+	top, _ := Begin(f.db)
+	c1, _ := top.Child()
+	c1.Modify(f.reg, 0, []byte("bb")) // will commit
+	c2, _ := c1.Child()
+	c2.Modify(f.reg, 2, []byte("cc")) // will abort
+	c3, _ := c2.Child()
+	c3.Modify(f.reg, 4, []byte("dd")) // commits into c2, then c2 aborts
+	if err := c3.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+	// c2 and c3 both undone by c2's abort; c1 committed.
+	want := []byte("bbaaaaaaaa")
+	if got := f.reg.Data()[:10]; !bytes.Equal(got, want) {
+		t.Fatalf("got %q want %q", got, want)
+	}
+	// And that is what recovery yields too.
+	db2, err := rvm.Open(rvm.Options{LogPath: f.logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	reg2, _ := db2.Map(f.segPath, 0, int64(rvm.PageSize))
+	if got := reg2.Data()[:10]; !bytes.Equal(got, want) {
+		t.Fatalf("recovered %q want %q", got, want)
+	}
+}
+
+func TestDisciplineErrors(t *testing.T) {
+	f := newFixture(t)
+	top, _ := Begin(f.db)
+	child, _ := top.Child()
+	// Parent suspended while child active.
+	if err := top.SetRange(f.reg, 0, 1); !errors.Is(err, ErrActiveChild) {
+		t.Fatalf("parent op with active child: %v", err)
+	}
+	if err := top.Commit(rvm.Flush); !errors.Is(err, ErrActiveChild) {
+		t.Fatalf("parent commit with active child: %v", err)
+	}
+	if err := child.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Commit(rvm.Flush); !errors.Is(err, ErrDone) {
+		t.Fatalf("double child commit: %v", err)
+	}
+	if _, err := child.Child(); !errors.Is(err, ErrDone) {
+		t.Fatalf("child of resolved node: %v", err)
+	}
+	if err := top.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlappingChildAndParentRanges(t *testing.T) {
+	f := newFixture(t)
+	f.seed(t, "0000000000")
+	top, _ := Begin(f.db)
+	top.Modify(f.reg, 0, []byte("1111")) // parent writes [0,4)
+	child, _ := top.Child()
+	child.Modify(f.reg, 2, []byte("2222")) // child overlaps [2,6)
+	child.Abort()
+	// Child abort restores bytes as they were when the child touched them:
+	// parent's "11" at [2,4), original "00" at [4,6).
+	if got := f.reg.Data()[:10]; !bytes.Equal(got, []byte("1111000000")) {
+		t.Fatalf("got %q", got)
+	}
+	top.Commit(rvm.NoFlush)
+}

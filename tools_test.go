@@ -1,0 +1,107 @@
+package rvm_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	rvm "github.com/rvm-go/rvm"
+)
+
+// runTool invokes a cmd/ binary via `go run` and returns its output.
+func runTool(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./cmd/" + tool}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+// TestOperatorWorkflow drives the full rvmutl + rvmlogview workflow the
+// way an operator would: create a store, populate it through the library,
+// inspect and verify it offline, archive the log, post-mortem it, then
+// truncate.
+func TestOperatorWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool workflow skipped in -short")
+	}
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "w.log")
+	segPath := filepath.Join(dir, "w.seg")
+
+	out := runTool(t, "rvmutl", "create-log", logPath, "262144")
+	if !strings.Contains(out, "created log") {
+		t.Fatalf("create-log: %s", out)
+	}
+	runTool(t, "rvmutl", "create-seg", segPath, "7", "65536")
+
+	// Populate through the library, crash (no Close).
+	db, err := rvm.Open(rvm.Options{LogPath: logPath, TruncateThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := db.Map(segPath, 0, int64(rvm.PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		tx, _ := db.Begin(rvm.Restore)
+		tx.Modify(reg, int64(i*64), []byte("operator-data"))
+		if err := tx.Commit(rvm.Flush); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out = runTool(t, "rvmutl", "status", logPath)
+	if !strings.Contains(out, "5 transactions") {
+		t.Fatalf("status: %s", out)
+	}
+	out = runTool(t, "rvmutl", "verify", logPath)
+	if !strings.Contains(out, "ok: 5 live record(s), 1 segment(s) verified") {
+		t.Fatalf("verify: %s", out)
+	}
+	out = runTool(t, "rvmutl", "seg-info", segPath)
+	if !strings.Contains(out, "id:      7") {
+		t.Fatalf("seg-info: %s", out)
+	}
+	out = runTool(t, "rvmutl", "segments", logPath)
+	if !strings.Contains(out, "7\t") {
+		t.Fatalf("segments: %s", out)
+	}
+
+	// Archive the log before truncation (§6), then post-mortem it.
+	archive := filepath.Join(dir, "archive.log")
+	out = runTool(t, "rvmutl", "copy-log", logPath, archive, "1048576")
+	if !strings.Contains(out, "copied 5 live record(s)") {
+		t.Fatalf("copy-log: %s", out)
+	}
+	out = runTool(t, "rvmlogview", "-backward", "-data", archive)
+	if !strings.Contains(out, "5 record(s)") || !strings.Contains(out, "operator-data") {
+		t.Fatalf("rvmlogview: %s", out)
+	}
+	out = runTool(t, "rvmlogview", "-seg", "7", "-touches", "64", archive)
+	if !strings.Contains(out, "1 record(s)") {
+		t.Fatalf("rvmlogview touches filter: %s", out)
+	}
+
+	// Truncate the real log; verify it is empty and data survived.
+	out = runTool(t, "rvmutl", "truncate", logPath)
+	if !strings.Contains(out, "log now 0/") {
+		t.Fatalf("truncate: %s", out)
+	}
+	db2, err := rvm.Open(rvm.Options{LogPath: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	reg2, err := db2.Map(segPath, 0, int64(rvm.PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reg2.Data()[:13]) != "operator-data" {
+		t.Fatal("data lost through operator workflow")
+	}
+}
