@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -112,5 +113,24 @@ func (d *dict) persist() error {
 	if err := os.Rename(tmp, d.path); err != nil {
 		return fmt.Errorf("core: install segment dictionary: %w", err)
 	}
+	// The rename is only durable once the directory entry is; without this
+	// a crash can revert the dictionary to its previous version even
+	// though the log already references the new segment.
+	if err := syncDir(filepath.Dir(d.path)); err != nil {
+		return fmt.Errorf("core: sync segment dictionary directory: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a preceding rename in it is durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

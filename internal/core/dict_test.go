@@ -1,0 +1,56 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDictPersistAtomicDurable: persist must leave no temp file behind, the
+// installed file must round-trip, and the directory fsync path must run
+// without error (the rename alone is not durable until the directory entry
+// is synced).
+func TestDictPersistAtomicDurable(t *testing.T) {
+	dir := t.TempDir()
+	d := &dict{path: filepath.Join(dir, "log.segs"), entries: make(map[uint64]string)}
+	if err := d.set(7, "/data/seg7.rvm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.set(1, "seg1.rvm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(d.path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after persist: %v", err)
+	}
+
+	got, err := loadDict(d.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.entries) != 2 || got.entries[7] != "/data/seg7.rvm" || got.entries[1] != "seg1.rvm" {
+		t.Fatalf("reloaded entries = %v", got.entries)
+	}
+
+	// Updating an entry replaces the file atomically.
+	if err := d.set(7, "/data/moved.rvm"); err != nil {
+		t.Fatal(err)
+	}
+	got, err = loadDict(d.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.entries[7] != "/data/moved.rvm" {
+		t.Fatalf("updated entry = %q", got.entries[7])
+	}
+}
+
+// TestSyncDir covers the helper directly: a real directory syncs cleanly, a
+// missing one reports the error instead of pretending durability.
+func TestSyncDir(t *testing.T) {
+	if err := syncDir(t.TempDir()); err != nil {
+		t.Fatalf("syncDir on real directory: %v", err)
+	}
+	if err := syncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("syncDir on missing directory succeeded")
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/rvm-go/rvm/internal/mapping"
 	"github.com/rvm-go/rvm/internal/pagevec"
@@ -41,6 +43,17 @@ type Options struct {
 	LogPath string
 	// LogDevice overrides the log storage (tests inject fault devices).
 	LogDevice wal.Device
+	// SegmentDevice wraps the storage behind each segment the engine
+	// opens, mirroring LogDevice for the segment side of the seam; tests
+	// inject fault devices.  nil uses the bare file.
+	SegmentDevice segment.DeviceWrap
+	// MaxRetries bounds the retry attempts (beyond the first try) for
+	// transient storage faults on the log-force and segment-write paths.
+	// Zero selects the default of 3; negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling with
+	// each subsequent attempt.  Zero selects 1ms.
+	RetryBackoff time.Duration
 	// Backend selects region memory (heap or anonymous mmap).
 	Backend mapping.Backend
 	// DemandPaging maps regions copy-on-write over the segment file
@@ -92,6 +105,8 @@ type Statistics struct {
 	PagesWritten    uint64 // pages written to segments by truncation/unmap
 	Recoveries      uint64 // recoveries performed at Open (0 or 1)
 	RecoveredBytes  uint64 // bytes applied to segments during recovery
+	Retries         uint64 // transient storage faults retried on log/segment paths
+	TruncFailures   uint64 // background truncations that failed
 }
 
 // Engine is an open RVM instance: one log plus any number of mapped
@@ -116,8 +131,11 @@ type Engine struct {
 	truncating  bool   // a truncation (epoch or incremental) is in flight
 	epochEndSeq uint64 // while an epoch truncation is in flight: its EndSeq
 
-	stats  Statistics
-	closed bool
+	stats    Statistics
+	retries  atomic.Uint64 // transient-fault retries (atomic: truncation retries run without e.mu)
+	poisoned error         // root cause of the fail-stop state; nil while healthy
+	truncErr error         // most recent background-truncation failure
+	closed   bool
 }
 
 // spooled is a committed no-flush transaction awaiting its log write.
@@ -177,7 +195,7 @@ func Open(opts Options) (*Engine, error) {
 		l.SetNoSync(true)
 	}
 	if l.Used() > 0 {
-		st, err := recovery.Recover(l, e.lookupSegment)
+		st, err := recovery.Recover(l, e.lookupSegment, e.retryIO)
 		if err != nil {
 			e.closeFiles()
 			return nil, fmt.Errorf("rvm: recovery: %w", err)
@@ -212,7 +230,7 @@ func (e *Engine) lookupSegment(id uint64) (*segment.Segment, error) {
 	if !ok {
 		return nil, fmt.Errorf("rvm: segment %d not in dictionary", id)
 	}
-	s, err := segment.Open(path)
+	s, err := segment.OpenWith(path, e.opts.SegmentDevice)
 	if err != nil {
 		return nil, err
 	}
@@ -233,8 +251,8 @@ func (e *Engine) lookupSegment(id uint64) (*segment.Segment, error) {
 func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
-		return nil, ErrClosed
+	if err := e.checkLocked(); err != nil {
+		return nil, err
 	}
 	e.waitTruncationLocked()
 	if !mapping.IsAligned(segOff) || !mapping.IsAligned(length) || length <= 0 {
@@ -248,7 +266,7 @@ func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 	if id, ok := e.byPath[abs]; ok {
 		seg = e.segs[id]
 	} else {
-		seg, err = segment.Open(abs)
+		seg, err = segment.OpenWith(abs, e.opts.SegmentDevice)
 		if err != nil {
 			return nil, err
 		}
@@ -269,9 +287,11 @@ func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 		}
 	}
 	// Persist the dictionary entry before any log record can reference
-	// this segment.
+	// this segment.  A failure here poisons the engine: the in-memory
+	// dictionary and its durable copy could otherwise diverge, leaving
+	// future log records referencing a segment recovery cannot find.
 	if err := e.dict.set(seg.ID(), abs); err != nil {
-		return nil, err
+		return nil, e.maybePoisonLocked(err)
 	}
 	var buf *mapping.Buffer
 	if e.opts.DemandPaging {
@@ -290,8 +310,10 @@ func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 		}
 		// Mapping copies the committed image from the external data
 		// segment into memory (paper §4.1: copying occurs when a region
-		// is mapped).
-		if err := seg.ReadAt(buf.Data(), segOff); err != nil {
+		// is mapped).  Transient read faults are retried; a persistent
+		// failure aborts the Map but does not poison — no durable state
+		// has been touched.
+		if err := e.retryIO(func() error { return seg.ReadAt(buf.Data(), segOff) }); err != nil {
 			buf.Free()
 			return nil, err
 		}
@@ -318,8 +340,8 @@ func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 func (e *Engine) Unmap(r *Region) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
-		return ErrClosed
+	if err := e.checkLocked(); err != nil {
+		return err
 	}
 	e.waitTruncationLocked()
 	if !r.mapped {
@@ -332,10 +354,10 @@ func (e *Engine) Unmap(r *Region) error {
 	// durable first so the page write-out below cannot expose committed-
 	// but-unlogged bytes (no-undo/redo invariant).
 	if err := e.flushLocked(); err != nil {
-		return err
+		return e.maybePoisonLocked(err)
 	}
 	if err := e.writeDirtyPagesLocked(r); err != nil {
-		return err
+		return e.maybePoisonLocked(err)
 	}
 	e.queue.RemoveRegion(r.idx)
 	r.mapped = false
@@ -359,14 +381,17 @@ func (e *Engine) writeDirtyPagesLocked(r *Region) error {
 			continue
 		}
 		off := int64(p) * ps
-		if err := r.seg.WriteAt(r.data[off:off+ps], r.segOff+off); err != nil {
+		err := e.retryIO(func() error {
+			return r.seg.WriteAt(r.data[off:off+ps], r.segOff+off)
+		})
+		if err != nil {
 			return err
 		}
 		wrote = true
 		e.stats.PagesWritten++
 	}
 	if wrote {
-		if err := r.seg.Sync(); err != nil {
+		if err := e.retryIO(r.seg.Sync); err != nil {
 			return err
 		}
 	}
@@ -400,13 +425,16 @@ func (r *Region) SegmentOffset() int64 { return r.segOff }
 
 // QueryInfo describes the state of a region or of the engine.
 type QueryInfo struct {
-	UncommittedTxs int   // transactions with unresolved ranges in the region
-	DirtyPages     int   // pages with committed changes not yet in the segment
-	QueuedPages    int   // pages in the incremental-truncation queue
-	LogUsed        int64 // live log bytes (engine-wide)
-	LogSize        int64 // log record-area capacity
-	SpoolBytes     int64 // committed no-flush bytes not yet in the log
-	ActiveTxs      int   // engine-wide unresolved transactions
+	UncommittedTxs int    // transactions with unresolved ranges in the region
+	DirtyPages     int    // pages with committed changes not yet in the segment
+	QueuedPages    int    // pages in the incremental-truncation queue
+	LogUsed        int64  // live log bytes (engine-wide)
+	LogSize        int64  // log record-area capacity
+	SpoolBytes     int64  // committed no-flush bytes not yet in the log
+	ActiveTxs      int    // engine-wide unresolved transactions
+	Poisoned       bool   // engine is fail-stopped on an unrecoverable I/O error
+	TruncFailures  uint64 // background truncations that failed
+	LastFault      error  // poisoning root cause, or last background-truncation failure
 }
 
 // Query reports engine state; if r is non-nil the region fields are filled
@@ -418,10 +446,13 @@ func (e *Engine) Query(r *Region) (QueryInfo, error) {
 		return QueryInfo{}, ErrClosed
 	}
 	qi := QueryInfo{
-		LogUsed:    e.log.Used(),
-		LogSize:    e.log.AreaSize(),
-		SpoolBytes: e.spoolBytes,
-		ActiveTxs:  e.active,
+		LogUsed:       e.log.Used(),
+		LogSize:       e.log.AreaSize(),
+		SpoolBytes:    e.spoolBytes,
+		ActiveTxs:     e.active,
+		Poisoned:      e.poisoned != nil,
+		TruncFailures: e.stats.TruncFailures,
+		LastFault:     e.lastFaultLocked(),
 	}
 	if r != nil {
 		if !r.mapped {
@@ -455,12 +486,15 @@ func (e *Engine) Stats() Statistics {
 	ls := e.log.Stats()
 	st.LogBytes = ls.BytesAppended
 	st.LogForces = ls.Forces
+	st.Retries = e.retries.Load()
 	return st
 }
 
 // Close flushes committed work, truncates the log, and releases all files.
 // It fails if transactions are still active.  Mapped regions are released
-// implicitly.
+// implicitly.  A poisoned engine still releases every resource but skips
+// the flush and truncation (fail-stop: no further storage writes) and
+// reports the poisoned state.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -471,11 +505,16 @@ func (e *Engine) Close() error {
 	if e.active > 0 {
 		return fmt.Errorf("%w: %d", ErrActiveTx, e.active)
 	}
-	if err := e.flushLocked(); err != nil {
-		return err
-	}
-	if err := e.truncateLocked(); err != nil {
-		return err
+	var poisonErr error
+	if e.poisoned != nil {
+		poisonErr = fmt.Errorf("%w: %w", ErrPoisoned, e.poisoned)
+	} else {
+		if err := e.flushLocked(); err != nil {
+			return e.maybePoisonLocked(err)
+		}
+		if err := e.truncateLocked(); err != nil {
+			return e.maybePoisonLocked(err)
+		}
 	}
 	for _, r := range e.regions {
 		if r != nil && r.mapped {
@@ -488,7 +527,10 @@ func (e *Engine) Close() error {
 		}
 	}
 	e.closed = true
-	return e.closeFiles()
+	if err := e.closeFiles(); err != nil && poisonErr == nil {
+		return err
+	}
+	return poisonErr
 }
 
 func (e *Engine) closeFiles() error {

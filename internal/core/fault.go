@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/rvm-go/rvm/internal/iofault"
+	"github.com/rvm-go/rvm/internal/wal"
+)
+
+// ErrPoisoned is returned by Begin, Commit, Flush, Map, and the truncation
+// entry points after the engine has hit a non-recoverable storage fault.
+// The engine is fail-stop from that moment: no further log or segment bytes
+// are written, so the on-disk log still ends at the last durable commit and
+// a fresh Open recovers every acknowledged flush-mode transaction.  The
+// root cause is wrapped; Query reports the state via QueryInfo.Poisoned.
+var ErrPoisoned = errors.New("rvm: engine poisoned by unrecoverable I/O error")
+
+// retryPolicy resolves the retry knobs: attempts beyond the first try, and
+// the initial backoff (doubled per retry).
+func (e *Engine) retryPolicy() (int, time.Duration) {
+	max := e.opts.MaxRetries
+	switch {
+	case max == 0:
+		max = 3
+	case max < 0:
+		max = 0
+	}
+	backoff := e.opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	return max, backoff
+}
+
+// retryIO runs op, retrying transient storage faults with exponential
+// backoff.  Non-transient errors return immediately.  The retry counter is
+// atomic because truncation calls this without holding e.mu.
+func (e *Engine) retryIO(op func() error) error {
+	max, backoff := e.retryPolicy()
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || attempt >= max || !iofault.IsTransient(err) {
+			return err
+		}
+		e.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// isLogicalErr reports the caller/space conditions that flow through the
+// storage paths without implying a broken device; they never poison the
+// engine.
+func isLogicalErr(err error) bool {
+	return errors.Is(err, wal.ErrLogFull) ||
+		errors.Is(err, wal.ErrTooBig) ||
+		errors.Is(err, ErrClosed) ||
+		errors.Is(err, ErrPoisoned)
+}
+
+// maybePoisonLocked classifies an error escaping a storage path: logical
+// conditions pass through, anything else marks the engine poisoned and is
+// returned wrapped in ErrPoisoned.  Caller holds e.mu.
+func (e *Engine) maybePoisonLocked(err error) error {
+	if err == nil || isLogicalErr(err) {
+		return err
+	}
+	if e.poisoned == nil {
+		e.poisoned = err
+	}
+	return fmt.Errorf("%w: %w", ErrPoisoned, err)
+}
+
+// checkLocked gates the mutating entry points.  Caller holds e.mu.
+func (e *Engine) checkLocked() error {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.poisoned != nil {
+		return fmt.Errorf("%w: %w", ErrPoisoned, e.poisoned)
+	}
+	return nil
+}
+
+// lastFaultLocked is the root cause surfaced by Query: the poisoning error,
+// or failing that the most recent background-truncation failure.
+func (e *Engine) lastFaultLocked() error {
+	if e.poisoned != nil {
+		return e.poisoned
+	}
+	return e.truncErr
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/rvm-go/rvm/internal/iofault"
+	"github.com/rvm-go/rvm/internal/segment"
+)
+
+// faultEnv is an engine fixture with injectors on both sides of the storage
+// seam: the write-ahead log and every segment the engine opens.
+type faultEnv struct {
+	*env
+	logInj *iofault.Injector
+	segInj *iofault.Injector
+}
+
+// newFaultEnv builds the fixture.  logFaults and segFaults are the fault
+// schedules; seed drives any probabilistic faults.
+func newFaultEnv(t *testing.T, logSize, segSize int64, seed int64,
+	logFaults, segFaults []iofault.Fault, opts Options) (*faultEnv, error) {
+	t.Helper()
+	v := &faultEnv{env: &env{t: t, dir: t.TempDir()}}
+	v.logPath = v.dir + "/log.rvm"
+	v.segPath = v.dir + "/seg.rvm"
+	if err := CreateLog(v.logPath, logSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := CreateSegment(v.segPath, 1, segSize); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(v.logPath, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.logInj = iofault.NewInjector(f, seed)
+	for _, fl := range logFaults {
+		v.logInj.Add(fl)
+	}
+	opts.LogPath = v.logPath
+	opts.LogDevice = v.logInj
+	opts.SegmentDevice = func(path string, sf *os.File) segment.Device {
+		inj := iofault.NewInjector(sf, seed+1)
+		for _, fl := range segFaults {
+			inj.Add(fl)
+		}
+		v.segInj = inj
+		return inj
+	}
+	eng, err := Open(opts)
+	if err != nil {
+		f.Close()
+		return v, err
+	}
+	v.eng = eng
+	t.Cleanup(func() {
+		if v.eng != nil {
+			v.eng.Close()
+		}
+	})
+	return v, nil
+}
+
+// TestTransientFaultRetried: a sync fault that clears after two failures is
+// absorbed by the retry policy — the commit succeeds and the retries are
+// counted.
+func TestTransientFaultRetried(t *testing.T) {
+	v, err := newFaultEnv(t, 1<<16, pageBytes(2), 1, nil, nil,
+		Options{RetryBackoff: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := v.mapWhole()
+	v.commit1(r, 0, []byte("clean"))
+
+	v.logInj.Add(iofault.Fault{Ops: iofault.OpSync, Count: 2})
+	v.commit1(r, 64, []byte("retried")) // fails inside if retries don't work
+
+	if st := v.eng.Stats(); st.Retries == 0 {
+		t.Fatalf("Stats().Retries = 0, want > 0")
+	}
+	v.reopen(Options{})
+	r2 := v.mapWhole()
+	if got := r2.Data()[64:71]; !bytes.Equal(got, []byte("retried")) {
+		t.Fatalf("recovered %q", got)
+	}
+}
+
+// TestPoisonedEngineFailStop: a permanent fault on the log force poisons the
+// engine; every mutating entry point is rejected with ErrPoisoned, Query
+// reports the state, and a reopen on pristine devices still recovers every
+// acknowledged commit.
+func TestPoisonedEngineFailStop(t *testing.T) {
+	v, err := newFaultEnv(t, 1<<16, pageBytes(2), 1, nil, nil,
+		Options{RetryBackoff: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := v.mapWhole()
+	v.commit1(r, 0, []byte("acked"))
+
+	v.logInj.Add(iofault.Fault{Ops: iofault.OpSync, Count: -1})
+	tx, err := v.eng.Begin(Restore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Modify(r, 128, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(Flush); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Commit = %v, want ErrPoisoned", err)
+	}
+
+	if _, err := v.eng.Begin(Restore); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Begin = %v, want ErrPoisoned", err)
+	}
+	if err := v.eng.Flush(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Flush = %v, want ErrPoisoned", err)
+	}
+	if err := v.eng.Truncate(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Truncate = %v, want ErrPoisoned", err)
+	}
+	qi, err := v.eng.Query(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qi.Poisoned || qi.LastFault == nil {
+		t.Fatalf("Query = %+v, want Poisoned with a LastFault", qi)
+	}
+	if !errors.Is(qi.LastFault, iofault.ErrPermanent) {
+		t.Fatalf("LastFault = %v, want the injected permanent fault", qi.LastFault)
+	}
+
+	// Close must release resources but report the poisoning.
+	eng := v.eng
+	v.eng = nil
+	if err := eng.Close(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Close = %v, want ErrPoisoned", err)
+	}
+
+	// Pristine reopen: the acknowledged commit is recovered intact.
+	v.reopen(Options{})
+	r2 := v.mapWhole()
+	if got := r2.Data()[0:5]; !bytes.Equal(got, []byte("acked")) {
+		t.Fatalf("recovered %q, want %q", got, "acked")
+	}
+}
+
+// TestBackgroundTruncFailureObservable: when the background truncation hits
+// a broken segment device, the failure must surface through Query/Stats
+// instead of vanishing.
+func TestBackgroundTruncFailureObservable(t *testing.T) {
+	segFaults := []iofault.Fault{{Ops: iofault.OpWrite, Count: -1}}
+	v, err := newFaultEnv(t, 1<<15, pageBytes(2), 1, nil, segFaults,
+		Options{TruncateThreshold: 0.3, RetryBackoff: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := v.mapWhole()
+	// Commit until the threshold trips and the background truncation runs
+	// into the permanent segment fault.
+	buf := make([]byte, 2048)
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; ; i++ {
+		tx, err := v.eng.Begin(Restore)
+		if err != nil {
+			break // poisoned by the failed truncation: good enough
+		}
+		if err := tx.Modify(r, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(Flush); err != nil {
+			break
+		}
+		qi, err := v.eng.Query(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qi.TruncFailures > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background truncation failure never surfaced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for {
+		qi, err := v.eng.Query(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qi.TruncFailures > 0 {
+			if qi.LastFault == nil {
+				t.Fatalf("TruncFailures = %d but LastFault = nil", qi.TruncFailures)
+			}
+			if st := v.eng.Stats(); st.TruncFailures == 0 {
+				t.Fatal("Stats().TruncFailures = 0, want > 0")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background truncation failure never surfaced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// randomFaults generates a small random fault schedule for one device.
+func randomFaults(rng *rand.Rand) []iofault.Fault {
+	var fs []iofault.Fault
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		var f iofault.Fault
+		switch rng.Intn(4) {
+		case 0:
+			f.Ops = iofault.OpWrite
+		case 1:
+			f.Ops = iofault.OpSync
+		case 2:
+			f.Ops = iofault.OpWrite | iofault.OpSync
+		case 3:
+			f.Ops = iofault.OpRead
+		}
+		f.After = rng.Intn(80)
+		if rng.Intn(2) == 0 {
+			f.Count = 1 + rng.Intn(4) // transient: clears after N ops
+		} else {
+			f.Count = -1 // permanent
+		}
+		if f.Ops&iofault.OpWrite != 0 && rng.Intn(3) == 0 {
+			f.Torn = true
+			f.TornFrac = 0.25 + rng.Float64()*0.5
+		}
+		if rng.Intn(4) == 0 {
+			f.Prob = 0.3 + rng.Float64()*0.4
+		}
+		fs = append(fs, f)
+	}
+	return fs
+}
+
+// TestFaultScheduleProperty drives randomized fault schedules across both
+// the log and the segment device and checks the core durability contract:
+// after a crash and a pristine reopen, the recovered state is exactly the
+// state at the last acknowledged flush-mode commit — or that state plus the
+// single in-flight transaction whose acknowledgement failed after its bytes
+// reached the device.  Never a torn or reordered hybrid, never silent loss
+// of an acknowledged commit.
+func TestFaultScheduleProperty(t *testing.T) {
+	const trials = 120
+	size := pageBytes(2)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 7919))
+		v, err := newFaultEnv(t, 1<<15, size, int64(trial), randomFaults(rng), randomFaults(rng),
+			Options{
+				TruncateThreshold: 0.5,
+				Incremental:       trial%2 == 0,
+				RetryBackoff:      20 * time.Microsecond,
+			})
+
+		acked := make([]byte, size)     // state at the last acknowledged commit
+		attempted := make([]byte, size) // acked + the failed in-flight tx, if any
+		if err == nil {
+			r, merr := v.eng.Map(v.segPath, 0, size)
+			if merr == nil {
+				for i := 0; i < 12; i++ {
+					copy(attempted, acked)
+					tx, berr := v.eng.Begin(Restore)
+					if berr != nil {
+						break
+					}
+					cerr := error(nil)
+					for j, nr := 0, 1+rng.Intn(3); j < nr && cerr == nil; j++ {
+						off := rng.Int63n(size - 64)
+						data := make([]byte, 1+rng.Intn(48))
+						for k := range data {
+							data[k] = byte(rng.Intn(256))
+						}
+						if cerr = tx.Modify(r, off, data); cerr == nil {
+							copy(attempted[off:], data)
+						}
+					}
+					if cerr == nil {
+						cerr = tx.Commit(Flush)
+					} else {
+						_ = tx.Abort()
+					}
+					if cerr != nil {
+						break
+					}
+					copy(acked, attempted)
+				}
+			}
+		}
+
+		// Crash: drop the engine without flushing, reopen on pristine
+		// devices, and let recovery replay the log.
+		if v.eng != nil {
+			v.eng.closeFiles()
+			v.eng = nil
+		}
+		v.reopen(Options{})
+		r2, err := v.eng.Map(v.segPath, 0, size)
+		if err != nil {
+			t.Fatalf("trial %d: pristine Map failed: %v", trial, err)
+		}
+		got := r2.Data()
+		if !bytes.Equal(got, acked) && !bytes.Equal(got, attempted) {
+			t.Fatalf("trial %d: recovered state matches neither the last acknowledged commit nor the in-flight transaction", trial)
+		}
+		eng := v.eng
+		v.eng = nil
+		eng.closeFiles()
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/rvm-go/rvm/internal/wal"
+)
+
+// TestLogFullGiveUpContext: a record that can never fit — the tail position
+// forces a wrap and wrap-gap plus record exceed the area even when empty —
+// must come back as ErrLogFull wrapped with sizing context after the inline
+// truncations give up, and must leave the engine healthy (not poisoned).
+func TestLogFullGiveUpContext(t *testing.T) {
+	// Log area 16384.  First commit parks the tail near 4400, so the big
+	// record (≈12100 encoded) needs a wrap whose gap (≈12000) plus the
+	// record exceed the area no matter how much truncation frees.
+	v := newEnv(t, 1<<14, pageBytes(4), Options{})
+	r, err := v.eng.Map(v.segPath, 0, pageBytes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.commit1(r, 0, make([]byte, 4300))
+
+	tx, err := v.eng.Begin(Restore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Modify(r, 0, make([]byte, 12000)); err != nil {
+		t.Fatal(err)
+	}
+	err = tx.Commit(Flush)
+	if !errors.Is(err, wal.ErrLogFull) {
+		t.Fatalf("Commit = %v, want wrapped wal.ErrLogFull", err)
+	}
+	if !strings.Contains(err.Error(), "inline truncations") ||
+		!strings.Contains(err.Error(), "log area") {
+		t.Fatalf("give-up error lacks sizing context: %v", err)
+	}
+	if errors.Is(err, ErrPoisoned) {
+		t.Fatalf("log-full is a logical condition, must not poison: %v", err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The engine is still healthy: a fitting commit works and recovers.
+	v.commit1(r, 64, []byte("still alive"))
+	qi, err := v.eng.Query(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qi.Poisoned {
+		t.Fatal("engine poisoned by a logical log-full condition")
+	}
+}
+
+// TestCloseRacesAutoTruncate: Close must serialize cleanly with the
+// background truncation goroutine kicked off by a threshold-crossing
+// commit.  Run under -race this doubles as a data-race check on the
+// truncation bookkeeping.
+func TestCloseRacesAutoTruncate(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		v := newEnv(t, 1<<15, pageBytes(2), Options{
+			TruncateThreshold: 0.2,
+			Incremental:       i%2 == 0,
+		})
+		r := v.mapWhole()
+		buf := make([]byte, 4096)
+		for j := 0; j < 6; j++ {
+			v.commit1(r, 0, buf)
+		}
+		// Close immediately after the trigger: it must wait out or cleanly
+		// reject the in-flight background truncation, never race it.
+		eng := v.eng
+		v.eng = nil
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

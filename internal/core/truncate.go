@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"github.com/rvm-go/rvm/internal/mapping"
 	"github.com/rvm-go/rvm/internal/pagevec"
@@ -15,18 +16,19 @@ import (
 func (e *Engine) Flush() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
-		return ErrClosed
+	if err := e.checkLocked(); err != nil {
+		return err
 	}
-	return e.flushLocked()
+	return e.maybePoisonLocked(e.flushLocked())
 }
 
-// flushLocked drains the spool and forces the log.
+// flushLocked drains the spool and forces the log, retrying transient
+// faults.
 func (e *Engine) flushLocked() error {
 	if err := e.drainSpoolLocked(); err != nil {
 		return err
 	}
-	if err := e.log.Force(); err != nil {
+	if err := e.retryIO(e.log.Force); err != nil {
 		return err
 	}
 	e.stats.Flushes++
@@ -47,9 +49,9 @@ func (e *Engine) Truncate() error {
 // (paper §5.1.2, Figure 6).  Callers must NOT hold e.mu.
 func (e *Engine) epochTruncate() error {
 	e.mu.Lock()
-	if e.closed {
+	if err := e.checkLocked(); err != nil {
 		e.mu.Unlock()
-		return ErrClosed
+		return err
 	}
 	e.waitTruncationLocked()
 	e.truncating = true
@@ -63,11 +65,13 @@ func (e *Engine) epochTruncate() error {
 	// and the Force guarantees nothing unforced is ever applied to a
 	// segment (the no-undo/redo invariant).
 	if err := e.flushLocked(); err != nil {
+		err = e.maybePoisonLocked(err)
 		finish()
 		return err
 	}
-	ep, err := recovery.CollectEpoch(e.log)
+	ep, err := e.collectEpochLocked()
 	if err != nil {
+		err = e.maybePoisonLocked(err)
 		finish()
 		return err
 	}
@@ -76,26 +80,43 @@ func (e *Engine) epochTruncate() error {
 
 	// Apply outside the engine lock: commits keep flowing into the
 	// current epoch meanwhile.
-	_, err = ep.Apply(e.lookupSegmentSync)
+	_, err = ep.Apply(e.lookupSegmentSync, e.retryIO)
 
 	e.mu.Lock()
 	if err == nil {
 		e.completeEpochLocked(ep.EndSeq())
 		e.stats.EpochTruncs++
+	} else {
+		// The head was not advanced, so the log still covers everything
+		// the segments may have partially absorbed; recovery stays
+		// correct.  The engine, however, can no longer trust the device.
+		err = e.maybePoisonLocked(err)
 	}
 	finish()
 	return err
 }
 
+// collectEpochLocked snapshots the live log as a truncation epoch, retrying
+// transient read faults (a failed collection has no side effects).
+func (e *Engine) collectEpochLocked() (*recovery.Epoch, error) {
+	var ep *recovery.Epoch
+	err := e.retryIO(func() error {
+		var err error
+		ep, err = recovery.CollectEpoch(e.log)
+		return err
+	})
+	return ep, err
+}
+
 // truncateLocked is the Close-path truncation: everything already under
 // e.mu, no concurrency needed.
 func (e *Engine) truncateLocked() error {
-	ep, err := recovery.CollectEpoch(e.log)
+	ep, err := e.collectEpochLocked()
 	if err != nil {
 		return err
 	}
 	e.epochEndSeq = ep.EndSeq()
-	if _, err := ep.Apply(e.lookupSegment); err != nil {
+	if _, err := ep.Apply(e.lookupSegment, e.retryIO); err != nil {
 		e.epochEndSeq = 0
 		return err
 	}
@@ -180,7 +201,10 @@ func (e *Engine) incrementalStepsLocked(targetUsed int64) (bool, error) {
 			break
 		}
 		off := d.ID.Page * ps
-		if err := r.seg.WriteAt(r.data[off:off+ps], r.segOff+off); err != nil {
+		err := e.retryIO(func() error {
+			return r.seg.WriteAt(r.data[off:off+ps], r.segOff+off)
+		})
+		if err != nil {
 			return false, err
 		}
 		wrote[r.seg] = true
@@ -196,13 +220,16 @@ func (e *Engine) incrementalStepsLocked(targetUsed int64) (bool, error) {
 		moved = true
 	}
 	for seg := range wrote {
-		if err := seg.Sync(); err != nil {
+		if err := e.retryIO(seg.Sync); err != nil {
 			return false, err
 		}
 	}
 	if moved {
 		if hp, hs := e.log.Head(); hp != newPos || hs != newSeq {
-			if err := e.log.SetHead(newPos, newSeq); err != nil {
+			err := e.retryIO(func() error {
+				return e.log.SetHead(newPos, newSeq)
+			})
+			if err != nil {
 				return false, err
 			}
 		}
@@ -231,9 +258,9 @@ func (e *Engine) reclaimableTo(pos int64, moved bool) int64 {
 // benchmarks; background truncation uses the same path.
 func (e *Engine) TruncateIncremental(targetFraction float64) error {
 	e.mu.Lock()
-	if e.closed {
+	if err := e.checkLocked(); err != nil {
 		e.mu.Unlock()
-		return ErrClosed
+		return err
 	}
 	e.waitTruncationLocked()
 	e.truncating = true
@@ -243,6 +270,7 @@ func (e *Engine) TruncateIncremental(targetFraction float64) error {
 	if err == nil {
 		done, err = e.incrementalStepsLocked(target)
 	}
+	err = e.maybePoisonLocked(err)
 	e.truncating = false
 	e.cond.Broadcast()
 	e.mu.Unlock()
@@ -278,21 +306,47 @@ func (e *Engine) autoTruncate() {
 	incremental := e.opts.Incremental
 	thr := e.opts.TruncateThreshold
 	e.mu.Unlock()
+	var err error
 	if incremental {
 		// Aim well below the trigger so truncations are not continuous.
-		_ = e.TruncateIncremental(thr / 2)
-		return
+		err = e.TruncateIncremental(thr / 2)
+	} else {
+		err = e.epochTruncate()
 	}
-	_ = e.epochTruncate()
+	if err != nil && !errors.Is(err, ErrClosed) {
+		// Poisoning (when warranted) already happened inside the truncation
+		// path; here we make the failure observable.  The engine remains
+		// correct either way — the log head did not advance, so recovery
+		// still covers every acknowledged commit — but the log will keep
+		// filling until the operator notices via Query/Stats.
+		e.mu.Lock()
+		e.stats.TruncFailures++
+		e.truncErr = err
+		e.mu.Unlock()
+	}
 }
 
-// appendWithRetryLocked appends a record, making space synchronously when
-// the log is full.  Caller holds e.mu.
+// appendWithRetryLocked appends a record, retrying transient device faults
+// and making space synchronously when the log is full.  Caller holds e.mu.
 func (e *Engine) appendWithRetryLocked(tid uint64, flags uint8, ranges []wal.Range) (int64, uint64, int64, error) {
 	for attempt := 0; ; attempt++ {
-		pos, seq, n, err := e.log.Append(tid, flags, ranges)
-		if err == nil || !errors.Is(err, wal.ErrLogFull) || attempt >= 3 {
+		var pos, n int64
+		var seq uint64
+		err := e.retryIO(func() error {
+			var err error
+			pos, seq, n, err = e.log.Append(tid, flags, ranges)
+			return err
+		})
+		if err == nil || !errors.Is(err, wal.ErrLogFull) {
 			return pos, seq, n, err
+		}
+		if attempt >= 3 {
+			// Giving up: even after inline truncations the record does not
+			// fit.  Say why, so the caller can tell "log too small for this
+			// record" from a log that is merely busy.
+			return pos, seq, n, fmt.Errorf(
+				"rvm: log full after %d inline truncations (record needs %d bytes, log area %d bytes, %d live): %w",
+				attempt, wal.EncodedLen(ranges), e.log.AreaSize(), e.log.Used(), err)
 		}
 		if e.truncating {
 			// A truncation is already in flight; wait for it to free
@@ -307,15 +361,15 @@ func (e *Engine) appendWithRetryLocked(tid uint64, flags uint8, ranges []wal.Ran
 		// segments must be durable in the log (no-undo/redo invariant).
 		// The spool is intentionally not drained here — there may be no
 		// room for it; it stays in memory.
-		if err := e.log.Force(); err != nil {
+		if err := e.retryIO(e.log.Force); err != nil {
 			return 0, 0, 0, err
 		}
-		ep, err := recovery.CollectEpoch(e.log)
+		ep, err := e.collectEpochLocked()
 		if err != nil {
 			return 0, 0, 0, err
 		}
 		e.epochEndSeq = ep.EndSeq()
-		if _, err := ep.Apply(e.lookupSegment); err != nil {
+		if _, err := ep.Apply(e.lookupSegment, e.retryIO); err != nil {
 			e.epochEndSeq = 0
 			return 0, 0, 0, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -118,8 +119,8 @@ type Tx struct {
 func (e *Engine) Begin(mode TxMode) (*Tx, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
-		return nil, ErrClosed
+	if err := e.checkLocked(); err != nil {
+		return nil, err
 	}
 	t := &Tx{eng: e, id: e.nextTID, mode: mode, regions: make(map[int]*txRegion)}
 	e.nextTID++
@@ -149,8 +150,8 @@ func (t *Tx) SetRange(r *Region, off, n int64) error {
 	e := t.eng
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
-		return ErrClosed
+	if err := e.checkLocked(); err != nil {
+		return err
 	}
 	if !r.mapped {
 		return ErrRegionUnmapped
@@ -280,9 +281,9 @@ func (t *Tx) Commit(mode CommitMode) error {
 	}
 	e := t.eng
 	e.mu.Lock()
-	if e.closed {
+	if err := e.checkLocked(); err != nil {
 		e.mu.Unlock()
-		return ErrClosed
+		return err
 	}
 
 	var flags uint8
@@ -328,6 +329,7 @@ func (t *Tx) Commit(mode CommitMode) error {
 			// "bounded by the period between log flushes" (§4.2) — this
 			// just bounds the period by memory as well as by time.
 			if err := e.flushLocked(); err != nil {
+				err = e.maybePoisonLocked(err)
 				e.mu.Unlock()
 				return err
 			}
@@ -344,15 +346,26 @@ func (t *Tx) Commit(mode CommitMode) error {
 		// Older spooled transactions must reach the log first to keep
 		// commit order intact.
 		if err := e.drainSpoolLocked(); err != nil {
+			err = e.maybePoisonLocked(err)
+			t.abandonIfPoisonedLocked(err)
 			e.mu.Unlock()
 			return err
 		}
 		pos, seq, _, err := e.appendWithRetryLocked(t.id, flags, ranges)
 		if err != nil {
+			err = e.maybePoisonLocked(err)
+			t.abandonIfPoisonedLocked(err)
 			e.mu.Unlock()
 			return err
 		}
-		if err := e.log.Force(); err != nil {
+		// The force is the acknowledgement point: the transaction is
+		// only reported committed once its record is durable.  A force
+		// that fails past the transient retries leaves the device state
+		// unknowable, so the engine poisons itself rather than risk
+		// acknowledging on a log it cannot trust.
+		if err := e.retryIO(e.log.Force); err != nil {
+			err = e.maybePoisonLocked(err)
+			t.abandonIfPoisonedLocked(err)
 			e.mu.Unlock()
 			return err
 		}
@@ -368,6 +381,16 @@ func (t *Tx) Commit(mode CommitMode) error {
 	default:
 		e.mu.Unlock()
 		return fmt.Errorf("rvm: unknown commit mode %d", int(mode))
+	}
+}
+
+// abandonIfPoisonedLocked resolves a transaction whose commit just poisoned
+// the engine: it can never commit, and leaving it active would wedge Close
+// behind ErrActiveTx.  Logical failures (log full) keep the transaction
+// alive so the caller can retry or abort.  Caller holds e.mu.
+func (t *Tx) abandonIfPoisonedLocked(err error) {
+	if errors.Is(err, ErrPoisoned) {
+		t.finishLocked()
 	}
 }
 

@@ -1,0 +1,228 @@
+// Package iofault is the storage seam shared by the WAL and segment layers,
+// plus a composable fault injector for exercising it.
+//
+// The paper factors media resilience out of RVM (§2): the library assumes
+// the log force and segment writes either succeed or the process dies.  A
+// production storage stack is messier — transient errors that clear on
+// retry, permanent device failures, torn sector writes, fsync failures.
+// Every byte RVM persists flows through the Device interface below, so a
+// single injection point can simulate all of those against both the log and
+// the external data segments, and the engine's retry/fail-stop policy can
+// be tested without real hardware faults.
+//
+// Fault classification: an error that wraps ErrTransient (or EINTR/EAGAIN
+// from a real kernel) is worth retrying; anything else is treated as
+// non-recoverable and poisons the engine (see internal/core).
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"syscall"
+)
+
+// Device is the storage a log or segment runs on.  *os.File satisfies it;
+// tests inject Injector or crash devices.
+type Device interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Sync() error
+	Close() error
+}
+
+var (
+	// ErrTransient marks an injected fault that may clear on retry.
+	ErrTransient = errors.New("iofault: transient I/O error")
+	// ErrPermanent marks an injected fault that never clears.
+	ErrPermanent = errors.New("iofault: permanent I/O error")
+)
+
+// IsTransient reports whether err is worth retrying: an injected transient
+// fault, or one of the kernel errnos that mean "try again".
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) ||
+		errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN)
+}
+
+// Op selects the device operations a Fault applies to.
+type Op uint8
+
+const (
+	OpRead Op = 1 << iota
+	OpWrite
+	OpSync
+)
+
+// Fault is one injected failure mode.  The zero value of each field is the
+// benign default; combine fields freely.
+type Fault struct {
+	// Ops selects which operation classes the fault intercepts.
+	Ops Op
+	// After lets that many matching operations through before the fault
+	// becomes active.
+	After int
+	// Count is how many operations fail before the fault clears — the
+	// "transient error that clears after N ops" shape.  Negative means the
+	// fault is permanent and never clears.
+	Count int
+	// Prob, when in (0,1), makes each eligible operation fail only with
+	// that probability, using the injector's seeded RNG.  0 (or >= 1)
+	// means every eligible operation fails deterministically.
+	Prob float64
+	// Torn applies to writes: the fault writes a prefix of the buffer to
+	// the backing device before failing, simulating a torn sector write.
+	Torn bool
+	// TornFrac is the fraction of the buffer a torn write persists;
+	// 0 means half.  The prefix is always strictly shorter than the buffer.
+	TornFrac float64
+	// Err overrides the error returned.  nil selects ErrPermanent for
+	// permanent faults (Count < 0) and ErrTransient otherwise.
+	Err error
+}
+
+// err returns the error this fault injects.
+func (f *Fault) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	if f.Count < 0 {
+		return fmt.Errorf("%w (injected)", ErrPermanent)
+	}
+	return fmt.Errorf("%w (injected)", ErrTransient)
+}
+
+// Stats counts injector activity.
+type Stats struct {
+	Reads  uint64 // read operations attempted
+	Writes uint64 // write operations attempted
+	Syncs  uint64 // sync operations attempted
+	Faults uint64 // operations that were failed by a fault
+	Torn   uint64 // writes that were torn
+}
+
+// Injector wraps a Device and applies a configured schedule of faults.
+// All methods are safe for concurrent use.
+type Injector struct {
+	mu     sync.Mutex
+	dev    Device
+	rng    *rand.Rand
+	faults []*Fault
+	stats  Stats
+}
+
+// NewInjector wraps dev; seed drives the probabilistic faults.
+func NewInjector(dev Device, seed int64) *Injector {
+	return &Injector{dev: dev, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add appends a fault to the schedule.  Faults are consulted in insertion
+// order; the first active fault matching an operation fires.
+func (in *Injector) Add(f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = append(in.faults, &f)
+}
+
+// Clear drops the whole fault schedule (the operator replaced the disk).
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = nil
+}
+
+// Stats returns a snapshot of the activity counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// match returns the fault that fires for one operation of class op, or nil.
+// Caller holds in.mu.  Skip counters and fault budgets are consumed here.
+func (in *Injector) match(op Op) *Fault {
+	for _, f := range in.faults {
+		if f.Ops&op == 0 {
+			continue
+		}
+		if f.After > 0 {
+			f.After--
+			continue
+		}
+		if f.Count == 0 {
+			continue // exhausted: the transient condition cleared
+		}
+		if f.Prob > 0 && f.Prob < 1 && in.rng.Float64() >= f.Prob {
+			continue
+		}
+		if f.Count > 0 {
+			f.Count--
+		}
+		return f
+	}
+	return nil
+}
+
+// ReadAt reads through to the device unless a read fault fires.
+func (in *Injector) ReadAt(p []byte, off int64) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Reads++
+	if f := in.match(OpRead); f != nil {
+		in.stats.Faults++
+		return 0, f.err()
+	}
+	return in.dev.ReadAt(p, off)
+}
+
+// WriteAt writes through to the device unless a write fault fires; a torn
+// fault persists a strict prefix of p first.
+func (in *Injector) WriteAt(p []byte, off int64) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Writes++
+	f := in.match(OpWrite)
+	if f == nil {
+		return in.dev.WriteAt(p, off)
+	}
+	in.stats.Faults++
+	if f.Torn && len(p) > 1 {
+		frac := f.TornFrac
+		if frac <= 0 || frac >= 1 {
+			frac = 0.5
+		}
+		n := int(float64(len(p)) * frac)
+		if n >= len(p) {
+			n = len(p) - 1
+		}
+		if n > 0 {
+			in.stats.Torn++
+			if _, werr := in.dev.WriteAt(p[:n], off); werr != nil {
+				return 0, werr
+			}
+			return n, f.err()
+		}
+	}
+	return 0, f.err()
+}
+
+// Sync syncs the device unless a sync fault fires.
+func (in *Injector) Sync() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Syncs++
+	if f := in.match(OpSync); f != nil {
+		in.stats.Faults++
+		return f.err()
+	}
+	return in.dev.Sync()
+}
+
+// Close closes the backing device; faults never block release of resources.
+func (in *Injector) Close() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dev.Close()
+}

@@ -27,6 +27,20 @@ import (
 // SegmentLookup resolves a segment ID found in the log to an open segment.
 type SegmentLookup func(segID uint64) (*segment.Segment, error)
 
+// Retry wraps each storage operation of a recovery or truncation pass
+// (segment writes, segment syncs, the final log-head advance), letting the
+// engine retry transient faults with its backoff policy.  nil runs the
+// operation exactly once.
+type Retry func(op func() error) error
+
+// retried runs op under retry when one is supplied.
+func retried(retry Retry, op func() error) error {
+	if retry == nil {
+		return op()
+	}
+	return retry(op)
+}
+
 // Stats reports what a recovery or truncation pass did.
 type Stats struct {
 	Records      int    // committed transaction records processed
@@ -51,7 +65,7 @@ func (ts treeSet) add(r wal.Range, p itree.Policy) {
 
 // apply writes every tree interval to its segment and syncs the touched
 // segments.
-func (ts treeSet) apply(lookup SegmentLookup, st *Stats) error {
+func (ts treeSet) apply(lookup SegmentLookup, retry Retry, st *Stats) error {
 	for segID, tr := range ts {
 		seg, err := lookup(segID)
 		if err != nil {
@@ -59,12 +73,14 @@ func (ts treeSet) apply(lookup SegmentLookup, st *Stats) error {
 		}
 		err = tr.Walk(func(iv itree.Interval) error {
 			st.WritesMerged++
-			return seg.WriteAt(iv.Data, int64(iv.Off))
+			return retried(retry, func() error {
+				return seg.WriteAt(iv.Data, int64(iv.Off))
+			})
 		})
 		if err != nil {
 			return err
 		}
-		if err := seg.Sync(); err != nil {
+		if err := retried(retry, seg.Sync); err != nil {
 			return err
 		}
 		st.Segments++
@@ -75,7 +91,8 @@ func (ts treeSet) apply(lookup SegmentLookup, st *Stats) error {
 
 // Recover replays the entire live log onto the external data segments and
 // resets the log to empty.  It must run before any region is mapped.
-func Recover(l *wal.Log, lookup SegmentLookup) (Stats, error) {
+// retry (optional) wraps each storage operation.
+func Recover(l *wal.Log, lookup SegmentLookup, retry Retry) (Stats, error) {
 	var st Stats
 	trees := make(treeSet)
 	// Tail-to-head: newest record first, so earlier-seen bytes win.
@@ -91,12 +108,12 @@ func Recover(l *wal.Log, lookup SegmentLookup) (Stats, error) {
 	if err != nil {
 		return st, err
 	}
-	if err := trees.apply(lookup, &st); err != nil {
+	if err := trees.apply(lookup, retry, &st); err != nil {
 		return st, err
 	}
 	// All recovery actions are complete; only now mark the log empty.
 	pos, seq := l.Tail()
-	if err := l.SetHead(pos, seq); err != nil {
+	if err := retried(retry, func() error { return l.SetHead(pos, seq) }); err != nil {
 		return st, err
 	}
 	return st, nil
@@ -148,12 +165,16 @@ func (e *Epoch) Records() int { return e.stats.Records }
 func (e *Epoch) EndSeq() uint64 { return e.headSeq }
 
 // Apply writes the epoch's changes to the segments, syncs them, and then
-// advances the log head past the epoch.
-func (e *Epoch) Apply(lookup SegmentLookup) (Stats, error) {
-	if err := e.trees.apply(lookup, &e.stats); err != nil {
+// advances the log head past the epoch.  retry (optional) wraps each
+// storage operation.
+func (e *Epoch) Apply(lookup SegmentLookup, retry Retry) (Stats, error) {
+	if err := e.trees.apply(lookup, retry, &e.stats); err != nil {
 		return e.stats, err
 	}
-	if err := e.log.SetHead(e.headPos, e.headSeq); err != nil {
+	err := retried(retry, func() error {
+		return e.log.SetHead(e.headPos, e.headSeq)
+	})
+	if err != nil {
 		return e.stats, err
 	}
 	return e.stats, nil

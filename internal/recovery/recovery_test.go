@@ -68,7 +68,7 @@ func rng1(seg, off uint64, b byte, n int) []wal.Range {
 
 func TestRecoverEmptyLog(t *testing.T) {
 	f := newFixture(t, 1, 4096)
-	st, err := Recover(f.log, f.lookup)
+	st, err := Recover(f.log, f.lookup, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestRecoverAppliesCommittedChanges(t *testing.T) {
 	f.log.Append(2, 0, rng1(2, 0, 'b', 5))
 	f.log.Force()
 
-	st, err := Recover(f.log, f.lookup)
+	st, err := Recover(f.log, f.lookup, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestRecoverNewestWins(t *testing.T) {
 	f.log.Append(1, 0, rng1(1, 0, 'o', 10)) // older
 	f.log.Append(2, 0, rng1(1, 5, 'n', 10)) // newer, overlaps
 	f.log.Force()
-	if _, err := Recover(f.log, f.lookup); err != nil {
+	if _, err := Recover(f.log, f.lookup, nil); err != nil {
 		t.Fatal(err)
 	}
 	want := []byte("ooooonnnnnnnnnn")
@@ -119,12 +119,12 @@ func TestRecoverIdempotent(t *testing.T) {
 	f := newFixture(t, 1, 4096)
 	f.log.Append(1, 0, rng1(1, 0, 'x', 64))
 	f.log.Force()
-	if _, err := Recover(f.log, f.lookup); err != nil {
+	if _, err := Recover(f.log, f.lookup, nil); err != nil {
 		t.Fatal(err)
 	}
 	before := f.read(t, 1, 0, 64)
 	// Running recovery again on the now-empty log must change nothing.
-	st, err := Recover(f.log, f.lookup)
+	st, err := Recover(f.log, f.lookup, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestRecoverUnknownSegmentFails(t *testing.T) {
 	f := newFixture(t, 1, 4096)
 	f.log.Append(1, 0, rng1(99, 0, 'x', 8))
 	f.log.Force()
-	if _, err := Recover(f.log, f.lookup); err == nil {
+	if _, err := Recover(f.log, f.lookup, nil); err == nil {
 		t.Fatal("recovery with unknown segment succeeded")
 	}
 }
@@ -163,7 +163,7 @@ func TestEpochTruncation(t *testing.T) {
 	f.log.Append(3, 0, rng1(1, 32, 'c', 16))
 	f.log.Force()
 
-	st, err := e.Apply(f.lookup)
+	st, err := e.Apply(f.lookup, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestEpochTruncation(t *testing.T) {
 		t.Fatalf("live records after epoch: %v", tids)
 	}
 	// And a final recovery applies it too.
-	if _, err := Recover(f.log, f.lookup); err != nil {
+	if _, err := Recover(f.log, f.lookup, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := f.read(t, 1, 32, 16); !bytes.Equal(got, bytes.Repeat([]byte{'c'}, 16)) {
@@ -211,10 +211,10 @@ func TestEpochOldestFirstEqualsRecovery(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := e.Apply(fa.lookup); err != nil {
+		if _, err := e.Apply(fa.lookup, nil); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Recover(fb.log, fb.lookup); err != nil {
+		if _, err := Recover(fb.log, fb.lookup, nil); err != nil {
 			t.Fatal(err)
 		}
 		ga := fa.read(t, 1, 0, 4096)
@@ -234,7 +234,7 @@ func TestCollectEpochOnEmptyLog(t *testing.T) {
 	if e.Records() != 0 {
 		t.Fatal("epoch of empty log non-empty")
 	}
-	if _, err := e.Apply(f.lookup); err != nil {
+	if _, err := e.Apply(f.lookup, nil); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"io"
 	"os"
 
+	"github.com/rvm-go/rvm/internal/iofault"
 	"github.com/rvm-go/rvm/internal/mapping"
 )
 
@@ -40,9 +41,19 @@ const (
 // ErrNotSegment is returned when a file lacks a valid segment header.
 var ErrNotSegment = errors.New("segment: file is not an RVM external data segment")
 
+// Device is the storage a Segment runs on — the same iofault seam the WAL
+// uses, so fault tests can reach segment writes too.
+type Device = iofault.Device
+
+// DeviceWrap intercepts the file backing a segment as it is opened,
+// returning the Device all subsequent reads, writes, and syncs go through.
+// Tests wrap fault injectors; nil means the bare file.
+type DeviceWrap func(path string, f *os.File) Device
+
 // Segment is an open external data segment.
 type Segment struct {
-	f      *os.File
+	dev    Device
+	f      *os.File // backing file; needed for MapPrivate and Resize
 	path   string
 	id     uint64
 	length int64 // data bytes, excluding the header page
@@ -71,7 +82,7 @@ func Create(path string, id uint64, length int64) (*Segment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("segment: create %s: %w", path, err)
 	}
-	s := &Segment{f: f, path: path, id: id, length: length}
+	s := &Segment{dev: f, f: f, path: path, id: id, length: length}
 	if _, err := f.WriteAt(headerBytes(id, length), 0); err != nil {
 		f.Close()
 		os.Remove(path)
@@ -90,13 +101,21 @@ func Create(path string, id uint64, length int64) (*Segment, error) {
 }
 
 // Open opens an existing external data segment and validates its header.
-func Open(path string) (*Segment, error) {
+func Open(path string) (*Segment, error) { return OpenWith(path, nil) }
+
+// OpenWith opens a segment like Open, routing all storage operations
+// through wrap's Device when wrap is non-nil (tests inject fault devices).
+func OpenWith(path string, wrap DeviceWrap) (*Segment, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, fmt.Errorf("segment: open %s: %w", path, err)
 	}
+	var dev Device = f
+	if wrap != nil {
+		dev = wrap(path, f)
+	}
 	hdr := make([]byte, headerSize)
-	if _, err := io.ReadFull(io.NewSectionReader(f, 0, headerSize), hdr); err != nil {
+	if _, err := io.ReadFull(io.NewSectionReader(dev, 0, headerSize), hdr); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("%w: %s: short header", ErrNotSegment, path)
 	}
@@ -112,11 +131,22 @@ func Open(path string) (*Segment, error) {
 		f.Close()
 		return nil, fmt.Errorf("%w: %s: header checksum mismatch", ErrNotSegment, path)
 	}
+	length := int64(binary.BigEndian.Uint64(hdr[16:]))
+	// A valid header over a short file means the data area was truncated;
+	// serving it would return phantom zeroes or errors mid-transaction.
+	if fi, err := f.Stat(); err == nil {
+		if length < 0 || fi.Size() < int64(mapping.PageSize)+length {
+			f.Close()
+			return nil, fmt.Errorf("%w: %s: header claims %d data bytes but file holds %d",
+				ErrNotSegment, path, length, fi.Size())
+		}
+	}
 	s := &Segment{
+		dev:    dev,
 		f:      f,
 		path:   path,
 		id:     binary.BigEndian.Uint64(hdr[8:]),
-		length: int64(binary.BigEndian.Uint64(hdr[16:])),
+		length: length,
 	}
 	return s, nil
 }
@@ -146,7 +176,7 @@ func (s *Segment) ReadAt(p []byte, off int64) error {
 	if err := s.checkRange(off, int64(len(p))); err != nil {
 		return err
 	}
-	if _, err := s.f.ReadAt(p, dataOffset(off)); err != nil {
+	if _, err := s.dev.ReadAt(p, dataOffset(off)); err != nil {
 		return fmt.Errorf("segment %d: read at %d: %w", s.id, off, err)
 	}
 	return nil
@@ -158,7 +188,7 @@ func (s *Segment) WriteAt(p []byte, off int64) error {
 	if err := s.checkRange(off, int64(len(p))); err != nil {
 		return err
 	}
-	if _, err := s.f.WriteAt(p, dataOffset(off)); err != nil {
+	if _, err := s.dev.WriteAt(p, dataOffset(off)); err != nil {
 		return fmt.Errorf("segment %d: write at %d: %w", s.id, off, err)
 	}
 	return nil
@@ -176,39 +206,58 @@ func (s *Segment) MapPrivate(off, n int64) (*mapping.Buffer, error) {
 
 // Sync forces all previous writes to stable storage.
 func (s *Segment) Sync() error {
-	if err := s.f.Sync(); err != nil {
+	if err := s.dev.Sync(); err != nil {
 		return fmt.Errorf("segment %d: sync: %w", s.id, err)
 	}
 	return nil
 }
 
 // Resize grows or shrinks the segment's data area to length bytes (rounded
-// up to whole pages).  Growth zero-fills.
+// up to whole pages).  Growth zero-fills.  The header is rewritten before a
+// shrink and after a growth, so a crash between the two steps always leaves
+// the file at least as large as the header claims.
 func (s *Segment) Resize(length int64) error {
 	if length <= 0 {
 		return fmt.Errorf("segment: invalid length %d", length)
 	}
 	length = mapping.RoundUp(length)
+	writeHdr := func() error {
+		if _, err := s.dev.WriteAt(headerBytes(s.id, length), 0); err != nil {
+			return fmt.Errorf("segment %d: rewrite header: %w", s.id, err)
+		}
+		return nil
+	}
+	if length < s.length {
+		if err := writeHdr(); err != nil {
+			return err
+		}
+		if err := s.dev.Sync(); err != nil {
+			return fmt.Errorf("segment %d: sync: %w", s.id, err)
+		}
+	}
 	if err := s.f.Truncate(int64(mapping.PageSize) + length); err != nil {
 		return fmt.Errorf("segment %d: resize: %w", s.id, err)
 	}
-	if _, err := s.f.WriteAt(headerBytes(s.id, length), 0); err != nil {
-		return fmt.Errorf("segment %d: rewrite header: %w", s.id, err)
+	if length >= s.length {
+		if err := writeHdr(); err != nil {
+			return err
+		}
 	}
-	if err := s.f.Sync(); err != nil {
+	if err := s.dev.Sync(); err != nil {
 		return fmt.Errorf("segment %d: sync: %w", s.id, err)
 	}
 	s.length = length
 	return nil
 }
 
-// Close releases the underlying file.  It does not sync; call Sync first if
-// durability is required.
+// Close releases the underlying device.  It does not sync; call Sync first
+// if durability is required.
 func (s *Segment) Close() error {
-	if s.f == nil {
+	if s.dev == nil {
 		return nil
 	}
-	err := s.f.Close()
+	err := s.dev.Close()
+	s.dev = nil
 	s.f = nil
 	return err
 }

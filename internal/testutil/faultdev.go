@@ -1,24 +1,24 @@
 // Package testutil provides shared test infrastructure, chiefly a
 // fault-injecting storage device used to simulate crashes that tear writes
-// at arbitrary byte boundaries.
+// at arbitrary byte boundaries.  For finer-grained fault shapes (transient
+// errors, sync failures, probabilistic faults) compose with
+// internal/iofault.Injector; FaultDevice models exactly one thing — the
+// machine losing power mid-write.
 package testutil
 
 import (
 	"errors"
 	"sync"
+
+	"github.com/rvm-go/rvm/internal/iofault"
 )
 
 // ErrCrashed is returned by a FaultDevice once its write budget is
 // exhausted: the simulated machine has lost power.
 var ErrCrashed = errors.New("testutil: simulated crash")
 
-// Backing is the minimal storage a FaultDevice wraps.
-type Backing interface {
-	ReadAt(p []byte, off int64) (int, error)
-	WriteAt(p []byte, off int64) (int, error)
-	Sync() error
-	Close() error
-}
+// Backing is the storage a FaultDevice wraps — the shared iofault seam.
+type Backing = iofault.Device
 
 // FaultDevice passes reads through and applies writes only until a byte
 // budget is exhausted; the write that crosses the budget is torn (applied

@@ -38,6 +38,7 @@ import (
 	"os"
 	"sync"
 
+	"github.com/rvm-go/rvm/internal/iofault"
 	"github.com/rvm-go/rvm/internal/mapping"
 )
 
@@ -76,14 +77,10 @@ var (
 	ErrNotLog = errors.New("wal: file is not an RVM log")
 )
 
-// Device is the storage a Log runs on.  *os.File satisfies it; tests inject
-// fault devices that tear writes to simulate crashes.
-type Device interface {
-	ReadAt(p []byte, off int64) (int, error)
-	WriteAt(p []byte, off int64) (int, error)
-	Sync() error
-	Close() error
-}
+// Device is the storage a Log runs on — the iofault seam shared with the
+// segment layer.  *os.File satisfies it; tests inject fault devices that
+// tear writes or fail operations to simulate failing disks.
+type Device = iofault.Device
 
 // Range is one modification range of a transaction: new values for
 // Data bytes at Off within segment Seg.
@@ -130,6 +127,11 @@ type Log struct {
 
 // align8 rounds n up to a multiple of 8.
 func align8(n int64) int64 { return (n + 7) &^ 7 }
+
+// EncodedLen returns the encoded log size of a transaction record carrying
+// ranges, excluding any wrap record.  Exposed so the engine can report how
+// large a record that will not fit actually is.
+func EncodedLen(ranges []Range) int64 { return encodedLen(ranges) }
 
 // encodedLen returns the unpadded encoded length of a transaction record.
 func encodedLen(ranges []Range) int64 {

@@ -41,6 +41,8 @@
 package rvm
 
 import (
+	"time"
+
 	"github.com/rvm-go/rvm/internal/core"
 	"github.com/rvm-go/rvm/internal/mapping"
 )
@@ -93,6 +95,11 @@ var (
 	ErrOverlap        = core.ErrOverlap
 	ErrBadAlignment   = core.ErrBadAlignment
 	ErrActiveTx       = core.ErrActiveTx
+	// ErrPoisoned marks an engine that hit a non-recoverable storage fault
+	// and fail-stopped: mutating calls are rejected, nothing more is
+	// written, and a fresh Open on healthy storage recovers every
+	// acknowledged flush-mode commit.  Query reports the state.
+	ErrPoisoned = core.ErrPoisoned
 )
 
 // PageSize is the granularity of region mapping: offsets and lengths
@@ -130,6 +137,14 @@ type Options struct {
 	// transactions awaiting a Flush; crossing it flushes implicitly.
 	// Zero selects the 1 MiB default, negative disables the bound.
 	SpoolLimit int64
+	// MaxRetries bounds the retries for transient storage faults on the
+	// log and segment paths.  Zero selects the default of 3; negative
+	// disables retries.  Non-transient faults poison the engine instead
+	// (see ErrPoisoned).
+	MaxRetries int
+	// RetryBackoff is the initial backoff between retries, doubled per
+	// attempt.  Zero selects 1ms.
+	RetryBackoff time.Duration
 }
 
 // RVM is an open recoverable-virtual-memory instance: one write-ahead log
@@ -172,6 +187,8 @@ func Open(o Options) (*RVM, error) {
 		NoInterOpt:        o.NoInterOpt,
 		NoSync:            o.NoSync,
 		SpoolLimit:        o.SpoolLimit,
+		MaxRetries:        o.MaxRetries,
+		RetryBackoff:      o.RetryBackoff,
 	})
 	if err != nil {
 		return nil, err
