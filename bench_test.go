@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	rvm "github.com/rvm-go/rvm"
@@ -312,6 +313,68 @@ func BenchmarkAblateTruncation(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkConcurrentCommit measures flush-mode commit throughput under
+// goroutine concurrency, serialized force vs. group commit.  Real fsyncs:
+// the contended log force is exactly what group commit exists to amortize.
+// Each benchmark iteration has every worker commit a fixed number of
+// transactions to its own disjoint slots, so one iteration (-benchtime 1x)
+// already yields a meaningful fsyncs/commit ratio.
+func BenchmarkConcurrentCommit(b *testing.B) {
+	const commitsPerWorker = 8
+	const slotSize = 256
+	payload := bytes.Repeat([]byte{11}, 128)
+	for _, mode := range []struct {
+		name string
+		opts rvm.Options
+	}{
+		{"Serial", rvm.Options{}},
+		{"Group", rvm.Options{GroupCommit: true}},
+	} {
+		for _, workers := range []int{1, 2, 4, 8, 16, 32, 64} {
+			b.Run(fmt.Sprintf("%s/g%d", mode.name, workers), func(b *testing.B) {
+				db, reg := benchStore(b, mode.opts)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for w := 0; w < workers; w++ {
+						wg.Add(1)
+						go func(w int) {
+							defer wg.Done()
+							base := int64(w) * slotSize
+							for j := 0; j < commitsPerWorker; j++ {
+								tx, err := db.Begin(rvm.NoRestore)
+								if err != nil {
+									b.Error(err)
+									return
+								}
+								if err := tx.Modify(reg, base, payload); err != nil {
+									b.Error(err)
+									return
+								}
+								if err := tx.Commit(rvm.Flush); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}(w)
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+				st := db.Stats()
+				commits := float64(st.FlushCommits)
+				if commits > 0 {
+					b.ReportMetric(float64(st.LogForces)/commits, "fsyncs/commit")
+					b.ReportMetric(commits/b.Elapsed().Seconds(), "commits/s")
+				}
+				if st.GroupCommitSize > 0 {
+					b.ReportMetric(float64(st.GroupCommitSize), "max-batch")
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkSetRange measures the basic set-range path (with old-value

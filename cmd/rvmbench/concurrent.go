@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	rvm "github.com/rvm-go/rvm"
+)
+
+// The concurrent experiment measures what the paper could not: flush-mode
+// commit throughput under goroutine concurrency, serialized force vs.
+// group commit.  Unlike the simulation experiments these are real
+// measurements — real fsyncs on the host filesystem — so the absolute
+// numbers vary by machine.  The fsyncs/commit ratio, however, is a
+// property of the commit protocol, which is why the CI regression gate is
+// on that ratio and not on throughput.
+//
+// Group cells run with a small MaxForceDelay so the batch size (and hence
+// the gated ratio) is deterministic across hosts: every committer that
+// arrives within the window joins the leader's force.
+const (
+	concCommitsPerWorker = 16
+	concForceDelay       = time.Millisecond
+	concPayload          = 128
+	concSlot             = 256
+)
+
+var concWorkers = []int{1, 2, 4, 8, 16, 32, 64}
+
+// concCell is one (mode, workers) measurement, serialized to BENCH_ci.json.
+type concCell struct {
+	Workers         int     `json:"workers"`
+	GroupCommit     bool    `json:"group_commit"`
+	Commits         uint64  `json:"commits"`
+	ElapsedNs       int64   `json:"elapsed_ns"`
+	CommitsPerSec   float64 `json:"commits_per_sec"`
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit"`
+	MaxBatch        uint64  `json:"max_batch"`
+	ForcesSaved     uint64  `json:"forces_saved"`
+}
+
+type concReport struct {
+	Benchmark string     `json:"benchmark"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	NumCPU    int        `json:"num_cpu"`
+	Timestamp string     `json:"timestamp"`
+	Cells     []concCell `json:"cells"`
+}
+
+// concThresholds is the checked-in regression gate (bench_thresholds.json).
+type concThresholds struct {
+	ConcurrentCommit struct {
+		Workers                 int     `json:"workers"`
+		GroupMaxFsyncsPerCommit float64 `json:"group_max_fsyncs_per_commit"`
+	} `json:"concurrent_commit"`
+}
+
+// concurrent runs the sweep, prints a table, optionally writes jsonPath,
+// and enforces thresholdsPath (non-nil error on regression).
+func concurrent(jsonPath, thresholdsPath string) error {
+	report := concReport{
+		Benchmark: "concurrent-commit",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Println("Concurrent flush-mode commit: serialized force vs. group commit")
+	fmt.Printf("%8s %6s %9s %12s %14s %9s\n",
+		"mode", "goros", "commits", "commits/s", "fsyncs/commit", "max-batch")
+	for _, group := range []bool{false, true} {
+		for _, workers := range concWorkers {
+			cell, err := concRun(group, workers)
+			if err != nil {
+				return err
+			}
+			report.Cells = append(report.Cells, cell)
+			mode := "serial"
+			if group {
+				mode = "group"
+			}
+			fmt.Printf("%8s %6d %9d %12.0f %14.4f %9d\n",
+				mode, workers, cell.Commits, cell.CommitsPerSec,
+				cell.FsyncsPerCommit, cell.MaxBatch)
+		}
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if thresholdsPath != "" {
+		return concGate(report, thresholdsPath)
+	}
+	return nil
+}
+
+// concRun measures one cell on a fresh store.
+func concRun(group bool, workers int) (concCell, error) {
+	dir, err := os.MkdirTemp("", "rvmbench-conc-*")
+	if err != nil {
+		return concCell{}, err
+	}
+	defer os.RemoveAll(dir)
+	logPath := filepath.Join(dir, "c.log")
+	segPath := filepath.Join(dir, "c.seg")
+	if err := rvm.CreateLog(logPath, 64<<20); err != nil {
+		return concCell{}, err
+	}
+	if err := rvm.CreateSegment(segPath, 1, 1<<20); err != nil {
+		return concCell{}, err
+	}
+	opts := rvm.Options{LogPath: logPath, TruncateThreshold: -1}
+	if group {
+		opts.GroupCommit = true
+		opts.MaxForceDelay = concForceDelay
+	}
+	db, err := rvm.Open(opts)
+	if err != nil {
+		return concCell{}, err
+	}
+	defer db.Close()
+	reg, err := db.Map(segPath, 0, 1<<20)
+	if err != nil {
+		return concCell{}, err
+	}
+
+	payload := make([]byte, concPayload)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	errs := make([]error, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w) * concSlot
+			for j := 0; j < concCommitsPerWorker; j++ {
+				tx, err := db.Begin(rvm.NoRestore)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if err := tx.Modify(reg, base, payload); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := tx.Commit(rvm.Flush); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return concCell{}, err
+		}
+	}
+	st := db.Stats()
+	cell := concCell{
+		Workers:     workers,
+		GroupCommit: group,
+		Commits:     st.FlushCommits,
+		ElapsedNs:   elapsed.Nanoseconds(),
+		MaxBatch:    st.GroupCommitSize,
+		ForcesSaved: st.ForcesSaved,
+	}
+	if st.FlushCommits > 0 {
+		cell.CommitsPerSec = float64(st.FlushCommits) / elapsed.Seconds()
+		cell.FsyncsPerCommit = float64(st.LogForces) / float64(st.FlushCommits)
+	}
+	return cell, nil
+}
+
+// concGate fails if the gated cell regresses past the checked-in threshold.
+func concGate(report concReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var thr concThresholds
+	if err := json.Unmarshal(data, &thr); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	g := thr.ConcurrentCommit
+	if g.Workers == 0 {
+		return fmt.Errorf("%s: missing concurrent_commit gate", path)
+	}
+	for _, c := range report.Cells {
+		if c.GroupCommit && c.Workers == g.Workers {
+			if c.FsyncsPerCommit > g.GroupMaxFsyncsPerCommit {
+				return fmt.Errorf(
+					"bench gate FAILED: group commit at %d workers ran %.4f fsyncs/commit (threshold %.4f)",
+					g.Workers, c.FsyncsPerCommit, g.GroupMaxFsyncsPerCommit)
+			}
+			fmt.Printf("bench gate ok: group commit at %d workers ran %.4f fsyncs/commit (threshold %.4f)\n",
+				g.Workers, c.FsyncsPerCommit, g.GroupMaxFsyncsPerCommit)
+			return nil
+		}
+	}
+	return fmt.Errorf("bench gate: no group-commit cell with %d workers", g.Workers)
+}

@@ -7,6 +7,12 @@
 //	rvmbench -experiment table2   # Optimization savings (Table 2)
 //	rvmbench -experiment all
 //
+// Beyond the paper, -experiment concurrent measures flush-mode commit
+// throughput under goroutine concurrency on the real engine (serialized
+// force vs. group commit).  With -json FILE it writes the results as JSON;
+// with -thresholds FILE it enforces the checked-in CI regression gate on
+// fsyncs/commit and exits nonzero on violation.
+//
 // Table 1 / Figures 8-9 run in simulation mode: the workload and the
 // logging/optimization logic are real, but I/O and CPU are charged to a
 // virtual clock calibrated to the paper's 1993 testbed (see DESIGN.md §5),
@@ -34,9 +40,11 @@ var accounts = []int{
 var patterns = []tpca.Pattern{tpca.Sequential, tpca.Random, tpca.Localized}
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1 | fig8 | fig9 | table2 | future | all")
+	experiment := flag.String("experiment", "all", "table1 | fig8 | fig9 | table2 | future | concurrent | all")
 	quick := flag.Bool("quick", false, "fewer simulated transactions per cell")
 	scale := flag.Int("scale", 30, "Table 2 transaction-count divisor")
+	jsonPath := flag.String("json", "", "write concurrent-experiment results to this JSON file")
+	thresholds := flag.String("thresholds", "", "enforce the regression gate in this thresholds file")
 	flag.Parse()
 
 	switch *experiment {
@@ -50,6 +58,11 @@ func main() {
 		table2(*scale)
 	case "future":
 		future(*quick)
+	case "concurrent":
+		if err := concurrent(*jsonPath, *thresholds); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	case "all":
 		table1(*quick, false)
 		fmt.Println()

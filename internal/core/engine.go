@@ -78,6 +78,23 @@ type Options struct {
 	// NoSync disables physical fsyncs, forfeiting permanence.  For
 	// benchmark harnesses that measure log traffic, not durability.
 	NoSync bool
+	// GroupCommit batches the log forces of concurrent flush-mode
+	// commits.  A committer appends its record under the engine lock,
+	// releases the lock, and waits on a group-commit ticket: one
+	// leader-elected committer issues a single fsync covering every
+	// record appended since the last force and wakes all waiters with
+	// the shared outcome.  N concurrent committers then pay ~1 fsync per
+	// batch instead of N back-to-back fsyncs.  A failed group force
+	// poisons the engine and fails every ticket holder (fail-stop, same
+	// model as a failed serialized force).
+	GroupCommit bool
+	// MaxForceDelay extends the force leader's batching window with a
+	// timed wait.  A leader always yields the processor while new commit
+	// records keep arriving and forces once arrivals pause (see
+	// joinWindow); a nonzero MaxForceDelay makes it linger that much
+	// longer, trading commit latency for bigger batches when committers
+	// are slow to arrive.  Only meaningful with GroupCommit.
+	MaxForceDelay time.Duration
 	// SpoolLimit bounds the bytes of committed no-flush transactions held
 	// in memory awaiting a flush; crossing it triggers an implicit flush
 	// (the real RVM's log buffers were finite too, and an unbounded spool
@@ -107,6 +124,8 @@ type Statistics struct {
 	RecoveredBytes  uint64 // bytes applied to segments during recovery
 	Retries         uint64 // transient storage faults retried on log/segment paths
 	TruncFailures   uint64 // background truncations that failed
+	ForcesSaved     uint64 // flush commits acknowledged by another committer's force
+	GroupCommitSize uint64 // largest number of flush commits covered by one force
 }
 
 // Engine is an open RVM instance: one log plus any number of mapped
@@ -130,6 +149,8 @@ type Engine struct {
 	queue       pagevec.Queue
 	truncating  bool   // a truncation (epoch or incremental) is in flight
 	epochEndSeq uint64 // while an epoch truncation is in flight: its EndSeq
+
+	gc groupCommit // group-commit ticket state (own mutex; see groupcommit.go)
 
 	stats    Statistics
 	retries  atomic.Uint64 // transient-fault retries (atomic: truncation retries run without e.mu)
@@ -191,6 +212,7 @@ func Open(opts Options) (*Engine, error) {
 		nextTID: 1,
 	}
 	e.cond = sync.NewCond(&e.mu)
+	e.gc.cond = sync.NewCond(&e.gc.mu)
 	if opts.NoSync {
 		l.SetNoSync(true)
 	}
@@ -487,6 +509,10 @@ func (e *Engine) Stats() Statistics {
 	st.LogBytes = ls.BytesAppended
 	st.LogForces = ls.Forces
 	st.Retries = e.retries.Load()
+	e.gc.mu.Lock()
+	st.ForcesSaved = e.gc.saved
+	st.GroupCommitSize = e.gc.maxBatch
+	e.gc.mu.Unlock()
 	return st
 }
 

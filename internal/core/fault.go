@@ -57,6 +57,7 @@ func (e *Engine) retryIO(op func() error) error {
 func isLogicalErr(err error) bool {
 	return errors.Is(err, wal.ErrLogFull) ||
 		errors.Is(err, wal.ErrTooBig) ||
+		errors.Is(err, wal.ErrLogClosed) ||
 		errors.Is(err, ErrClosed) ||
 		errors.Is(err, ErrPoisoned)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"os"
+	"sync"
 	"testing"
 	"time"
 
@@ -207,6 +208,91 @@ func TestBackgroundTruncFailureObservable(t *testing.T) {
 			t.Fatal("background truncation failure never surfaced")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGroupCommitForceFaultPoisonsAll: a sync fault injected on the shared
+// group force must fail-stop every concurrent committer with the same
+// wrapped error and leave the engine poisoned — no ticket holder may be
+// acknowledged by a force that did not happen.  After a pristine reopen the
+// recovered state contains the pre-fault commit intact and, per doomed
+// committer, either its whole write or none of it.
+func TestGroupCommitForceFaultPoisonsAll(t *testing.T) {
+	const workers = 8
+	v, err := newFaultEnv(t, 1<<16, pageBytes(2), 1, nil, nil,
+		Options{
+			GroupCommit:   true,
+			MaxForceDelay: time.Millisecond,
+			RetryBackoff:  50 * time.Microsecond,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := v.mapWhole()
+	v.commit1(r, 0, []byte("pre-fault"))
+
+	// Every sync from here on fails permanently: the next group force is
+	// doomed, and with it every committer sharing it.
+	v.logInj.Add(iofault.Fault{Ops: iofault.OpSync, Count: -1})
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	payload := func(w int) []byte { return bytes.Repeat([]byte{byte('A' + w)}, 32) }
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tx, err := v.eng.Begin(Restore)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			if err := tx.Modify(r, 512+int64(w)*64, payload(w)); err != nil {
+				errs[w] = err
+				_ = tx.Abort()
+				return
+			}
+			errs[w] = tx.Commit(Flush)
+		}(w)
+	}
+	wg.Wait()
+
+	for w, err := range errs {
+		if !errors.Is(err, ErrPoisoned) {
+			t.Fatalf("worker %d: err = %v, want ErrPoisoned", w, err)
+		}
+	}
+	qi, err := v.eng.Query(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qi.Poisoned {
+		t.Fatal("engine not poisoned after failed group force")
+	}
+	if !errors.Is(qi.LastFault, iofault.ErrPermanent) {
+		t.Fatalf("LastFault = %v, want the injected permanent fault", qi.LastFault)
+	}
+	// The doomed transactions were abandoned, so Close is not wedged.
+	if qi.ActiveTxs != 0 {
+		t.Fatalf("ActiveTxs = %d after fail-stop, want 0", qi.ActiveTxs)
+	}
+
+	// Pristine reopen: the acknowledged commit is intact; each doomed
+	// committer's slot holds either its whole write or none of it.
+	eng := v.eng
+	v.eng = nil
+	eng.closeFiles()
+	v.reopen(Options{})
+	r2 := v.mapWhole()
+	if got := r2.Data()[0:9]; !bytes.Equal(got, []byte("pre-fault")) {
+		t.Fatalf("acknowledged commit lost: %q", got)
+	}
+	zero := make([]byte, 32)
+	for w := 0; w < workers; w++ {
+		got := r2.Data()[512+int64(w)*64 : 512+int64(w)*64+32]
+		if !bytes.Equal(got, zero) && !bytes.Equal(got, payload(w)) {
+			t.Fatalf("worker %d: recovered torn state %q", w, got)
+		}
 	}
 }
 

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitSingleCommitter: with nobody to share a force with, a
+// group-commit engine still forces before acknowledging — a lone committer
+// leads its own force and the commit survives a crash.
+func TestGroupCommitSingleCommitter(t *testing.T) {
+	v := newEnv(t, 1<<16, pageBytes(2), Options{GroupCommit: true})
+	r := v.mapWhole()
+	v.commit1(r, 0, []byte("alone"))
+	st := v.eng.Stats()
+	if st.LogForces == 0 {
+		t.Fatal("group-commit engine acknowledged a flush commit without any force")
+	}
+	v.reopen(Options{})
+	r2 := v.mapWhole()
+	if got := r2.Data()[0:5]; !bytes.Equal(got, []byte("alone")) {
+		t.Fatalf("recovered %q, want %q", got, "alone")
+	}
+}
+
+// TestGroupCommitConcurrent drives many goroutines through the group-commit
+// path: every commit must be acknowledged, every acknowledged value must
+// survive a crash, and the force count must show sharing (fewer fsyncs than
+// commits).  MaxForceDelay makes the batching deterministic even on devices
+// whose fsync is nearly free.
+func TestGroupCommitConcurrent(t *testing.T) {
+	const workers = 8
+	const commitsEach = 6
+	v := newEnv(t, 1<<20, pageBytes(2), Options{
+		GroupCommit:       true,
+		MaxForceDelay:     2 * time.Millisecond,
+		TruncateThreshold: -1,
+	})
+	r := v.mapWhole()
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < commitsEach; i++ {
+				tx, err := v.eng.Begin(Restore)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				// Disjoint 64-byte slots: RVM does not serialize
+				// transactions, so concurrent writers must not overlap.
+				payload := []byte(fmt.Sprintf("w%02d-i%02d", w, i))
+				if err := tx.Modify(r, int64(w)*64, payload); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := tx.Commit(Flush); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+
+	st := v.eng.Stats()
+	if st.FlushCommits != workers*commitsEach {
+		t.Fatalf("FlushCommits = %d, want %d", st.FlushCommits, workers*commitsEach)
+	}
+	if st.LogForces >= st.FlushCommits {
+		t.Fatalf("no force sharing: %d forces for %d commits", st.LogForces, st.FlushCommits)
+	}
+	if st.ForcesSaved == 0 {
+		t.Fatal("ForcesSaved = 0, want > 0")
+	}
+	if st.GroupCommitSize < 2 {
+		t.Fatalf("GroupCommitSize = %d, want >= 2", st.GroupCommitSize)
+	}
+
+	// Crash and recover: every acknowledged final value must be present.
+	v.reopen(Options{})
+	r2 := v.mapWhole()
+	for w := 0; w < workers; w++ {
+		want := []byte(fmt.Sprintf("w%02d-i%02d", w, commitsEach-1))
+		got := r2.Data()[int64(w)*64 : int64(w)*64+int64(len(want))]
+		if !bytes.Equal(got, want) {
+			t.Fatalf("worker %d: recovered %q, want %q", w, got, want)
+		}
+	}
+}
+
+// TestGroupCommitWithSpoolAndTruncation mixes group-commit flush
+// transactions with no-flush spooling and explicit truncation, checking the
+// paths compose: spool drains keep commit order ahead of flush commits, and
+// truncation's own forces satisfy group tickets.
+func TestGroupCommitWithSpoolAndTruncation(t *testing.T) {
+	const workers = 4
+	v := newEnv(t, 1<<20, pageBytes(2), Options{
+		GroupCommit:   true,
+		MaxForceDelay: time.Millisecond,
+		Incremental:   true,
+	})
+	r := v.mapWhole()
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				tx, err := v.eng.Begin(NoRestore)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				payload := []byte(fmt.Sprintf("W%d#%d", w, i))
+				if err := tx.Modify(r, int64(w)*64, payload); err != nil {
+					errs[w] = err
+					return
+				}
+				mode := Flush
+				if i%2 == 1 {
+					mode = NoFlush
+				}
+				if err := tx.Commit(mode); err != nil {
+					errs[w] = err
+					return
+				}
+				if i == 2 {
+					if err := v.eng.Truncate(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if err := v.eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v.reopen(Options{})
+	r2 := v.mapWhole()
+	for w := 0; w < workers; w++ {
+		want := []byte(fmt.Sprintf("W%d#4", w))
+		got := r2.Data()[int64(w)*64 : int64(w)*64+int64(len(want))]
+		if !bytes.Equal(got, want) {
+			t.Fatalf("worker %d: recovered %q, want %q", w, got, want)
+		}
+	}
+}
+
+// TestGroupCommitOrderPreserved: a group-commit engine must keep the
+// append-order semantics a serialized engine has — a later commit to the
+// same bytes wins after recovery, even when both commits shared a force.
+func TestGroupCommitOrderPreserved(t *testing.T) {
+	v := newEnv(t, 1<<18, pageBytes(2), Options{GroupCommit: true})
+	r := v.mapWhole()
+	for i := 0; i < 10; i++ {
+		v.commit1(r, 0, []byte(fmt.Sprintf("gen-%03d", i)))
+	}
+	v.reopen(Options{})
+	r2 := v.mapWhole()
+	if got := r2.Data()[0:7]; !bytes.Equal(got, []byte("gen-009")) {
+		t.Fatalf("recovered %q, want last committed generation", got)
+	}
+}

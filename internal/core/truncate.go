@@ -313,7 +313,7 @@ func (e *Engine) autoTruncate() {
 	} else {
 		err = e.epochTruncate()
 	}
-	if err != nil && !errors.Is(err, ErrClosed) {
+	if err != nil && !errors.Is(err, ErrClosed) && !errors.Is(err, wal.ErrLogClosed) {
 		// Poisoning (when warranted) already happened inside the truncation
 		// path; here we make the failure observable.  The engine remains
 		// correct either way — the log head did not advance, so recovery

@@ -363,13 +363,31 @@ func (t *Tx) Commit(mode CommitMode) error {
 		// that fails past the transient retries leaves the device state
 		// unknowable, so the engine poisons itself rather than risk
 		// acknowledging on a log it cannot trust.
-		if err := e.retryIO(e.log.Force); err != nil {
-			err = e.maybePoisonLocked(err)
-			t.abandonIfPoisonedLocked(err)
+		if e.opts.GroupCommit {
+			// Dirty bits and page enqueues happen here, in the same
+			// critical section as the append, so the truncation queue
+			// keeps log order.  The pages cannot be written out before
+			// the force completes: this transaction still holds their
+			// uncommitted reference counts until finishLocked, and epoch
+			// truncation forces the log before applying records.
+			t.markDirtyLocked(pages, pos, seq)
 			e.mu.Unlock()
-			return err
+			ferr := e.waitForced(seq)
+			e.mu.Lock()
+			if ferr != nil {
+				t.abandonIfPoisonedLocked(ferr)
+				e.mu.Unlock()
+				return ferr
+			}
+		} else {
+			if err := e.retryIO(e.log.Force); err != nil {
+				err = e.maybePoisonLocked(err)
+				t.abandonIfPoisonedLocked(err)
+				e.mu.Unlock()
+				return err
+			}
+			t.markDirtyLocked(pages, pos, seq)
 		}
-		t.markDirtyLocked(pages, pos, seq)
 		t.finishLocked()
 		e.stats.FlushCommits++
 		trigger := e.shouldAutoTruncateLocked()

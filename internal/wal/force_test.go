@@ -1,0 +1,202 @@
+package wal
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countingDev counts physical Sync calls and can gate them open/closed so a
+// test can hold an fsync in flight.
+type countingDev struct {
+	*os.File
+	mu    sync.Mutex
+	syncs int
+	gate  chan struct{} // non-nil: Sync blocks until the channel is closed
+	entry chan struct{} // non-nil: closed when a Sync arrives
+}
+
+func (d *countingDev) Sync() error {
+	d.mu.Lock()
+	d.syncs++
+	gate, entry := d.gate, d.entry
+	d.mu.Unlock()
+	if entry != nil {
+		close(entry)
+		d.mu.Lock()
+		d.entry = nil
+		d.mu.Unlock()
+	}
+	if gate != nil {
+		<-gate
+	}
+	return d.File.Sync()
+}
+
+func (d *countingDev) syncCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncs
+}
+
+func newCountingLog(t *testing.T, areaSize int64) (*Log, *countingDev) {
+	t.Helper()
+	path := t.TempDir() + "/log.rvm"
+	if err := Create(path, areaSize); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := &countingDev{File: f}
+	l, err := OpenDevice(dev)
+	if err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, dev
+}
+
+// TestForcedThroughAdvances: ForcedThrough trails appends and catches up on
+// Force, making "is my record durable" answerable by sequence number alone.
+func TestForcedThroughAdvances(t *testing.T) {
+	l, _ := newLog(t, 1<<16)
+	if got := l.ForcedThrough(); got != 0 {
+		t.Fatalf("ForcedThrough on empty log = %d, want 0", got)
+	}
+	_, seq1, _, err := l.Append(1, 0, []Range{mkRange(1, 0, 'a', 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ForcedThrough(); got >= seq1 {
+		t.Fatalf("ForcedThrough = %d before any Force, want < %d", got, seq1)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ForcedThrough(); got != seq1 {
+		t.Fatalf("ForcedThrough = %d after Force, want %d", got, seq1)
+	}
+	_, seq2, _, err := l.Append(2, 0, []Range{mkRange(1, 64, 'b', 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ForcedThrough(); got != seq1 || seq2 <= seq1 {
+		t.Fatalf("ForcedThrough = %d after new append, want still %d", got, seq1)
+	}
+}
+
+// TestForcedThroughSurvivesReopen: records discovered at Open are on the
+// device by definition, so ForcedThrough starts at the last live record.
+func TestForcedThroughSurvivesReopen(t *testing.T) {
+	l, path := newLog(t, 1<<16)
+	_, seq, _, err := l.Append(1, 0, []Range{mkRange(1, 0, 'a', 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.ForcedThrough(); got != seq {
+		t.Fatalf("ForcedThrough after reopen = %d, want %d", got, seq)
+	}
+}
+
+// TestSetNoSyncToggleForcesRealSync is the regression test for the NoSync
+// toggle race: a Force that skipped its fsync while NoSync was set must not
+// let the log stay "clean" once NoSync is cleared — the next Force has to
+// issue a physical sync covering the skipped bytes, even when nothing new
+// was appended in between.
+func TestSetNoSyncToggleForcesRealSync(t *testing.T) {
+	l, dev := newCountingLog(t, 1<<16)
+	if _, _, _, err := l.Append(1, 0, []Range{mkRange(1, 0, 'a', 32)}); err != nil {
+		t.Fatal(err)
+	}
+	l.SetNoSync(true)
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if n := dev.syncCount(); n != 0 {
+		t.Fatalf("Force under NoSync issued %d physical syncs, want 0", n)
+	}
+	l.SetNoSync(false)
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if n := dev.syncCount(); n != 1 {
+		t.Fatalf("Force after SetNoSync(false) issued %d physical syncs, want 1", n)
+	}
+	// Once really synced, Force is a no-op again.
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if n := dev.syncCount(); n != 1 {
+		t.Fatalf("redundant Force issued a physical sync (total %d)", n)
+	}
+}
+
+// TestAppendDuringForce: Force must not hold the log mutex across the
+// fsync — an Append issued mid-force completes, and the forced-through
+// sequence number advances only to the pre-fsync snapshot, leaving the log
+// dirty for the straggler.
+func TestAppendDuringForce(t *testing.T) {
+	l, dev := newCountingLog(t, 1<<16)
+	_, seq1, _, err := l.Append(1, 0, []Range{mkRange(1, 0, 'a', 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	entry := make(chan struct{})
+	dev.mu.Lock()
+	dev.gate, dev.entry = gate, entry
+	dev.mu.Unlock()
+
+	forceDone := make(chan error, 1)
+	go func() { forceDone <- l.Force() }()
+	select {
+	case <-entry: // the fsync is in flight
+	case <-time.After(5 * time.Second):
+		t.Fatal("Force never reached the device")
+	}
+
+	// Append while the fsync is in flight; this must not deadlock.
+	appendDone := make(chan uint64, 1)
+	go func() {
+		_, seq2, _, err := l.Append(2, 0, []Range{mkRange(1, 64, 'b', 32)})
+		if err != nil {
+			t.Error(err)
+		}
+		appendDone <- seq2
+	}()
+	var seq2 uint64
+	select {
+	case seq2 = <-appendDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Append blocked behind an in-flight Force")
+	}
+
+	close(gate)
+	if err := <-forceDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ForcedThrough(); got != seq1 {
+		t.Fatalf("ForcedThrough = %d after force, want snapshot %d (not straggler %d)", got, seq1, seq2)
+	}
+	// The straggler is still dirty; a second Force covers it.
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ForcedThrough(); got != seq2 {
+		t.Fatalf("ForcedThrough = %d after second force, want %d", got, seq2)
+	}
+}

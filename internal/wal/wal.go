@@ -75,6 +75,10 @@ var (
 	ErrTooBig = errors.New("wal: record larger than log")
 	// ErrNotLog is returned when a file lacks a valid status block.
 	ErrNotLog = errors.New("wal: file is not an RVM log")
+	// ErrLogClosed is returned by operations on a closed log — reachable
+	// when a crash simulation or shutdown closes the device while a
+	// background truncation still holds a reference to the log.
+	ErrLogClosed = errors.New("wal: log closed")
 )
 
 // Device is the storage a Log runs on — the iofault seam shared with the
@@ -113,14 +117,16 @@ type Log struct {
 	dev      Device
 	areaSize int64
 
-	head    int64  // area offset of oldest live byte
-	headSeq uint64 // seqno expected at head
-	used    int64  // live bytes (head..tail, circular)
-	nextSeq uint64 // seqno of the next record to append
-	gen     uint64 // status block generation
-	dirty   bool   // appended bytes not yet forced
+	head      int64  // area offset of oldest live byte
+	headSeq   uint64 // seqno expected at head
+	used      int64  // live bytes (head..tail, circular)
+	nextSeq   uint64 // seqno of the next record to append
+	gen       uint64 // status block generation
+	dirty     bool   // appended bytes not yet forced
+	forcedSeq uint64 // highest seqno covered by a completed Force
 
-	noSync bool
+	noSync      bool
+	skippedSync bool // a Force skipped its fsync while noSync was set
 
 	stats Stats
 }
@@ -260,6 +266,9 @@ func OpenDevice(dev Device) (*Log, error) {
 	if err := l.findTail(); err != nil {
 		return nil, err
 	}
+	// Everything discovered in the log is already on the device, so the
+	// forced-through sequence number starts at the last live record.
+	l.forcedSeq = l.nextSeq - 1
 	return l, nil
 }
 
@@ -375,6 +384,9 @@ func (l *Log) tailPos() int64 { return (l.head + l.used) % l.areaSize }
 func (l *Log) Append(tid uint64, flags uint8, ranges []Range) (pos int64, seq uint64, nbytes int64, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.dev == nil {
+		return 0, 0, 0, ErrLogClosed
+	}
 
 	need := encodedLen(ranges)
 	if need > l.areaSize {
@@ -451,29 +463,88 @@ func (l *Log) writeRecord(pos int64, typ uint8, tid uint64, flags uint8, ranges 
 
 // Force makes all appended records durable (fsync).  It is a no-op when
 // nothing was appended since the last Force.
+//
+// The log mutex is NOT held across the fsync: the sequence number to cover
+// is snapshotted under the lock, the device is synced unlocked, and the
+// forced-through sequence number is advanced afterwards — only to the
+// snapshot, never past it, so records appended while the fsync was in
+// flight stay unforced (and the log stays dirty) until a later Force.
+// This lets committers keep appending behind an in-flight group force.
+// Concurrent Force calls are safe; each advances ForcedThrough to at least
+// its own snapshot.
 func (l *Log) Force() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	if l.dev == nil {
+		l.mu.Unlock()
+		return ErrLogClosed
+	}
 	if !l.dirty {
+		l.mu.Unlock()
 		return nil
 	}
-	if !l.noSync {
-		if err := l.dev.Sync(); err != nil {
+	coverSeq := l.nextSeq - 1
+	dev := l.dev
+	sync := !l.noSync
+	if !sync {
+		// The fsync is being skipped: remember that, so a later
+		// SetNoSync(false) can re-dirty the log and the next Force issues
+		// a real fsync covering these bytes.
+		l.skippedSync = true
+	}
+	l.mu.Unlock()
+	if sync {
+		if err := dev.Sync(); err != nil {
 			return fmt.Errorf("wal: force: %w", err)
 		}
 	}
-	l.dirty = false
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if coverSeq > l.forcedSeq {
+		l.forcedSeq = coverSeq
+	}
+	if l.nextSeq-1 == coverSeq {
+		// Nothing appended during the fsync window: the log is clean.
+		l.dirty = false
+	}
 	l.stats.Forces++
 	return nil
+}
+
+// ForcedThrough returns the highest sequence number known durable: every
+// record with Seq <= ForcedThrough() was covered by a completed Force.  A
+// group-commit waiter whose record's sequence number is already covered can
+// skip its own force.
+func (l *Log) ForcedThrough() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.forcedSeq
+}
+
+// LastSeq returns the sequence number of the most recent append (0 if the
+// log has never held a record).  A group-commit leader polls it to detect
+// committers still arriving for the batch.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
 }
 
 // SetNoSync disables the physical fsyncs behind Force and SetHead.  All
 // logging, optimization, and truncation logic is unaffected — only the
 // permanence guarantee is forfeited.  Used by benchmark harnesses that
 // measure log traffic, not durability.
+//
+// Re-enabling sync after forces were skipped marks the log dirty again, so
+// the next Force issues a real fsync even if nothing new was appended:
+// toggling NoSync around a commit can therefore never leave bytes that were
+// reported forced without a physical sync ever covering them.
 func (l *Log) SetNoSync(v bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if !v && l.skippedSync {
+		l.dirty = true
+		l.skippedSync = false
+	}
 	l.noSync = v
 }
 
@@ -482,6 +553,9 @@ func (l *Log) SetNoSync(v bool) {
 func (l *Log) ScanForward(fn func(*Record) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.dev == nil {
+		return ErrLogClosed
+	}
 	return l.scanForwardLocked(fn)
 }
 
@@ -517,6 +591,9 @@ func (l *Log) scanForwardLocked(fn func(*Record) error) error {
 func (l *Log) ScanBackward(fn func(*Record) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.dev == nil {
+		return ErrLogClosed
+	}
 	pos := l.tailPos()
 	seq := l.nextSeq
 	var seen int64
@@ -558,6 +635,9 @@ func (l *Log) ScanBackward(fn func(*Record) error) error {
 func (l *Log) SetHead(pos int64, seq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.dev == nil {
+		return ErrLogClosed
+	}
 	freed := pos - l.head
 	if freed < 0 {
 		freed += l.areaSize

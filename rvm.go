@@ -133,6 +133,22 @@ type Options struct {
 	// guarantee.  For benchmark harnesses that measure log traffic, not
 	// durability; leave it false.
 	NoSync bool
+	// GroupCommit batches the log forces of concurrent flush-mode
+	// commits: a committer appends its record, releases the engine lock,
+	// and waits for a shared force that covers every record appended
+	// since the last one.  N goroutines committing concurrently then pay
+	// about one fsync per batch instead of N serialized fsyncs, with the
+	// same durability guarantee — a commit is only acknowledged after a
+	// successful force covers its record, and a failed force fail-stops
+	// every waiter (see ErrPoisoned).
+	GroupCommit bool
+	// MaxForceDelay extends the group-commit leader's batching window
+	// with a timed wait.  A leader always yields briefly while new
+	// commit records keep arriving and forces once arrivals pause; a
+	// nonzero delay makes it linger that much longer, buying larger
+	// batches at the cost of added commit latency.  Only meaningful with
+	// GroupCommit.
+	MaxForceDelay time.Duration
 	// SpoolLimit bounds the memory held by committed no-flush
 	// transactions awaiting a Flush; crossing it flushes implicitly.
 	// Zero selects the 1 MiB default, negative disables the bound.
@@ -186,6 +202,8 @@ func Open(o Options) (*RVM, error) {
 		NoIntraOpt:        o.NoIntraOpt,
 		NoInterOpt:        o.NoInterOpt,
 		NoSync:            o.NoSync,
+		GroupCommit:       o.GroupCommit,
+		MaxForceDelay:     o.MaxForceDelay,
 		SpoolLimit:        o.SpoolLimit,
 		MaxRetries:        o.MaxRetries,
 		RetryBackoff:      o.RetryBackoff,

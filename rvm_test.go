@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	rvm "github.com/rvm-go/rvm"
 )
@@ -206,5 +207,70 @@ func TestStatsAndQueryExposed(t *testing.T) {
 	qi, _ = s.db.Query(nil)
 	if qi.LogUsed != 0 {
 		t.Fatalf("log not truncated: %+v", qi)
+	}
+}
+
+func TestGroupCommitPublicAPI(t *testing.T) {
+	// The group-commit options must flow through the facade: concurrent
+	// flush-mode committers share forces (ForcesSaved > 0), and every
+	// acknowledged commit survives a close/reopen.
+	s := newStore(t, rvm.Options{GroupCommit: true, MaxForceDelay: 2 * time.Millisecond})
+	reg, err := s.db.Map(s.segPath, 0, 4*int64(rvm.PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const txPerWorker = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w) * 512
+			for i := 0; i < txPerWorker; i++ {
+				tx, err := s.db.Begin(rvm.NoRestore)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := tx.SetRange(reg, base, 8); err != nil {
+					errs <- err
+					return
+				}
+				binary.BigEndian.PutUint64(reg.Data()[base:], uint64(i+1))
+				if err := tx.Commit(rvm.Flush); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.db.Stats()
+	if st.FlushCommits != workers*txPerWorker {
+		t.Fatalf("FlushCommits = %d, want %d", st.FlushCommits, workers*txPerWorker)
+	}
+	if st.ForcesSaved == 0 || st.GroupCommitSize < 2 {
+		t.Fatalf("no force sharing: %+v", st)
+	}
+	if err := s.db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := rvm.Open(rvm.Options{LogPath: s.logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.db = db2
+	reg2, _ := db2.Map(s.segPath, 0, 4*int64(rvm.PageSize))
+	for w := 0; w < workers; w++ {
+		got := binary.BigEndian.Uint64(reg2.Data()[int64(w)*512:])
+		if got != txPerWorker {
+			t.Fatalf("worker %d final value %d, want %d", w, got, txPerWorker)
+		}
 	}
 }
