@@ -1,0 +1,89 @@
+package framework_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"github.com/rvm-go/rvm/internal/analysis/framework"
+)
+
+// TestLoadAndRun exercises the export-data loader end to end: list,
+// typecheck from source with dependency types from the build cache, and
+// drive a probe analyzer through RunAnalyzers.
+func TestLoadAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds export data; skipped in -short")
+	}
+	fset, pkgs, err := framework.Load("", framework.ModulePath+"/internal/core")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Types == nil || pkg.TypesInfo == nil || len(pkg.Files) == 0 {
+		t.Fatalf("package %s loaded without types or files", pkg.ImportPath)
+	}
+	if got := pkg.Types.Path(); got != framework.ModulePath+"/internal/core" {
+		t.Fatalf("Types.Path() = %q", got)
+	}
+	// The importer must have resolved dependency types: core depends on
+	// the wal package, so the Engine's log field has a resolved type.
+	if obj := pkg.Types.Scope().Lookup("Engine"); obj == nil {
+		t.Fatalf("internal/core has no Engine type after typecheck")
+	}
+
+	probe := &framework.Analyzer{
+		Name: "probe",
+		Doc:  "reports each file's package clause",
+		Run: func(pass *framework.Pass) error {
+			for _, f := range pass.Files {
+				pass.Reportf(f.Name.Pos(), "file %s", f.Name.Name)
+			}
+			return nil
+		},
+	}
+	diags, err := framework.RunAnalyzers(fset, pkgs, []*framework.Analyzer{probe})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	if len(diags) != len(pkg.Files) {
+		t.Fatalf("probe reported %d diagnostics, want one per file (%d)", len(diags), len(pkg.Files))
+	}
+}
+
+// TestSuppressions checks the rvmcheck:allow directive parser directly.
+func TestSuppressions(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//rvmcheck:allow locksync,unloggedstore -- exercising the parser
+	x := 1
+	_ = x
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := framework.CollectSuppressions(fset, []*ast.File{f})
+	tf := fset.File(f.Pos())
+	at := func(line int) token.Pos { return tf.LineStart(line) }
+
+	if !sup.Allows(fset, "locksync", at(5)) {
+		t.Errorf("locksync not allowed on the line after the directive")
+	}
+	if !sup.Allows(fset, "unloggedstore", at(5)) {
+		t.Errorf("second comma-separated analyzer not allowed")
+	}
+	if sup.Allows(fset, "txlifecycle", at(5)) {
+		t.Errorf("unnamed analyzer must not be allowed")
+	}
+	if sup.Allows(fset, "locksync", at(6)) {
+		t.Errorf("directive must not reach two lines down")
+	}
+}

@@ -1,0 +1,333 @@
+// Package locksync flags device syncs performed while holding a mutex —
+// the invariant behind PR 2's group commit.
+//
+// An fsync is the slowest operation in the system (the paper's entire
+// design revolves around amortizing it); serializing it under a
+// fine-grained mutex collapses group commit back to one-writer-at-a-time
+// and can deadlock followers waiting on the same lock.  The repo's own
+// discipline, established in PR 2, is explicit: wal.Log.Force releases
+// l.mu around dev.Sync(), and the group-commit leader forces holding
+// neither gc.mu nor e.mu.
+//
+// Two rules, both lexical and function-local:
+//
+//   - Rule A: a raw device sync — (*os.File).Sync, a Sync method on a
+//     Device interface, or syscall.Fsync/Fdatasync — under ANY held
+//     mutex.  There is never a reason to hold a lock across the raw
+//     syscall.
+//   - Rule B: a module method named Force or Sync (which syncs
+//     transitively) under a held mutex, unless that mutex belongs to the
+//     Engine.  The coarse Engine.mu intentionally serializes the flush
+//     and truncation paths (flushLocked, appendWithRetryLocked), so
+//     forcing under it is the design, not a bug; every finer-grained
+//     mutex (wal.Log.mu, groupCommitter.mu, iofault.Injector.mu) must be
+//     released first.
+//
+// Method values count as calls: `e.retryIO(e.log.Force)` invokes Force
+// right there for this analysis's purposes.
+//
+// The walker is a path-insensitive under-approximation: branch and loop
+// bodies are explored with a copy of the held-set (their lock/unlock
+// effects don't leak out), closures are analyzed with an empty held-set,
+// and a deferred Unlock keeps the mutex held to the end of the function.
+package locksync
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/rvm-go/rvm/internal/analysis/framework"
+)
+
+// Analyzer is the locksync pass.
+var Analyzer = &framework.Analyzer{
+	Name: "locksync",
+	Doc:  "no fsync/Force under a held mutex (the Engine's own coarse mutex excepted)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass}
+			w.stmtList(fd.Body.List, map[string]heldMutex{})
+		}
+	}
+	return nil
+}
+
+// heldMutex records one acquired, not-yet-released mutex.
+type heldMutex struct {
+	path  string // lexical path of the mutex ("gc.mu", "l.mu")
+	owner string // named type owning the mutex field ("Engine", "Log", "" unknown)
+	pos   token.Pos
+}
+
+type walker struct {
+	pass *framework.Pass
+}
+
+// stmtList walks one statement list, threading held through it.
+func (w *walker) stmtList(list []ast.Stmt, held map[string]heldMutex) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, held map[string]heldMutex) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if path, op, pos := mutexOp(w.pass.TypesInfo, s.X); op != "" {
+			w.applyLock(held, path, op, pos, s.X)
+			return
+		}
+		w.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the mutex held for the rest of the
+		// function; any other deferred work runs after the locks of this
+		// frame are in an unknown state, so it is not checked.
+		return
+	case *ast.GoStmt:
+		// Runs concurrently; the spawned goroutine does not hold our locks.
+		w.funcLits(s.Call, held)
+	case *ast.AssignStmt, *ast.ReturnStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt:
+		w.checkNode(s, held)
+	case *ast.BlockStmt:
+		w.stmtList(s.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		w.stmtList(s.Body.List, clone(held))
+		if s.Else != nil {
+			w.stmt(s.Else, clone(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, held)
+		}
+		w.stmtList(s.Body.List, clone(held))
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, held)
+		w.stmtList(s.Body.List, clone(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmtList(cc.Body, clone(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmtList(cc.Body, clone(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmtList(cc.Body, clone(held))
+			}
+		}
+	}
+}
+
+func clone(held map[string]heldMutex) map[string]heldMutex {
+	c := make(map[string]heldMutex, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// applyLock mutates held for a Lock/RLock/Unlock/RUnlock statement; the
+// lock call itself is also scanned for sync work in its arguments.
+func (w *walker) applyLock(held map[string]heldMutex, path, op string, pos token.Pos, e ast.Expr) {
+	switch op {
+	case "Lock", "RLock":
+		owner := ""
+		if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+			owner = mutexOwner(w.pass.TypesInfo, call)
+		}
+		held[path] = heldMutex{path: path, owner: owner, pos: pos}
+	case "Unlock", "RUnlock":
+		delete(held, path)
+	}
+}
+
+// mutexOp recognizes path.Lock()/RLock()/Unlock()/RUnlock() on a
+// mutex-typed receiver and returns its lexical path and operation.
+func mutexOp(info *types.Info, e ast.Expr) (path, op string, pos token.Pos) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", "", token.NoPos
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", token.NoPos
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", token.NoPos
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !framework.IsMutexType(tv.Type) {
+		return "", "", token.NoPos
+	}
+	p := framework.ExprPath(sel.X)
+	if p == "" {
+		return "", "", token.NoPos
+	}
+	return p, sel.Sel.Name, call.Pos()
+}
+
+// mutexOwner names the type holding the mutex field: for gc.mu.Lock()
+// it is the named type of gc.  A bare local mutex has no owner.
+func mutexOwner(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	tv, ok := info.Types[inner.X]
+	if !ok {
+		return ""
+	}
+	if n := framework.NamedOf(tv.Type); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// funcLits walks only the function literals inside n, each with an empty
+// held-set (a goroutine or closure does not inherit our locks lexically).
+func (w *walker) funcLits(n ast.Node, _ map[string]heldMutex) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if fl, ok := m.(*ast.FuncLit); ok {
+			w.stmtList(fl.Body.List, map[string]heldMutex{})
+			return false
+		}
+		return true
+	})
+}
+
+// checkNode scans a statement's expressions for sync work under held.
+func (w *walker) checkNode(n ast.Node, held map[string]heldMutex) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			w.stmtList(m.Body.List, map[string]heldMutex{})
+			return false
+		case *ast.CallExpr:
+			w.checkCall(m, held)
+		}
+		return true
+	})
+}
+
+func (w *walker) checkExpr(e ast.Expr, held map[string]heldMutex) {
+	if e == nil {
+		return
+	}
+	w.checkNode(e, held)
+}
+
+// checkCall applies Rule A and Rule B to one call: its callee, and any
+// method values passed as arguments (e.retryIO(e.log.Force) forces).
+func (w *walker) checkCall(call *ast.CallExpr, held map[string]heldMutex) {
+	if len(held) == 0 {
+		return
+	}
+	info := w.pass.TypesInfo
+	w.checkFunc(framework.Callee(info, call.Fun), call.Pos(), held)
+	for _, arg := range call.Args {
+		if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok {
+			if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				w.checkFunc(framework.Callee(info, sel), arg.Pos(), held)
+			}
+		}
+	}
+}
+
+// checkFunc reports fn if it is a sync target forbidden under any of the
+// held mutexes.
+func (w *walker) checkFunc(fn *types.Func, pos token.Pos, held map[string]heldMutex) {
+	if fn == nil {
+		return
+	}
+	if isRawSync(fn) {
+		for _, h := range held {
+			w.pass.Reportf(pos, "%s called while holding %s (locked at %s); release the mutex around the device sync — fsync under a lock serializes group commit",
+				fn.Name(), h.path, w.pass.Fset.Position(h.pos))
+			return
+		}
+	}
+	if isModuleForce(fn) {
+		for _, h := range held {
+			if h.owner == "Engine" {
+				// The coarse Engine mutex intentionally serializes the
+				// flush/truncation paths; forcing under it is the design.
+				continue
+			}
+			w.pass.Reportf(pos, "%s.%s called while holding %s (locked at %s); PR 2's group commit requires forcing outside fine-grained mutexes",
+				recvName(fn), fn.Name(), h.path, w.pass.Fset.Position(h.pos))
+			return
+		}
+	}
+}
+
+// isRawSync matches Rule A targets: (*os.File).Sync, Sync on a Device
+// interface, and syscall.Fsync/Fdatasync.
+func isRawSync(fn *types.Func) bool {
+	if recv := framework.RecvOf(fn); recv != nil {
+		if fn.Name() != "Sync" {
+			return false
+		}
+		if framework.TypeIs(recv, "os", "File") {
+			return true
+		}
+		if n := framework.NamedOf(recv); n != nil && n.Obj().Name() == "Device" {
+			if _, ok := n.Underlying().(*types.Interface); ok {
+				return true
+			}
+		}
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "syscall" {
+		return fn.Name() == "Fsync" || fn.Name() == "Fdatasync"
+	}
+	return false
+}
+
+// isModuleForce matches Rule B targets: module methods named Force or
+// Sync (both sync a device transitively).
+func isModuleForce(fn *types.Func) bool {
+	return framework.IsMethodNamed(fn, "Force", "Sync")
+}
+
+func recvName(fn *types.Func) string {
+	if n := framework.NamedOf(framework.RecvOf(fn)); n != nil {
+		return n.Obj().Name()
+	}
+	return "?"
+}

@@ -1,0 +1,12 @@
+package locksync_test
+
+import (
+	"testing"
+
+	"github.com/rvm-go/rvm/internal/analysis/analysistest"
+	"github.com/rvm-go/rvm/internal/analysis/locksync"
+)
+
+func TestLockSync(t *testing.T) {
+	analysistest.Run(t, locksync.Analyzer, "a")
+}

@@ -1,0 +1,109 @@
+// Golden cases for the locksync analyzer.
+package a
+
+import (
+	"os"
+	"sync"
+
+	"github.com/rvm-go/rvm/internal/wal"
+)
+
+type store struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Rule A: a raw device sync under any held mutex.
+func bad(s *store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want `Sync called while holding s.mu`
+}
+
+// Releasing first is the discipline.
+func good(s *store) error {
+	s.mu.Lock()
+	n := s.f
+	s.mu.Unlock()
+	return n.Sync()
+}
+
+// A method value passed to a retry helper is a call for our purposes.
+func badMethodValue(s *store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return retry(s.f.Sync) // want `Sync called while holding s.mu`
+}
+
+func goodMethodValue(s *store) error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return retry(s.f.Sync)
+}
+
+func retry(f func() error) error {
+	if err := f(); err != nil {
+		return f()
+	}
+	return nil
+}
+
+// Branch-local lock state: the sync in the else branch runs unlocked.
+func branchOK(s *store, locked bool) error {
+	if locked {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return nil
+	}
+	return s.f.Sync()
+}
+
+// Rule B: forcing the module's log under a fine-grained wrapper mutex
+// re-serializes group commit.
+type wrapper struct {
+	mu  sync.Mutex
+	log *wal.Log
+}
+
+func badForce(w *wrapper) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.log.Force() // want `Log.Force called while holding w.mu`
+}
+
+func goodForce(w *wrapper) error {
+	w.mu.Lock()
+	l := w.log
+	w.mu.Unlock()
+	return l.Force()
+}
+
+// The coarse Engine mutex intentionally serializes the flush path;
+// forcing under it is the design, not a bug.
+type Engine struct {
+	mu  sync.Mutex
+	log *wal.Log
+}
+
+func (e *Engine) flushLocked() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.log.Force()
+}
+
+// A goroutine does not hold the spawner's locks.
+func spawnOK(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_ = s.f.Sync()
+	}()
+}
+
+// The suppression directive waives a named analyzer on the next line.
+func allowed(s *store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//rvmcheck:allow locksync -- exercising the directive itself
+	return s.f.Sync()
+}

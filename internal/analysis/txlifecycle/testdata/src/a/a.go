@@ -1,0 +1,141 @@
+// Golden cases for the txlifecycle analyzer.
+package a
+
+import "github.com/rvm-go/rvm"
+
+// Using a transaction after its Commit.
+func useAfterCommit(db *rvm.RVM, r *rvm.Region) {
+	tx, err := db.Begin(rvm.Restore)
+	if err != nil {
+		return
+	}
+	if err := tx.Commit(rvm.Flush); err != nil {
+		return
+	}
+	_ = tx.SetRange(r, 0, 8) // want `SetRange called on transaction already resolved by Commit`
+}
+
+// Using a transaction after its Abort.
+func useAfterAbort(db *rvm.RVM) {
+	tx, err := db.Begin(rvm.Restore)
+	if err != nil {
+		return
+	}
+	_ = tx.Abort()
+	_ = tx.Commit(rvm.Flush) // want `Commit called on transaction already resolved by Abort`
+}
+
+// The idiomatic cleanup: a deferred Abort after Commit is harmless
+// (ErrTxDone) and must not be flagged.
+func deferredAbortOK(db *rvm.RVM, r *rvm.Region) error {
+	tx, err := db.Begin(rvm.Restore)
+	if err != nil {
+		return err
+	}
+	defer tx.Abort()
+	if err := tx.SetRange(r, 0, 8); err != nil {
+		return err
+	}
+	return tx.Commit(rvm.Flush)
+}
+
+// Re-beginning resets the lifecycle.
+func reBeginOK(db *rvm.RVM) error {
+	tx, err := db.Begin(rvm.Restore)
+	if err != nil {
+		return err
+	}
+	if err := tx.Commit(rvm.Flush); err != nil {
+		return err
+	}
+	tx, err = db.Begin(rvm.Restore)
+	if err != nil {
+		return err
+	}
+	return tx.Commit(rvm.Flush)
+}
+
+// A transaction begun outside a loop and committed inside it: the second
+// iteration runs on a done transaction.
+func loopReuse(db *rvm.RVM, r *rvm.Region) error {
+	tx, err := db.Begin(rvm.Restore)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if err := tx.SetRange(r, 0, 8); err != nil {
+			return err
+		}
+		if err := tx.Commit(rvm.Flush); err != nil { // want `begun outside the loop`
+			return err
+		}
+	}
+	return nil
+}
+
+// One transaction per iteration is the correct shape.
+func loopFreshOK(db *rvm.RVM, r *rvm.Region) error {
+	for i := 0; i < 3; i++ {
+		tx, err := db.Begin(rvm.Restore)
+		if err != nil {
+			return err
+		}
+		if err := tx.SetRange(r, 0, 8); err != nil {
+			return err
+		}
+		if err := tx.Commit(rvm.Flush); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Committing and then leaving the loop is also fine.
+func loopCommitBreakOK(db *rvm.RVM, r *rvm.Region) error {
+	tx, err := db.Begin(rvm.Restore)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if err := tx.SetRange(r, 0, 8); err != nil {
+			return err
+		}
+		if err := tx.Commit(rvm.Flush); err != nil {
+			return err
+		}
+		break
+	}
+	return nil
+}
+
+// A transaction that never resolves and never escapes leaks: it pins its
+// pages and blocks truncation and Close.
+func leak(db *rvm.RVM, r *rvm.Region) {
+	tx, err := db.Begin(rvm.Restore) // want `never committed or aborted`
+	if err != nil {
+		return
+	}
+	_ = tx.SetRange(r, 0, 8)
+}
+
+// Escaping to the caller transfers responsibility.
+func escapesOK(db *rvm.RVM) (*rvm.Tx, error) {
+	tx, err := db.Begin(rvm.Restore)
+	if err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// Passing the transaction to a helper also counts as escaping.
+func escapesToHelperOK(db *rvm.RVM) error {
+	tx, err := db.Begin(rvm.Restore)
+	if err != nil {
+		return err
+	}
+	return finish(tx)
+}
+
+func finish(tx *rvm.Tx) error {
+	return tx.Commit(rvm.Flush)
+}

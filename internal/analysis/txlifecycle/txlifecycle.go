@@ -1,0 +1,363 @@
+// Package txlifecycle flags misuse of a transaction handle's lifecycle:
+//
+//   - use after terminal: calling SetRange/Modify/Commit/Abort on a *Tx
+//     after a Commit, CommitUndo, or Abort earlier in the same statement
+//     list (ErrTxDone at runtime — at analysis time, for free);
+//   - loop reuse: a transaction begun outside a loop and committed or
+//     aborted inside it, with uses earlier in the loop body and no
+//     re-Begin — the second iteration runs on a done transaction;
+//   - leaks: a transaction obtained from Begin that is never committed or
+//     aborted and never escapes the function.  An active transaction pins
+//     uncommitted reference counts on its pages, which blocks log
+//     truncation (paper §5.1.2) and makes Close fail with ErrActiveTx.
+//
+// The checks are statement-list-local and skip nested function literals
+// on both sides (a closure runs at an unknown time relative to the
+// surrounding statements), so idioms like `abort := func(e error) error {
+// tx.Abort(); return e }` declared before the commit are not flagged.
+package txlifecycle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/rvm-go/rvm/internal/analysis/framework"
+)
+
+// Analyzer is the txlifecycle pass.
+var Analyzer = &framework.Analyzer{
+	Name: "txlifecycle",
+	Doc:  "no use of a *Tx after Commit/Abort; every begun Tx must reach a terminal call or escape",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLeaks(pass, fd)
+			ast.Inspect(fd.Body, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.BlockStmt:
+					checkList(pass, m.List, enclosingLoop(fd, m))
+				case *ast.CaseClause:
+					checkList(pass, m.Body, nil)
+				case *ast.CommClause:
+					checkList(pass, m.Body, nil)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isTx reports whether t is this module's core.Tx (or *core.Tx).
+func isTx(t types.Type) bool {
+	return framework.TypeIs(t, "internal/core", "Tx")
+}
+
+// terminalNames are the calls after which a Tx is done.
+func isTerminalName(s string) bool {
+	return s == "Commit" || s == "CommitUndo" || s == "Abort"
+}
+
+// txMethodCall returns (object, methodName) when call is a method call on
+// a *Tx-typed identifier chain.
+func txMethodCall(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	obj := info.Uses[id]
+	if obj == nil || !isTx(obj.Type()) {
+		return nil, ""
+	}
+	return obj, sel.Sel.Name
+}
+
+// scan walks n skipping nested function literals and defer/go statements
+// (they run at an unknown time relative to this list), and for
+// block-skipping callers, nested statement blocks.
+func scan(n ast.Node, skipBlocks bool, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		switch m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+		if skipBlocks && m != n {
+			if _, ok := m.(*ast.BlockStmt); ok {
+				return false
+			}
+		}
+		return visit(m)
+	})
+}
+
+// checkList enforces no-use-after-terminal within one statement list, and
+// the loop-reuse rule when the list is a loop body.
+func checkList(pass *framework.Pass, list []ast.Stmt, loop ast.Stmt) {
+	info := pass.TypesInfo
+	type termInfo struct {
+		pos  token.Pos
+		name string
+	}
+	terminated := map[types.Object]termInfo{}
+	assigned := map[types.Object]bool{}
+	usedBefore := map[types.Object]token.Pos{} // first tx use in this list
+
+	for _, stmt := range list {
+		// Uses of already-terminated objects anywhere in this statement
+		// (including nested blocks — they are on the path after the
+		// terminal), except inside function literals.
+		scan(stmt, false, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj, name := txMethodCall(info, call)
+			if obj == nil || name == "ID" {
+				return true
+			}
+			if t, done := terminated[obj]; done {
+				pass.Reportf(call.Pos(), "%s called on transaction already resolved by %s at %s (ErrTxDone at runtime)",
+					name, t.name, pass.Fset.Position(t.pos))
+			}
+			return true
+		})
+
+		// Assignments to a tx object reset its state (re-Begin).
+		scan(stmt, false, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj != nil && isTx(obj.Type()) {
+						delete(terminated, obj)
+						assigned[obj] = true
+					}
+				}
+			}
+			return true
+		})
+
+		// New terminals: only unconditional ones at this nesting level
+		// (nested blocks are a different path; their own list is checked
+		// separately).
+		scan(stmt, true, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj, name := txMethodCall(info, call)
+			if obj == nil {
+				return true
+			}
+			if isTerminalName(name) {
+				if _, done := terminated[obj]; !done {
+					terminated[obj] = termInfo{pos: call.Pos(), name: name}
+					// Loop-reuse: tx declared outside the loop, used
+					// earlier in this body, never re-begun, and the loop
+					// is not unconditionally exited after the terminal.
+					if loop != nil && !assigned[obj] {
+						if usePos, used := usedBefore[obj]; used &&
+							obj.Pos() < loop.Pos() && !exitsAfter(list, stmt) {
+							pass.Reportf(call.Pos(), "transaction resolved by %s here was begun outside the loop and used at %s; the next iteration reuses a done transaction",
+								name, pass.Fset.Position(usePos))
+						}
+					}
+				}
+			} else if _, seen := usedBefore[obj]; !seen {
+				usedBefore[obj] = call.Pos()
+			}
+			return true
+		})
+	}
+}
+
+// exitsAfter reports whether some statement at the same list level at or
+// after the one containing pos unconditionally leaves the list (return,
+// break, goto, panic).
+func exitsAfter(list []ast.Stmt, from ast.Stmt) bool {
+	seen := false
+	for _, s := range list {
+		if s == from {
+			seen = true
+			continue
+		}
+		if !seen {
+			continue
+		}
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK || s.Tok == token.GOTO {
+				return true
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// enclosingLoop returns the innermost for/range statement whose body (or
+// clause) is exactly n, or nil.
+func enclosingLoop(fd *ast.FuncDecl, n ast.Node) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(fd, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ForStmt:
+			if m.Body == n {
+				found = m
+			}
+		case *ast.RangeStmt:
+			if m.Body == n {
+				found = m
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkLeaks flags Begin results that never reach a terminal call and
+// never escape the function.
+func checkLeaks(pass *framework.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Transactions born in this function.
+	born := map[types.Object]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := framework.Callee(info, call.Fun)
+		if !framework.IsMethodNamed(fn, "Begin") {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil && isTx(obj.Type()) {
+					born[obj] = as.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if len(born) == 0 {
+		return
+	}
+
+	resolved := map[types.Object]bool{}
+	escaped := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj, name := txMethodCall(info, n); obj != nil {
+				if isTerminalName(name) {
+					resolved[obj] = true
+				}
+				return true
+			}
+			// tx passed as an argument escapes.
+			for _, arg := range n.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						if _, b := born[obj]; b {
+							escaped[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						if _, b := born[obj]; b {
+							escaped[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// tx stored anywhere (struct field, map, channel send is a
+			// different node) escapes; so does aliasing to another var.
+			for i, rhs := range n.Rhs {
+				id, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Uses[id]
+				if obj == nil {
+					continue
+				}
+				if _, b := born[obj]; !b {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if lid, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && lid.Name == "_" {
+						continue
+					}
+				}
+				escaped[obj] = true
+			}
+		case *ast.SendStmt:
+			if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					if _, b := born[obj]; b {
+						escaped[obj] = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						if _, b := born[obj]; b {
+							escaped[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for obj, pos := range born {
+		if !resolved[obj] && !escaped[obj] {
+			pass.Reportf(pos, "transaction %s is never committed or aborted on any path and does not escape; it stays active, blocking truncation and Close (ErrActiveTx)", obj.Name())
+		}
+	}
+}

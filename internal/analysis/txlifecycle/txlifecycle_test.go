@@ -1,0 +1,12 @@
+package txlifecycle_test
+
+import (
+	"testing"
+
+	"github.com/rvm-go/rvm/internal/analysis/analysistest"
+	"github.com/rvm-go/rvm/internal/analysis/txlifecycle"
+)
+
+func TestTxLifecycle(t *testing.T) {
+	analysistest.Run(t, txlifecycle.Analyzer, "a")
+}

@@ -1,0 +1,12 @@
+package uncheckedcommit_test
+
+import (
+	"testing"
+
+	"github.com/rvm-go/rvm/internal/analysis/analysistest"
+	"github.com/rvm-go/rvm/internal/analysis/uncheckedcommit"
+)
+
+func TestUncheckedCommit(t *testing.T) {
+	analysistest.Run(t, uncheckedcommit.Analyzer, "a")
+}

@@ -1,0 +1,91 @@
+// Golden cases for the unloggedstore analyzer.
+package a
+
+import "github.com/rvm-go/rvm"
+
+// An indexed store into region memory with no covering SetRange.
+func bad(tx *rvm.Tx, r *rvm.Region) {
+	d := r.Data()
+	d[0] = 1 // want `indexed store to r memory is not covered`
+	_ = tx
+}
+
+// The same store, covered.
+func good(tx *rvm.Tx, r *rvm.Region) {
+	if err := tx.SetRange(r, 0, 8); err != nil {
+		return
+	}
+	d := r.Data()
+	d[0] = 1
+}
+
+// Taint flows through re-slicing.
+func badSliced(tx *rvm.Tx, r *rvm.Region) {
+	d := r.Data()[16:32]
+	d[3]++ // want `indexed store to r memory is not covered`
+	_ = tx
+}
+
+// The copy builtin writes its first argument.
+func badCopy(tx *rvm.Tx, r *rvm.Region) {
+	copy(r.Data(), "hello") // want `copy to r memory is not covered`
+	_ = tx
+}
+
+func goodCopy(tx *rvm.Tx, r *rvm.Region) {
+	if err := tx.SetRange(r, 0, 5); err != nil {
+		return
+	}
+	copy(r.Data(), "hello")
+}
+
+// Modify covers like SetRange.
+func goodModify(tx *rvm.Tx, r *rvm.Region) {
+	if err := tx.Modify(r, 0, []byte("x")); err != nil {
+		return
+	}
+	r.Data()[0] = 'y'
+}
+
+// A write-ish helper receiving tainted memory.
+func badPut(tx *rvm.Tx, r *rvm.Region) {
+	put64(r.Data(), 7) // want `write via put64 to r memory is not covered`
+	_ = tx
+}
+
+func goodPut(tx *rvm.Tx, r *rvm.Region) {
+	if err := tx.SetRange(r, 0, 8); err != nil {
+		return
+	}
+	put64(r.Data(), 7)
+}
+
+// A helper with no transaction in scope is never flagged: it cannot call
+// SetRange, so coverage is its caller's responsibility.
+func helperNoTx(r *rvm.Region) {
+	r.Data()[3] = 9
+}
+
+// The false-positive guard from the issue: SetRange here, the write in a
+// helper.  Neither function is flagged.
+func coveredViaHelper(tx *rvm.Tx, r *rvm.Region) error {
+	if err := tx.SetRange(r, 0, 16); err != nil {
+		return err
+	}
+	helperNoTx(r)
+	return nil
+}
+
+// Writes to ordinary slices are never region memory.
+func plainSlice(tx *rvm.Tx) {
+	b := make([]byte, 8)
+	b[0] = 1
+	put64(b, 2)
+	_ = tx
+}
+
+func put64(b []byte, v uint64) {
+	for i := 0; i < 8 && i < len(b); i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

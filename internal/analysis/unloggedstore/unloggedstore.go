@@ -1,0 +1,290 @@
+// Package unloggedstore flags writes to mapped region memory that are not
+// covered by a preceding SetRange in the same function — the paper's
+// classic lost-update bug: RVM's no-undo/redo log only carries bytes the
+// application declared, so an undeclared store survives until the next
+// crash and then silently vanishes (PAPER.md §4.1).
+//
+// The analysis is deliberately function-local and lexical:
+//
+//   - A slice is "region memory" if it derives, through local assignments
+//     and slicing, from a call to (*rvm.Region).Data().
+//   - A write to region memory (an indexed store, the copy or clear
+//     builtins, or passing the slice to a Put*/Set*/Write*/Fill*-named
+//     helper) must be preceded, earlier in the same function, by a
+//     SetRange or Modify call whose region argument (or receiver) matches
+//     the slice's region.
+//   - Functions that never mention a transaction (no *Tx in scope) are
+//     skipped entirely: they cannot call SetRange, so the covering
+//     declaration is their caller's responsibility.  This is what keeps
+//     helpers like rds's writeTags — which derive Data() themselves but
+//     are always called under a caller's SetRange — from being flagged,
+//     and likewise helpers that receive an already-covered slice.
+//
+// The analysis is an under-approximation (path-insensitive, no
+// cross-function flow), tuned so that every report is worth reading.
+package unloggedstore
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/rvm-go/rvm/internal/analysis/framework"
+)
+
+// Analyzer is the unloggedstore pass.
+var Analyzer = &framework.Analyzer{
+	Name: "unloggedstore",
+	Doc:  "writes to mapped region memory must be covered by a preceding tx.SetRange",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// cover is one SetRange/Modify call: the position it occurs at and the
+// region paths it covers.
+type cover struct {
+	pos   token.Pos
+	paths []string
+}
+
+// write is one store into region memory.
+type write struct {
+	pos  token.Pos
+	path string // region path the written slice derives from ("" unknown)
+	desc string
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	if !mentionsTx(info, fd) {
+		return
+	}
+
+	// Taint pass: objects deriving from Region.Data(), to fixpoint.
+	taint := map[types.Object]string{} // object -> region path ("" unknown)
+	// exprPath reports whether e is region memory and from which region.
+	var exprTaint func(e ast.Expr) (string, bool)
+	exprTaint = func(e ast.Expr) (string, bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				if p, ok := taint[obj]; ok {
+					return p, true
+				}
+			}
+		case *ast.CallExpr:
+			if fn := framework.Callee(info, e.Fun); fn != nil && fn.Name() == "Data" &&
+				framework.TypeIs(framework.RecvOf(fn), "internal/core", "Region") {
+				if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+					return framework.ExprPath(sel.X), true
+				}
+				return "", true
+			}
+		case *ast.IndexExpr:
+			return exprTaint(e.X)
+		case *ast.SliceExpr:
+			return exprTaint(e.X)
+		}
+		return "", false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if p, tainted := exprTaint(as.Rhs[i]); tainted {
+					if old, had := taint[obj]; !had || old != p && old == "" {
+						taint[obj] = p
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Event pass: covering calls and writes, in source order.
+	var covers []cover
+	var writes []write
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if c, ok := coveringCall(info, n); ok {
+				covers = append(covers, c)
+				return true
+			}
+			checkWriteCall(info, n, exprTaint, &writes)
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if p, tainted := exprTaint(ix.X); tainted {
+					writes = append(writes, write{pos: lhs.Pos(), path: p, desc: "indexed store"})
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+				if p, tainted := exprTaint(ix.X); tainted {
+					writes = append(writes, write{pos: n.Pos(), path: p, desc: "indexed store"})
+				}
+			}
+		}
+		return true
+	})
+
+	for _, w := range writes {
+		covered := false
+		for _, c := range covers {
+			if c.pos >= w.pos {
+				continue
+			}
+			for _, cp := range c.paths {
+				if framework.PathCovers(cp, w.path) || framework.PathCovers(w.path, cp) {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				break
+			}
+		}
+		if !covered {
+			region := w.path
+			if region == "" {
+				region = "region"
+			}
+			pass.Reportf(w.pos, "%s to %s memory is not covered by a preceding SetRange/Modify in this function; the change will be lost at recovery", w.desc, region)
+		}
+	}
+}
+
+// mentionsTx reports whether any identifier in the function has a *Tx (or
+// other transaction handle) type from this module.
+func mentionsTx(info *types.Info, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok && isTxType(v.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isTxType matches transaction handles: core.Tx and wrappers that expose
+// SetRange/Modify (e.g. rvmdist.PrepTx).
+func isTxType(t types.Type) bool {
+	n := framework.NamedOf(t)
+	if n == nil || n.Obj().Pkg() == nil ||
+		!strings.HasPrefix(n.Obj().Pkg().Path(), framework.ModulePath) {
+		return false
+	}
+	name := n.Obj().Name()
+	return name == "Tx" || strings.HasSuffix(name, "Tx")
+}
+
+// coveringCall recognizes SetRange/Modify calls and extracts the region
+// paths they cover: the first Region-typed argument, plus the receiver's
+// base path (h.SetRange covers everything reached through h).
+func coveringCall(info *types.Info, call *ast.CallExpr) (cover, bool) {
+	fn := framework.Callee(info, call.Fun)
+	if !framework.IsMethodNamed(fn, "SetRange", "Modify", "WritePayload", "SetRef", "SetRoot") {
+		return cover{}, false
+	}
+	c := cover{pos: call.Pos()}
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && framework.TypeIs(tv.Type, "internal/core", "Region") {
+			c.paths = append(c.paths, framework.ExprPath(arg))
+			break
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		c.paths = append(c.paths, framework.ExprPath(sel.X))
+	}
+	if len(c.paths) == 0 {
+		c.paths = []string{""}
+	}
+	return c, true
+}
+
+// writeishPrefixes are helper-name prefixes treated as writing through a
+// slice argument (binary.BigEndian.PutUint64, a local put64, ...).
+var writeishPrefixes = []string{"put", "set", "write", "fill", "copy", "encode", "marshal"}
+
+// checkWriteCall records writes performed by builtin copy/clear and by
+// write-ish named helpers receiving a tainted slice.
+func checkWriteCall(info *types.Info, call *ast.CallExpr, exprTaint func(ast.Expr) (string, bool), writes *[]write) {
+	// Builtins copy(dst, src) and clear(s) mutate their first argument.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "copy" || id.Name == "clear") && len(call.Args) > 0 {
+			if p, tainted := exprTaint(call.Args[0]); tainted {
+				*writes = append(*writes, write{pos: call.Pos(), path: p, desc: id.Name})
+			}
+			return
+		}
+	}
+	fn := framework.Callee(info, call.Fun)
+	if fn == nil {
+		return
+	}
+	name := strings.ToLower(fn.Name())
+	writeish := false
+	for _, p := range writeishPrefixes {
+		if strings.HasPrefix(name, p) {
+			writeish = true
+			break
+		}
+	}
+	if !writeish || fn.Name() == "SetRange" || fn.Name() == "Modify" {
+		return
+	}
+	for _, arg := range call.Args {
+		if p, tainted := exprTaint(arg); tainted {
+			*writes = append(*writes, write{pos: call.Pos(), path: p, desc: "write via " + fn.Name()})
+			return
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package unloggedstore_test
+
+import (
+	"testing"
+
+	"github.com/rvm-go/rvm/internal/analysis/analysistest"
+	"github.com/rvm-go/rvm/internal/analysis/unloggedstore"
+)
+
+func TestUnloggedStore(t *testing.T) {
+	analysistest.Run(t, unloggedstore.Analyzer, "a")
+}
