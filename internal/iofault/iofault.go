@@ -208,15 +208,20 @@ func (in *Injector) WriteAt(p []byte, off int64) (int, error) {
 	return 0, f.err()
 }
 
-// Sync syncs the device unless a sync fault fires.
+// Sync syncs the device unless a sync fault fires.  The injector's lock
+// is released before the real sync: the injector wraps the WAL device in
+// the fault-injection harness, and group commit depends on a sync never
+// serializing concurrent appends through the wrapper (the same
+// discipline wal.Log.Force follows with its own mutex).
 func (in *Injector) Sync() error {
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	in.stats.Syncs++
 	if f := in.match(OpSync); f != nil {
 		in.stats.Faults++
+		in.mu.Unlock()
 		return f.err()
 	}
+	in.mu.Unlock()
 	return in.dev.Sync()
 }
 
