@@ -190,6 +190,7 @@ func (db *DB) Update(key string, value []byte) error {
 	if _, err := db.log.Write(rec); err != nil {
 		return err
 	}
+	//rvmcheck:allow locksync -- single-writer baseline: one fsync per update under the coarse DB lock is this design's documented cost (contrast with rvm's group commit)
 	if err := db.log.Sync(); err != nil {
 		return err
 	}

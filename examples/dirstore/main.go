@@ -199,7 +199,10 @@ func main() {
 	}
 
 	// Crash in the middle of an update: allocate an entry, never commit.
-	tx, _ := d.db.Begin(rvm.Restore)
+	tx, err := d.db.Begin(rvm.Restore)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if _, err := d.heap.Alloc(tx, 64); err != nil {
 		log.Fatal(err)
 	}

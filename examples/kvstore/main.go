@@ -66,7 +66,10 @@ func open(dir string) *store {
 		if err != nil {
 			log.Fatal(err)
 		}
-		tx, _ := db.Begin(rvm.Restore)
+		tx, err := db.Begin(rvm.Restore)
+		if err != nil {
+			log.Fatal(err)
+		}
 		s.tree, err = rbtree.Create(db, s.heap, tx)
 		if err != nil {
 			log.Fatal(err)

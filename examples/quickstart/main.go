@@ -62,7 +62,10 @@ func main() {
 	fmt.Printf("committed: %q\n", reg.Data()[:31])
 
 	// An aborted transaction: memory is restored in place.
-	tx2, _ := db.Begin(rvm.Restore)
+	tx2, err := db.Begin(rvm.Restore)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := tx2.Modify(reg, 0, []byte("scribble scribble scribble!!!!!")); err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +77,11 @@ func main() {
 
 	// A transaction that never commits — then a crash.  We simply drop
 	// the handle without Close, exactly what a kill -9 leaves behind.
-	tx3, _ := db.Begin(rvm.Restore)
+	//rvmcheck:allow txlifecycle -- leaking the handle IS this example: it simulates the crash
+	tx3, err := db.Begin(rvm.Restore)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := tx3.Modify(reg, 0, []byte("uncommitted, must not survive!!")); err != nil {
 		log.Fatal(err)
 	}

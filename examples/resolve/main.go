@@ -82,7 +82,10 @@ func openReplica(dir, name string, origin uint64) *replica {
 		if err != nil {
 			log.Fatal(err)
 		}
-		tx, _ := db.Begin(rvm.Restore)
+		tx, err := db.Begin(rvm.Restore)
+		if err != nil {
+			log.Fatal(err)
+		}
 		state, err := r.heap.Alloc(tx, 32)
 		if err != nil {
 			log.Fatal(err)

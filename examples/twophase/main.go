@@ -127,15 +127,24 @@ func main() {
 
 	// The coordinator gets its own RVM state for the decision log.
 	coDir := filepath.Join(base, "coordinator")
-	os.MkdirAll(coDir, 0o755)
-	rvm.CreateLog(filepath.Join(coDir, "co.log"), 1<<20)
-	rvm.CreateSegment(filepath.Join(coDir, "meta.seg"), 1, 2*int64(rvm.PageSize))
+	if err := os.MkdirAll(coDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := rvm.CreateLog(filepath.Join(coDir, "co.log"), 1<<20); err != nil {
+		log.Fatal(err)
+	}
+	if err := rvm.CreateSegment(filepath.Join(coDir, "meta.seg"), 1, 2*int64(rvm.PageSize)); err != nil {
+		log.Fatal(err)
+	}
 	coDB, err := rvm.Open(rvm.Options{LogPath: filepath.Join(coDir, "co.log")})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer coDB.Close()
-	coMeta, _ := coDB.Map(filepath.Join(coDir, "meta.seg"), 0, 2*int64(rvm.PageSize))
+	coMeta, err := coDB.Map(filepath.Join(coDir, "meta.seg"), 0, 2*int64(rvm.PageSize))
+	if err != nil {
+		log.Fatal(err)
+	}
 	coHeap, err := rds.Format(coDB, coMeta)
 	if err != nil {
 		log.Fatal(err)

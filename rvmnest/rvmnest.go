@@ -144,6 +144,7 @@ func (t *Tx) Abort() error {
 	}
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		u := t.undo[i]
+		//rvmcheck:allow unloggedstore -- covered: SetRange declared [off,off+n) on the root rtx when this undo record was captured
 		copy(u.reg.Data()[u.off:], u.old)
 	}
 	t.undo = nil
