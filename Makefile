@@ -1,0 +1,28 @@
+# External lint tools are installed by version, never @latest; CI installs
+# the same versions (TestLintToolVersionsPinned keeps the two in sync).
+STATICCHECK_VERSION := 2024.1.1
+GOVULNCHECK_VERSION := v1.1.3
+
+.PHONY: build test lint bench
+
+build:
+	go build ./...
+
+test:
+	go build ./... && go test ./...
+
+# lint runs everything that needs no network: gofmt, go vet, and the
+# repo's own rvmcheck suite.  staticcheck and govulncheck run when
+# installed (go install <module>@$(VERSION)) and are skipped otherwise,
+# so `make lint` works in offline sandboxes.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	go vet ./...
+	go run ./cmd/rvmcheck ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed; go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)"; fi
+
+bench:
+	go test -bench 'Table1|ConcurrentCommit' -benchtime 1x -run '^$$' .
