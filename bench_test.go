@@ -377,6 +377,65 @@ func BenchmarkConcurrentCommit(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOverhead prices the observability layer at the acceptance
+// point: the 16-committer group-commit cell of BenchmarkConcurrentCommit,
+// with tracing+metrics off vs on.  Compare the two sub-benchmarks (or run
+// `rvmbench -experiment obs`, which gates the same comparison in CI): the
+// On/Off throughput delta is the whole cost of instrumentation, and must
+// stay under the bench_thresholds.json obs_overhead budget.
+func BenchmarkObsOverhead(b *testing.B) {
+	const workers = 16
+	const commitsPerWorker = 8
+	const slotSize = 256
+	payload := bytes.Repeat([]byte{11}, 128)
+	for _, mode := range []struct {
+		name string
+		opts rvm.Options
+	}{
+		{"Off", rvm.Options{GroupCommit: true}},
+		{"On", rvm.Options{GroupCommit: true, Metrics: true, TraceEvents: 4096}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, reg := benchStore(b, mode.opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						base := int64(w) * slotSize
+						for j := 0; j < commitsPerWorker; j++ {
+							tx, err := db.Begin(rvm.NoRestore)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if err := tx.Modify(reg, base, payload); err != nil {
+								b.Error(err)
+								return
+							}
+							if err := tx.Commit(rvm.Flush); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			st := db.Stats()
+			if commits := float64(st.FlushCommits); commits > 0 {
+				b.ReportMetric(commits/b.Elapsed().Seconds(), "commits/s")
+			}
+			if sn, err := db.Snapshot(); err == nil && sn.Metrics != nil {
+				b.ReportMetric(float64(sn.Metrics.CommitFlushNs.P99)/1e6, "p99-ms")
+			}
+		})
+	}
+}
+
 // BenchmarkSetRange measures the basic set-range path (with old-value
 // copy) — the operation the paper calls out as RVM's per-modification
 // overhead.

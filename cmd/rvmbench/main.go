@@ -9,9 +9,13 @@
 //
 // Beyond the paper, -experiment concurrent measures flush-mode commit
 // throughput under goroutine concurrency on the real engine (serialized
-// force vs. group commit).  With -json FILE it writes the results as JSON;
-// with -thresholds FILE it enforces the checked-in CI regression gate on
-// fsyncs/commit and exits nonzero on violation.
+// force vs. group commit), with commit-latency p50/p99 from the engine's
+// histogram layer.  With -json FILE it writes the results as JSON; with
+// -thresholds FILE it enforces the checked-in CI regression gate on
+// fsyncs/commit and p99 commit latency and exits nonzero on violation.
+// -experiment obs measures the observability tax itself: the 16-committer
+// group cell with tracing+metrics on vs off, gated to stay within
+// bench_thresholds.json's obs_overhead budget.
 //
 // Table 1 / Figures 8-9 run in simulation mode: the workload and the
 // logging/optimization logic are real, but I/O and CPU are charged to a
@@ -40,7 +44,7 @@ var accounts = []int{
 var patterns = []tpca.Pattern{tpca.Sequential, tpca.Random, tpca.Localized}
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1 | fig8 | fig9 | table2 | future | concurrent | all")
+	experiment := flag.String("experiment", "all", "table1 | fig8 | fig9 | table2 | future | concurrent | obs | all")
 	quick := flag.Bool("quick", false, "fewer simulated transactions per cell")
 	scale := flag.Int("scale", 30, "Table 2 transaction-count divisor")
 	jsonPath := flag.String("json", "", "write concurrent-experiment results to this JSON file")
@@ -60,6 +64,11 @@ func main() {
 		future(*quick)
 	case "concurrent":
 		if err := concurrent(*jsonPath, *thresholds); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "obs":
+		if err := obsOverhead(*thresholds); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

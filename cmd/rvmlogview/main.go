@@ -43,6 +43,15 @@ func main() {
 	}
 	defer l.Close()
 
+	// The forced-through LSN is what obs log-force events report in their
+	// B field; printing it here lets a saved log be correlated with a
+	// captured trace.  At open everything discovered on disk is durable,
+	// so it equals the newest live sequence number.
+	headPos, headSeq := l.Head()
+	tailPos, nextSeq := l.Tail()
+	fmt.Printf("log: area %d bytes, %d live; head pos %d (seq %d), tail pos %d (next seq %d), forced-through LSN %d\n",
+		l.AreaSize(), l.Used(), headPos, headSeq, tailPos, nextSeq, l.ForcedThrough())
+
 	shown := 0
 	stop := fmt.Errorf("done")
 	visit := func(r *wal.Record) error {
@@ -100,8 +109,8 @@ func printRecord(r *wal.Record, dump bool) {
 	for _, rg := range r.Ranges {
 		bytes += len(rg.Data)
 	}
-	fmt.Printf("seq %-6d tid %-6d pos %-8d %-18s %d range(s), %d byte(s)\n",
-		r.Seq, r.TID, r.Pos, flagNames(r.Flags), len(r.Ranges), bytes)
+	fmt.Printf("seq %-6d tid %-6d pos %-8d len %-8d %-18s %d range(s), %d payload byte(s)\n",
+		r.Seq, r.TID, r.Pos, r.Len, flagNames(r.Flags), len(r.Ranges), bytes)
 	for _, rg := range r.Ranges {
 		fmt.Printf("    seg %-4d [%d, +%d)\n", rg.Seg, rg.Off, len(rg.Data))
 		if dump {

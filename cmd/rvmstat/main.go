@@ -1,0 +1,230 @@
+// rvmstat renders live introspection for a running RVM instance: a
+// top-style summary of the engine snapshot (counters, gauges, latency
+// histograms) and trace dumps for offline analysis.
+//
+// It reads the JSON served by (*rvm.RVM).DebugHandler — point it at
+// wherever the application mounted the handler:
+//
+//	rvmstat -url http://localhost:6060/debug/rvm            one-shot view
+//	rvmstat -url ... -interval 2s                           live view
+//	rvmstat -url ... -trace trace.json -format chrome       dump the trace
+//	rvmstat -snapshot snap.json                             render a saved snapshot
+//	rvmstat -snapshot snap.json -json                       parse + re-emit (round-trip)
+//
+// -json re-marshals the parsed snapshot with the same layout Snapshot
+// itself marshals to, so saved snapshots round-trip byte-for-byte; the
+// repo's tests rely on that to prove rvmstat and Engine.Snapshot agree
+// on the wire format.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	rvm "github.com/rvm-go/rvm"
+)
+
+func main() {
+	url := flag.String("url", "", "base URL of a mounted DebugHandler (e.g. http://host:6060/debug/rvm)")
+	snapFile := flag.String("snapshot", "", "read a saved snapshot JSON file instead of -url ('-' = stdin)")
+	interval := flag.Duration("interval", 0, "refresh the view every interval (0 = one-shot)")
+	jsonOut := flag.Bool("json", false, "emit the parsed snapshot as JSON instead of rendering it")
+	traceOut := flag.String("trace", "", "fetch the event trace into this file and exit (requires -url)")
+	format := flag.String("format", rvm.TraceFormatJSON, "trace format: json or chrome")
+	flag.Parse()
+
+	if (*url == "") == (*snapFile == "") {
+		fmt.Fprintln(os.Stderr, "rvmstat: exactly one of -url or -snapshot is required")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if *traceOut != "" {
+		if *url == "" {
+			fatal(fmt.Errorf("-trace requires -url"))
+		}
+		if err := dumpTrace(*url, *traceOut, *format); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	for {
+		sn, err := fetch(*url, *snapFile)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			data, err := json.MarshalIndent(sn, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(data))
+		} else {
+			if *interval > 0 {
+				fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+			}
+			render(os.Stdout, sn)
+		}
+		if *interval <= 0 || *snapFile != "" {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rvmstat:", err)
+	os.Exit(1)
+}
+
+// fetch loads a Snapshot from the debug endpoint or a saved file.
+func fetch(url, file string) (rvm.Snapshot, error) {
+	var sn rvm.Snapshot
+	var r io.ReadCloser
+	switch {
+	case url != "":
+		resp, err := http.Get(url + "/snapshot")
+		if err != nil {
+			return sn, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return sn, fmt.Errorf("GET /snapshot: %s", resp.Status)
+		}
+		r = resp.Body
+	case file == "-":
+		r = os.Stdin
+	default:
+		f, err := os.Open(file)
+		if err != nil {
+			return sn, err
+		}
+		r = f
+	}
+	defer r.Close()
+	return sn, json.NewDecoder(r).Decode(&sn)
+}
+
+// dumpTrace streams GET /trace into out.
+func dumpTrace(url, out, format string) error {
+	resp, err := http.Get(url + "/trace?format=" + format)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("GET /trace: %s: %s", resp.Status, body)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	n, err := io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d byte(s) of %s trace to %s\n", n, format, out)
+	return nil
+}
+
+// render prints the top-style view.
+func render(w io.Writer, sn rvm.Snapshot) {
+	s := sn.Stats
+	state := "running"
+	if sn.Truncating {
+		state = "truncating"
+	}
+	if sn.Poisoned {
+		state = "POISONED"
+	}
+	fmt.Fprintf(w, "rvm %s — log %s / %s (%.0f%% full), %d trace event(s)\n",
+		state, fmtBytes(sn.LogUsed), fmtBytes(sn.LogSize), pct(sn.LogUsed, sn.LogSize), sn.TraceEvents)
+	fmt.Fprintf(w, "levels   spool %s   active tx %d   dirty pages %d\n",
+		fmtBytes(sn.SpoolBytes), sn.ActiveTxs, sn.DirtyPages)
+	fmt.Fprintf(w, "tx       begins %d   flush %d   noflush %d   aborts %d   empty %d\n",
+		s.Begins, s.FlushCommits, s.NoFlushCommits, s.Aborts, s.EmptyCommits)
+	fmt.Fprintf(w, "log      %s appended   forces %d   spool flushes %d   saved intra %s inter %s\n",
+		fmtBytes(int64(s.LogBytes)), s.LogForces, s.Flushes,
+		fmtBytes(int64(s.IntraSavedBytes)), fmtBytes(int64(s.InterSavedBytes)))
+	fmt.Fprintf(w, "group    forces saved %d   max batch %d\n", s.ForcesSaved, s.GroupCommitSize)
+	fmt.Fprintf(w, "trunc    epochs %d   incr steps %d   pages written %d   failures %d\n",
+		s.EpochTruncs, s.IncrSteps, s.PagesWritten, s.TruncFailures)
+	fmt.Fprintf(w, "recovery runs %d   bytes %s   io retries %d\n",
+		s.Recoveries, fmtBytes(int64(s.RecoveredBytes)), s.Retries)
+
+	if sn.Metrics == nil {
+		fmt.Fprintln(w, "latency  (metrics disabled — open with Options.Metrics to collect)")
+		return
+	}
+	m := sn.Metrics
+	fmt.Fprintf(w, "\n%-16s %10s %10s %10s %10s %10s\n", "latency", "count", "mean", "p50", "p99", "max")
+	rows := []struct {
+		name string
+		h    rvm.HistStat
+		dur  bool
+	}{
+		{"commit-flush", m.CommitFlushNs, true},
+		{"commit-noflush", m.CommitNoFlushNs, true},
+		{"log-force", m.ForceLatencyNs, true},
+		{"spool-flush", m.SpoolFlushNs, true},
+		{"trunc-pause", m.TruncPauseNs, true},
+		{"force-batch", m.ForceBatch, false},
+	}
+	for _, row := range rows {
+		if row.h.Count == 0 {
+			continue
+		}
+		if row.dur {
+			fmt.Fprintf(w, "%-16s %10d %10s %10s %10s %10s\n", row.name, row.h.Count,
+				fmtDur(row.h.Mean), fmtDur(float64(row.h.P50)), fmtDur(float64(row.h.P99)), fmtDur(float64(row.h.Max)))
+		} else {
+			fmt.Fprintf(w, "%-16s %10d %10.1f %10d %10d %10d\n", row.name, row.h.Count,
+				row.h.Mean, row.h.P50, row.h.P99, row.h.Max)
+		}
+	}
+}
+
+func pct(used, size int64) float64 {
+	if size <= 0 {
+		return 0
+	}
+	return 100 * float64(used) / float64(size)
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(n int64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB"}
+	v := float64(n)
+	i := 0
+	for v >= 1024 && i < len(units)-1 {
+		v /= 1024
+		i++
+	}
+	if i == 0 {
+		return fmt.Sprintf("%d B", n)
+	}
+	return fmt.Sprintf("%.1f %s", v, units[i])
+}
+
+// fmtDur renders nanoseconds with an adaptive unit.
+func fmtDur(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

@@ -1,0 +1,73 @@
+package rvm
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+)
+
+// DebugHandler returns an opt-in HTTP handler exposing live
+// introspection for this instance:
+//
+//	GET /snapshot            Snapshot as JSON (same bytes rvmstat reads)
+//	GET /trace?format=json   event trace as a JSON array
+//	GET /trace?format=chrome event trace in Chrome trace_event format
+//
+// Nothing is registered automatically — mount it where (and if) the
+// deployment wants it, e.g.:
+//
+//	mux := http.NewServeMux()
+//	mux.Handle("/debug/rvm/", http.StripPrefix("/debug/rvm", db.DebugHandler()))
+//
+// The handler holds no locks across requests; a snapshot is the same
+// cost as calling Snapshot directly.
+func (r *RVM) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, req *http.Request) {
+		sn, err := r.Snapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sn); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		format := req.URL.Query().Get("format")
+		if format == "" {
+			format = TraceFormatJSON
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteTrace(w, format); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("rvm debug endpoints:\n  /snapshot\n  /trace?format=json|chrome\n"))
+	})
+	return mux
+}
+
+// PublishExpvar publishes the instance's Snapshot under name in the
+// process-wide expvar registry, making it visible at /debug/vars when
+// the application serves expvar.Handler().  Opt-in, and never called by
+// the library itself.  expvar panics if the same name is published
+// twice, so call this once per instance with distinct names.
+func (r *RVM) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any {
+		sn, err := r.Snapshot()
+		if err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		return sn
+	}))
+}

@@ -1,0 +1,12 @@
+package obsleak_test
+
+import (
+	"testing"
+
+	"github.com/rvm-go/rvm/internal/analysis/analysistest"
+	"github.com/rvm-go/rvm/internal/analysis/obsleak"
+)
+
+func TestObsLeak(t *testing.T) {
+	analysistest.Run(t, obsleak.Analyzer, "a")
+}

@@ -8,6 +8,7 @@ package analysis
 import (
 	"github.com/rvm-go/rvm/internal/analysis/framework"
 	"github.com/rvm-go/rvm/internal/analysis/locksync"
+	"github.com/rvm-go/rvm/internal/analysis/obsleak"
 	"github.com/rvm-go/rvm/internal/analysis/txlifecycle"
 	"github.com/rvm-go/rvm/internal/analysis/uncheckedcommit"
 	"github.com/rvm-go/rvm/internal/analysis/unloggedstore"
@@ -20,5 +21,6 @@ func All() []*framework.Analyzer {
 		txlifecycle.Analyzer,
 		uncheckedcommit.Analyzer,
 		locksync.Analyzer,
+		obsleak.Analyzer,
 	}
 }

@@ -16,7 +16,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/rvm-go/rvm/internal/iofault"
 	"github.com/rvm-go/rvm/internal/mapping"
+	"github.com/rvm-go/rvm/internal/obs"
 	"github.com/rvm-go/rvm/internal/pagevec"
 	"github.com/rvm-go/rvm/internal/recovery"
 	"github.com/rvm-go/rvm/internal/segment"
@@ -101,31 +103,56 @@ type Options struct {
 	// would make the inter-transaction subsumption scan quadratic).
 	// Zero means the 1 MiB default; negative means unlimited.
 	SpoolLimit int64
+	// Tracer records typed engine events (commits, forces, truncation
+	// phases, recovery, faults) into a fixed-size ring.  nil disables
+	// tracing at zero cost.
+	Tracer *obs.Tracer
+	// Metrics aggregates latency/size histograms and live gauges.  nil
+	// disables metrics at zero cost.
+	Metrics *obs.Metrics
 }
 
 // Statistics are cumulative counters since Open, in the spirit of the real
 // RVM's rvm_statistics call.
 type Statistics struct {
-	Begins          uint64 // transactions begun
-	FlushCommits    uint64 // commits in flush mode
-	NoFlushCommits  uint64 // commits in no-flush (lazy) mode
-	Aborts          uint64 // explicit aborts
-	SetRanges       uint64 // set-range calls
-	EmptyCommits    uint64 // commits that logged nothing
-	LogBytes        uint64 // record bytes appended to the log
-	LogForces       uint64 // fsyncs of the log on the commit/flush path
-	IntraSavedBytes uint64 // log bytes avoided by intra-transaction optimization
-	InterSavedBytes uint64 // log bytes avoided by inter-transaction optimization
-	Flushes         uint64 // explicit or implicit spool flushes
-	EpochTruncs     uint64 // epoch truncations completed
-	IncrSteps       uint64 // incremental truncation page write-outs
-	PagesWritten    uint64 // pages written to segments by truncation/unmap
-	Recoveries      uint64 // recoveries performed at Open (0 or 1)
-	RecoveredBytes  uint64 // bytes applied to segments during recovery
-	Retries         uint64 // transient storage faults retried on log/segment paths
-	TruncFailures   uint64 // background truncations that failed
-	ForcesSaved     uint64 // flush commits acknowledged by another committer's force
-	GroupCommitSize uint64 // largest number of flush commits covered by one force
+	Begins          uint64 `json:"begins"`            // transactions begun
+	FlushCommits    uint64 `json:"flush_commits"`     // commits in flush mode
+	NoFlushCommits  uint64 `json:"noflush_commits"`   // commits in no-flush (lazy) mode
+	Aborts          uint64 `json:"aborts"`            // explicit aborts
+	SetRanges       uint64 `json:"set_ranges"`        // set-range calls
+	EmptyCommits    uint64 `json:"empty_commits"`     // commits that logged nothing
+	LogBytes        uint64 `json:"log_bytes"`         // record bytes appended to the log
+	LogForces       uint64 `json:"log_forces"`        // fsyncs of the log on the commit/flush path
+	IntraSavedBytes uint64 `json:"intra_saved_bytes"` // log bytes avoided by intra-transaction optimization
+	InterSavedBytes uint64 `json:"inter_saved_bytes"` // log bytes avoided by inter-transaction optimization
+	Flushes         uint64 `json:"flushes"`           // explicit or implicit spool flushes
+	EpochTruncs     uint64 `json:"epoch_truncs"`      // epoch truncations completed
+	IncrSteps       uint64 `json:"incr_steps"`        // incremental truncation page write-outs
+	PagesWritten    uint64 `json:"pages_written"`     // pages written to segments by truncation/unmap
+	Recoveries      uint64 `json:"recoveries"`        // recoveries performed at Open (0 or 1)
+	RecoveredBytes  uint64 `json:"recovered_bytes"`   // bytes applied to segments during recovery
+	Retries         uint64 `json:"retries"`           // transient storage faults retried on log/segment paths
+	TruncFailures   uint64 `json:"trunc_failures"`    // background truncations that failed
+	ForcesSaved     uint64 `json:"forces_saved"`      // flush commits acknowledged by another committer's force
+	GroupCommitSize uint64 `json:"group_commit_size"` // largest number of flush commits covered by one force
+}
+
+// String renders the counters as a compact multi-line summary, so tools
+// stop hand-formatting the struct.
+func (s Statistics) String() string {
+	return fmt.Sprintf(
+		"tx: begins=%d flush=%d noflush=%d aborts=%d empty=%d setranges=%d\n"+
+			"log: bytes=%d forces=%d flushes=%d intra-saved=%d inter-saved=%d\n"+
+			"truncation: epochs=%d incr-steps=%d pages=%d failures=%d\n"+
+			"recovery: runs=%d bytes=%d\n"+
+			"faults: retries=%d\n"+
+			"group-commit: saved=%d max-batch=%d",
+		s.Begins, s.FlushCommits, s.NoFlushCommits, s.Aborts, s.EmptyCommits, s.SetRanges,
+		s.LogBytes, s.LogForces, s.Flushes, s.IntraSavedBytes, s.InterSavedBytes,
+		s.EpochTruncs, s.IncrSteps, s.PagesWritten, s.TruncFailures,
+		s.Recoveries, s.RecoveredBytes,
+		s.Retries,
+		s.ForcesSaved, s.GroupCommitSize)
 }
 
 // Engine is an open RVM instance: one log plus any number of mapped
@@ -151,6 +178,12 @@ type Engine struct {
 	epochEndSeq uint64 // while an epoch truncation is in flight: its EndSeq
 
 	gc groupCommit // group-commit ticket state (own mutex; see groupcommit.go)
+
+	// Observability sinks, copied from Options at Open.  Both are
+	// nil-safe; emission under e.mu is permitted (coarse lock), but never
+	// under wal.Log's or the injector's mutex (rvmcheck obsleak).
+	tr  *obs.Tracer
+	met *obs.Metrics
 
 	stats    Statistics
 	retries  atomic.Uint64 // transient-fault retries (atomic: truncation retries run without e.mu)
@@ -210,9 +243,15 @@ func Open(opts Options) (*Engine, error) {
 		segs:    make(map[uint64]*segment.Segment),
 		byPath:  make(map[string]uint64),
 		nextTID: 1,
+		tr:      opts.Tracer,
+		met:     opts.Metrics,
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.gc.cond = sync.NewCond(&e.gc.mu)
+	l.SetObs(e.tr, e.met)
+	if inj, ok := opts.LogDevice.(*iofault.Injector); ok {
+		inj.SetTracer(e.tr)
+	}
 	if opts.NoSync {
 		l.SetNoSync(true)
 	}
@@ -515,6 +554,63 @@ func (e *Engine) Stats() Statistics {
 	e.gc.mu.Unlock()
 	return st
 }
+
+// Snapshot is the engine's full observable state at one moment: the
+// cumulative counters, histogram summaries and gauges (when metrics are
+// enabled), and the live levels every deployment needs to watch.  It is
+// JSON-marshalable; rvmstat renders it and the debug HTTP handler serves
+// it.
+type Snapshot struct {
+	Stats       Statistics           `json:"stats"`
+	Metrics     *obs.MetricsSnapshot `json:"metrics,omitempty"`
+	LogUsed     int64                `json:"log_used"`
+	LogSize     int64                `json:"log_size"`
+	SpoolBytes  int64                `json:"spool_bytes"`
+	ActiveTxs   int                  `json:"active_txs"`
+	DirtyPages  int                  `json:"dirty_pages"`
+	TraceEvents uint64               `json:"trace_events,omitempty"` // events ever recorded
+	Truncating  bool                 `json:"truncating"`
+	Poisoned    bool                 `json:"poisoned"`
+}
+
+// Snapshot assembles the counters, metric summaries, and live gauges.
+// The dirty-page gauge is computed here (walking the page vectors on
+// every commit would not be allocation-free), so a snapshot is the
+// moment it refreshes.
+func (e *Engine) Snapshot() (Snapshot, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return Snapshot{}, ErrClosed
+	}
+	dirty := 0
+	for _, r := range e.regions {
+		if r != nil && r.mapped {
+			dirty += r.pvec.DirtyCount()
+		}
+	}
+	sn := Snapshot{
+		LogUsed:    e.log.Used(),
+		LogSize:    e.log.AreaSize(),
+		SpoolBytes: e.spoolBytes,
+		ActiveTxs:  e.active,
+		DirtyPages: dirty,
+		Truncating: e.truncating,
+		Poisoned:   e.poisoned != nil,
+	}
+	e.met.SetDirtyPages(int64(dirty))
+	e.mu.Unlock()
+	sn.Stats = e.Stats()
+	sn.Metrics = e.met.Snapshot()
+	sn.TraceEvents = e.tr.Recorded()
+	return sn, nil
+}
+
+// Tracer returns the tracer supplied at Open (nil when tracing is off).
+func (e *Engine) Tracer() *obs.Tracer { return e.tr }
+
+// Metrics returns the metrics registry supplied at Open (nil when off).
+func (e *Engine) Metrics() *obs.Metrics { return e.met }
 
 // Close flushes committed work, truncates the log, and releases all files.
 // It fails if transactions are still active.  Mapped regions are released

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/rvm-go/rvm/internal/iofault"
+	"github.com/rvm-go/rvm/internal/obs"
 	"github.com/rvm-go/rvm/internal/wal"
 )
 
@@ -46,6 +47,7 @@ func (e *Engine) retryIO(op func() error) error {
 			return err
 		}
 		e.retries.Add(1)
+		e.tr.Record(obs.EvRetry, 0, uint64(attempt+1), 0)
 		time.Sleep(backoff)
 		backoff *= 2
 	}
@@ -71,6 +73,7 @@ func (e *Engine) maybePoisonLocked(err error) error {
 	}
 	if e.poisoned == nil {
 		e.poisoned = err
+		e.tr.Record(obs.EvPoisoned, 0, 0, 0)
 	}
 	return fmt.Errorf("%w: %w", ErrPoisoned, err)
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/rvm-go/rvm/internal/mapping"
+	"github.com/rvm-go/rvm/internal/obs"
 	"github.com/rvm-go/rvm/internal/pagevec"
 	"github.com/rvm-go/rvm/internal/recovery"
 	"github.com/rvm-go/rvm/internal/segment"
@@ -25,6 +27,8 @@ func (e *Engine) Flush() error {
 // flushLocked drains the spool and forces the log, retrying transient
 // faults.
 func (e *Engine) flushLocked() error {
+	t0 := time.Now()
+	drained := e.spoolBytes
 	if err := e.drainSpoolLocked(); err != nil {
 		return err
 	}
@@ -32,6 +36,9 @@ func (e *Engine) flushLocked() error {
 		return err
 	}
 	e.stats.Flushes++
+	e.met.ObserveSpoolFlush(time.Since(t0).Nanoseconds())
+	e.met.SetSpoolBytes(e.spoolBytes)
+	e.tr.SpanSince(obs.EvSpoolFlush, t0, 0, uint64(drained), 0)
 	return nil
 }
 
@@ -48,6 +55,7 @@ func (e *Engine) Truncate() error {
 // continues; only the head advance at the end takes the log lock again
 // (paper §5.1.2, Figure 6).  Callers must NOT hold e.mu.
 func (e *Engine) epochTruncate() error {
+	t0 := time.Now()
 	e.mu.Lock()
 	if err := e.checkLocked(); err != nil {
 		e.mu.Unlock()
@@ -55,6 +63,7 @@ func (e *Engine) epochTruncate() error {
 	}
 	e.waitTruncationLocked()
 	e.truncating = true
+	pause := time.Now() // forward processing is paused while e.mu is held
 	finish := func() {
 		e.truncating = false
 		e.epochEndSeq = 0
@@ -76,6 +85,8 @@ func (e *Engine) epochTruncate() error {
 		return err
 	}
 	e.epochEndSeq = ep.EndSeq()
+	e.met.ObserveTruncPause(time.Since(pause).Nanoseconds())
+	e.tr.SpanSince(obs.EvTruncPause, pause, 0, 0, 0)
 	e.mu.Unlock()
 
 	// Apply outside the engine lock: commits keep flowing into the
@@ -83,6 +94,7 @@ func (e *Engine) epochTruncate() error {
 	_, err = ep.Apply(e.lookupSegmentSync, e.retryIO)
 
 	e.mu.Lock()
+	pause = time.Now()
 	if err == nil {
 		e.completeEpochLocked(ep.EndSeq())
 		e.stats.EpochTruncs++
@@ -92,6 +104,9 @@ func (e *Engine) epochTruncate() error {
 		// correct.  The engine, however, can no longer trust the device.
 		err = e.maybePoisonLocked(err)
 	}
+	e.met.ObserveTruncPause(time.Since(pause).Nanoseconds())
+	e.tr.SpanSince(obs.EvTruncPause, pause, 0, 0, 0)
+	e.tr.SpanSince(obs.EvTruncEpoch, t0, 0, uint64(ep.Records()), 0)
 	finish()
 	return err
 }
@@ -257,6 +272,9 @@ func (e *Engine) reclaimableTo(pos int64, moved bool) int64 {
 // log remains above the fraction.  Exposed for tests, tools, and
 // benchmarks; background truncation uses the same path.
 func (e *Engine) TruncateIncremental(targetFraction float64) error {
+	// Like Commit, the operation span starts at the call so traces show
+	// truncation overlapping commits that held the engine while it waited.
+	t0 := time.Now()
 	e.mu.Lock()
 	if err := e.checkLocked(); err != nil {
 		e.mu.Unlock()
@@ -264,6 +282,8 @@ func (e *Engine) TruncateIncremental(targetFraction float64) error {
 	}
 	e.waitTruncationLocked()
 	e.truncating = true
+	pause := time.Now() // incremental steps run entirely under e.mu
+	stepsBefore := e.stats.IncrSteps
 	target := int64(targetFraction * float64(e.log.AreaSize()))
 	err := e.flushLocked()
 	var done bool
@@ -271,6 +291,10 @@ func (e *Engine) TruncateIncremental(targetFraction float64) error {
 		done, err = e.incrementalStepsLocked(target)
 	}
 	err = e.maybePoisonLocked(err)
+	pages := e.stats.IncrSteps - stepsBefore
+	e.met.ObserveTruncPause(time.Since(pause).Nanoseconds())
+	e.tr.SpanSince(obs.EvTruncPause, pause, 0, pages, 0)
+	e.tr.SpanSince(obs.EvTruncIncr, t0, 0, pages, 0)
 	e.truncating = false
 	e.cond.Broadcast()
 	e.mu.Unlock()
@@ -361,6 +385,7 @@ func (e *Engine) appendWithRetryLocked(tid uint64, flags uint8, ranges []wal.Ran
 		// segments must be durable in the log (no-undo/redo invariant).
 		// The spool is intentionally not drained here — there may be no
 		// room for it; it stays in memory.
+		tt := time.Now()
 		if err := e.retryIO(e.log.Force); err != nil {
 			return 0, 0, 0, err
 		}
@@ -376,5 +401,7 @@ func (e *Engine) appendWithRetryLocked(tid uint64, flags uint8, ranges []wal.Ran
 		e.completeEpochLocked(ep.EndSeq())
 		e.epochEndSeq = 0
 		e.stats.EpochTruncs++
+		e.met.ObserveTruncPause(time.Since(tt).Nanoseconds())
+		e.tr.SpanSince(obs.EvTruncEpoch, tt, 0, uint64(ep.Records()), 0)
 	}
 }

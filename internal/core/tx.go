@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/rvm-go/rvm/internal/itree"
 	"github.com/rvm-go/rvm/internal/mapping"
+	"github.com/rvm-go/rvm/internal/obs"
 	"github.com/rvm-go/rvm/internal/pagevec"
 	"github.com/rvm-go/rvm/internal/wal"
 )
@@ -126,6 +128,8 @@ func (e *Engine) Begin(mode TxMode) (*Tx, error) {
 	e.nextTID++
 	e.active++
 	e.stats.Begins++
+	e.met.AddActiveTx(1)
+	e.tr.Record(obs.EvTxBegin, t.id, 0, 0)
 	return t, nil
 }
 
@@ -224,6 +228,7 @@ func (t *Tx) finishLocked() {
 	}
 	t.done = true
 	e.active--
+	e.met.AddActiveTx(-1)
 }
 
 // buildRanges reads the current (new) values of the transaction's ranges
@@ -280,6 +285,7 @@ func (t *Tx) Commit(mode CommitMode) error {
 		return ErrTxDone
 	}
 	e := t.eng
+	t0 := time.Now()
 	e.mu.Lock()
 	if err := e.checkLocked(); err != nil {
 		e.mu.Unlock()
@@ -317,6 +323,7 @@ func (t *Tx) Commit(mode CommitMode) error {
 		}
 		e.spool = append(e.spool, sp)
 		e.spoolBytes += sp.bytes
+		e.met.SetSpoolBytes(e.spoolBytes)
 		t.markDirtyLocked(nil, 0, 0) // dirty bits only; queue entries at flush
 		t.finishLocked()
 		e.stats.NoFlushCommits++
@@ -335,6 +342,8 @@ func (t *Tx) Commit(mode CommitMode) error {
 			}
 		}
 		trigger := e.shouldAutoTruncateLocked()
+		e.met.ObserveCommitNoFlush(time.Since(t0).Nanoseconds())
+		e.tr.SpanSince(obs.EvCommitNoFlush, t0, t.id, uint64(sp.bytes), 0)
 		e.mu.Unlock()
 		if trigger {
 			go e.autoTruncate()
@@ -351,7 +360,7 @@ func (t *Tx) Commit(mode CommitMode) error {
 			e.mu.Unlock()
 			return err
 		}
-		pos, seq, _, err := e.appendWithRetryLocked(t.id, flags, ranges)
+		pos, seq, nbytes, err := e.appendWithRetryLocked(t.id, flags, ranges)
 		if err != nil {
 			err = e.maybePoisonLocked(err)
 			t.abandonIfPoisonedLocked(err)
@@ -391,6 +400,8 @@ func (t *Tx) Commit(mode CommitMode) error {
 		t.finishLocked()
 		e.stats.FlushCommits++
 		trigger := e.shouldAutoTruncateLocked()
+		e.met.ObserveCommitFlush(time.Since(t0).Nanoseconds())
+		e.tr.SpanSince(obs.EvCommitFlush, t0, t.id, uint64(nbytes), seq)
 		e.mu.Unlock()
 		if trigger {
 			go e.autoTruncate()
@@ -500,6 +511,7 @@ func (e *Engine) drainSpoolLocked() error {
 		e.spool = e.spool[1:]
 		e.spoolBytes -= sp.bytes
 	}
+	e.met.SetSpoolBytes(e.spoolBytes)
 	return nil
 }
 
@@ -598,5 +610,6 @@ func (t *Tx) Abort() error {
 	}
 	t.finishLocked()
 	e.stats.Aborts++
+	e.tr.Record(obs.EvTxAbort, t.id, 0, 0)
 	return nil
 }

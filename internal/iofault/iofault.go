@@ -21,6 +21,8 @@ import (
 	"math/rand"
 	"sync"
 	"syscall"
+
+	"github.com/rvm-go/rvm/internal/obs"
 )
 
 // Device is the storage a log or segment runs on.  *os.File satisfies it;
@@ -111,6 +113,15 @@ type Injector struct {
 	rng    *rand.Rand
 	faults []*Fault
 	stats  Stats
+	tr     *obs.Tracer // fault events; emission happens outside mu
+}
+
+// SetTracer attaches a tracer; injected faults are recorded as EvFault
+// events.  Call before the injector is shared between goroutines.
+func (in *Injector) SetTracer(tr *obs.Tracer) {
+	in.mu.Lock()
+	in.tr = tr
+	in.mu.Unlock()
 }
 
 // NewInjector wraps dev; seed drives the probabilistic faults.
@@ -168,24 +179,44 @@ func (in *Injector) match(op Op) *Fault {
 // ReadAt reads through to the device unless a read fault fires.
 func (in *Injector) ReadAt(p []byte, off int64) (int, error) {
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	in.stats.Reads++
+	var n int
+	var err error
+	faulted := false
 	if f := in.match(OpRead); f != nil {
 		in.stats.Faults++
-		return 0, f.err()
+		faulted = true
+		err = f.err()
+	} else {
+		n, err = in.dev.ReadAt(p, off)
 	}
-	return in.dev.ReadAt(p, off)
+	tr := in.tr
+	in.mu.Unlock()
+	if faulted {
+		tr.Record(obs.EvFault, 0, uint64(OpRead), 0)
+	}
+	return n, err
 }
 
 // WriteAt writes through to the device unless a write fault fires; a torn
 // fault persists a strict prefix of p first.
 func (in *Injector) WriteAt(p []byte, off int64) (int, error) {
 	in.mu.Lock()
-	defer in.mu.Unlock()
+	n, faulted, err := in.writeAtLocked(p, off)
+	tr := in.tr
+	in.mu.Unlock()
+	if faulted {
+		tr.Record(obs.EvFault, 0, uint64(OpWrite), 0)
+	}
+	return n, err
+}
+
+func (in *Injector) writeAtLocked(p []byte, off int64) (int, bool, error) {
 	in.stats.Writes++
 	f := in.match(OpWrite)
 	if f == nil {
-		return in.dev.WriteAt(p, off)
+		n, err := in.dev.WriteAt(p, off)
+		return n, false, err
 	}
 	in.stats.Faults++
 	if f.Torn && len(p) > 1 {
@@ -200,12 +231,12 @@ func (in *Injector) WriteAt(p []byte, off int64) (int, error) {
 		if n > 0 {
 			in.stats.Torn++
 			if _, werr := in.dev.WriteAt(p[:n], off); werr != nil {
-				return 0, werr
+				return 0, true, werr
 			}
-			return n, f.err()
+			return n, true, f.err()
 		}
 	}
-	return 0, f.err()
+	return 0, true, f.err()
 }
 
 // Sync syncs the device unless a sync fault fires.  The injector's lock
@@ -218,7 +249,9 @@ func (in *Injector) Sync() error {
 	in.stats.Syncs++
 	if f := in.match(OpSync); f != nil {
 		in.stats.Faults++
+		tr := in.tr
 		in.mu.Unlock()
+		tr.Record(obs.EvFault, 0, uint64(OpSync), 0)
 		return f.err()
 	}
 	in.mu.Unlock()

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Hist is a log2-bucketed histogram: values land in bucket
+// bits.Len64(v), i.e. bucket i holds [2^(i-1), 2^i).  Observing is one
+// atomic increment per counter — no locks, no allocation — which keeps
+// it cheap enough for the commit hot path while still answering
+// quantile questions to within a factor of two (plenty for telling a
+// 100 µs no-flush commit from a 10 ms forced one).
+//
+// The zero Hist is ready to use.  All methods are safe for concurrent
+// use.
+type Hist struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [65]atomic.Uint64
+}
+
+// Observe records one value.  Negative values are clamped to zero.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	h.count.Add(1)
+	h.sum.Add(u)
+	for {
+		cur := h.max.Load()
+		if u <= cur || h.max.CompareAndSwap(cur, u) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(u)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Hist) Sum() uint64 { return h.sum.Load() }
+
+// HistStat is a JSON-marshalable summary of a histogram: cumulative
+// count and sum plus quantiles estimated from the log2 buckets (each
+// quantile is the geometric midpoint of the bucket it falls in, so it is
+// accurate to within a factor of two).
+type HistStat struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// Snapshot summarizes the histogram.  Buckets are read without a global
+// lock, so a snapshot taken during concurrent observation is consistent
+// per counter, not across counters — fine for monitoring.
+func (h *Hist) Snapshot() HistStat {
+	var counts [65]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	st := HistStat{Count: h.count.Load(), Sum: h.sum.Load(), Max: int64(h.max.Load())}
+	if st.Count > 0 {
+		st.Mean = float64(st.Sum) / float64(st.Count)
+	}
+	if total == 0 {
+		return st
+	}
+	st.P50 = quantile(&counts, total, 0.50)
+	st.P90 = quantile(&counts, total, 0.90)
+	st.P99 = quantile(&counts, total, 0.99)
+	if st.Max > 0 {
+		// Bucket midpoints can overshoot the true maximum; clamping
+		// every quantile also keeps them mutually ordered.
+		for _, p := range []*int64{&st.P50, &st.P90, &st.P99} {
+			if *p > st.Max {
+				*p = st.Max
+			}
+		}
+	}
+	return st
+}
+
+// quantile returns the estimated q-quantile: the geometric midpoint of
+// the bucket containing the q*total'th observation.
+func quantile(counts *[65]uint64, total uint64, q float64) int64 {
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(64)
+}
+
+// bucketMid returns the geometric midpoint of bucket i, whose range is
+// [2^(i-1), 2^i).  Bucket 0 holds only the value 0.
+func bucketMid(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	lo := int64(1) << (i - 1)
+	return lo + lo/2
+}

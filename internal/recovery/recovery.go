@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"github.com/rvm-go/rvm/internal/itree"
+	"github.com/rvm-go/rvm/internal/obs"
 	"github.com/rvm-go/rvm/internal/segment"
 	"github.com/rvm-go/rvm/internal/wal"
 )
@@ -94,8 +95,10 @@ func (ts treeSet) apply(lookup SegmentLookup, retry Retry, st *Stats) error {
 // retry (optional) wraps each storage operation.
 func Recover(l *wal.Log, lookup SegmentLookup, retry Retry) (Stats, error) {
 	var st Stats
+	tr := l.Tracer()
 	trees := make(treeSet)
 	// Tail-to-head: newest record first, so earlier-seen bytes win.
+	scanStart := tr.Now()
 	err := l.ScanBackward(func(rec *wal.Record) error {
 		st.Records++
 		for _, r := range rec.Ranges {
@@ -108,9 +111,12 @@ func Recover(l *wal.Log, lookup SegmentLookup, retry Retry) (Stats, error) {
 	if err != nil {
 		return st, err
 	}
+	tr.Span(obs.EvRecovScan, scanStart, 0, uint64(st.Records), 0)
+	applyStart := tr.Now()
 	if err := trees.apply(lookup, retry, &st); err != nil {
 		return st, err
 	}
+	tr.Span(obs.EvRecovApply, applyStart, 0, st.TreeBytes, 0)
 	// All recovery actions are complete; only now mark the log empty.
 	pos, seq := l.Tail()
 	if err := retried(retry, func() error { return l.SetHead(pos, seq) }); err != nil {

@@ -37,9 +37,11 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+	"time"
 
 	"github.com/rvm-go/rvm/internal/iofault"
 	"github.com/rvm-go/rvm/internal/mapping"
+	"github.com/rvm-go/rvm/internal/obs"
 )
 
 const (
@@ -97,6 +99,7 @@ type Range struct {
 // Record is a decoded log record.
 type Record struct {
 	Pos    int64 // record-area offset of the record's first byte
+	Len    int64 // encoded size on disk, header through trailer
 	Seq    uint64
 	TID    uint64
 	Flags  uint8
@@ -129,6 +132,32 @@ type Log struct {
 	skippedSync bool // a Force skipped its fsync while noSync was set
 
 	stats Stats
+
+	// Observability sinks (nil-safe).  Set once via SetObs before the log
+	// is shared; emission happens outside l.mu (enforced by the rvmcheck
+	// obsleak analyzer), so handles are snapshotted under the lock and
+	// used after release.
+	tr  *obs.Tracer
+	met *obs.Metrics
+}
+
+// SetObs attaches a tracer and metrics registry to the log.  Call it
+// before the log is shared between goroutines; nil disables a sink.
+func (l *Log) SetObs(tr *obs.Tracer, m *obs.Metrics) {
+	l.mu.Lock()
+	l.tr, l.met = tr, m
+	used := l.used
+	l.mu.Unlock()
+	m.SetLogLiveBytes(used)
+}
+
+// Tracer returns the tracer attached via SetObs (nil when tracing is
+// off).  Recovery and truncation record their phase spans through it so
+// their timelines land in the same ring as the log's own events.
+func (l *Log) Tracer() *obs.Tracer {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tr
 }
 
 // align8 rounds n up to a multiple of 8.
@@ -312,6 +341,7 @@ func (l *Log) readRecordAt(pos int64, wantSeq uint64) (*Record, int64, error) {
 	}
 	rec := &Record{
 		Pos:   pos,
+		Len:   totalLen,
 		Seq:   seq,
 		TID:   binary.BigEndian.Uint64(buf[24:]),
 		Flags: buf[9],
@@ -383,7 +413,18 @@ func (l *Log) tailPos() int64 { return (l.head + l.used) % l.areaSize }
 // bytes consumed (including any wrap record).
 func (l *Log) Append(tid uint64, flags uint8, ranges []Range) (pos int64, seq uint64, nbytes int64, err error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	pos, seq, nbytes, err = l.appendLocked(tid, flags, ranges)
+	used := l.used
+	tr, met := l.tr, l.met
+	l.mu.Unlock()
+	if err == nil {
+		met.SetLogLiveBytes(used)
+		tr.Record(obs.EvLogAppend, tid, uint64(nbytes), seq)
+	}
+	return pos, seq, nbytes, err
+}
+
+func (l *Log) appendLocked(tid uint64, flags uint8, ranges []Range) (pos int64, seq uint64, nbytes int64, err error) {
 	if l.dev == nil {
 		return 0, 0, 0, ErrLogClosed
 	}
@@ -483,6 +524,7 @@ func (l *Log) Force() error {
 		return nil
 	}
 	coverSeq := l.nextSeq - 1
+	prevForced := l.forcedSeq
 	dev := l.dev
 	sync := !l.noSync
 	if !sync {
@@ -491,14 +533,17 @@ func (l *Log) Force() error {
 		// a real fsync covering these bytes.
 		l.skippedSync = true
 	}
+	tr, met := l.tr, l.met
 	l.mu.Unlock()
+	start := tr.Now()
+	t0 := time.Now()
 	if sync {
 		if err := dev.Sync(); err != nil {
 			return fmt.Errorf("wal: force: %w", err)
 		}
 	}
+	dur := time.Since(t0).Nanoseconds()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if coverSeq > l.forcedSeq {
 		l.forcedSeq = coverSeq
 	}
@@ -507,6 +552,13 @@ func (l *Log) Force() error {
 		l.dirty = false
 	}
 	l.stats.Forces++
+	l.mu.Unlock()
+	var batch uint64
+	if coverSeq > prevForced {
+		batch = coverSeq - prevForced
+	}
+	tr.Span(obs.EvLogForce, start, 0, batch, coverSeq)
+	met.ObserveForce(dur, batch)
 	return nil
 }
 
@@ -634,7 +686,17 @@ func (l *Log) ScanBackward(fn func(*Record) error) error {
 // record or the tail.  Freed space becomes available to Append immediately.
 func (l *Log) SetHead(pos int64, seq uint64) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	err := l.setHeadLocked(pos, seq)
+	used := l.used
+	met := l.met
+	l.mu.Unlock()
+	if err == nil {
+		met.SetLogLiveBytes(used)
+	}
+	return err
+}
+
+func (l *Log) setHeadLocked(pos int64, seq uint64) error {
 	if l.dev == nil {
 		return ErrLogClosed
 	}

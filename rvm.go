@@ -41,10 +41,12 @@
 package rvm
 
 import (
+	"io"
 	"time"
 
 	"github.com/rvm-go/rvm/internal/core"
 	"github.com/rvm-go/rvm/internal/mapping"
+	"github.com/rvm-go/rvm/internal/obs"
 )
 
 // Region is a mapped region of an external data segment.  Read its memory
@@ -58,6 +60,32 @@ type Tx = core.Tx
 
 // Statistics are cumulative counters since Open.
 type Statistics = core.Statistics
+
+// Snapshot is the engine's full observable state at one moment:
+// cumulative counters, histogram quantiles and gauges (when metrics are
+// enabled), and live levels.  It marshals to stable JSON; rvmstat and
+// the debug handler both serve exactly this.
+type Snapshot = core.Snapshot
+
+// MetricsSnapshot summarizes the metric registry: one HistStat per
+// histogram plus the gauges.
+type MetricsSnapshot = obs.MetricsSnapshot
+
+// HistStat is a histogram summary: count, sum, mean, and log2-bucket
+// quantile estimates (accurate to within a factor of two).
+type HistStat = obs.HistStat
+
+// TraceEvent is one decoded entry of the event trace.
+type TraceEvent = obs.Event
+
+// Trace export formats accepted by WriteTrace.
+const (
+	// TraceFormatJSON writes a JSON array of TraceEvent objects.
+	TraceFormatJSON = obs.FormatJSON
+	// TraceFormatChrome writes Chrome trace_event format, loadable in
+	// chrome://tracing or https://ui.perfetto.dev.
+	TraceFormatChrome = obs.FormatChrome
+)
 
 // QueryInfo describes engine and region state.
 type QueryInfo = core.QueryInfo
@@ -161,6 +189,16 @@ type Options struct {
 	// RetryBackoff is the initial backoff between retries, doubled per
 	// attempt.  Zero selects 1ms.
 	RetryBackoff time.Duration
+	// TraceEvents enables event tracing, retaining the most recent
+	// TraceEvents events in a lock-free ring (rounded up to a power of
+	// two, minimum 64).  Zero disables tracing entirely; recording is
+	// wait-free and allocation-free, so leaving it on in production costs
+	// a few atomic stores per event.  Read the trace with WriteTrace.
+	TraceEvents int
+	// Metrics enables the latency/size histograms and live gauges
+	// reported by Snapshot.  Observation is a handful of atomic adds per
+	// operation; false disables the registry entirely.
+	Metrics bool
 }
 
 // RVM is an open recoverable-virtual-memory instance: one write-ahead log
@@ -193,6 +231,14 @@ func Open(o Options) (*RVM, error) {
 	if o.UseMmap {
 		backend = mapping.Mmap
 	}
+	var tracer *obs.Tracer
+	if o.TraceEvents > 0 {
+		tracer = obs.NewTracer(o.TraceEvents)
+	}
+	var metrics *obs.Metrics
+	if o.Metrics {
+		metrics = obs.NewMetrics()
+	}
 	eng, err := core.Open(core.Options{
 		LogPath:           o.LogPath,
 		Backend:           backend,
@@ -207,6 +253,8 @@ func Open(o Options) (*RVM, error) {
 		SpoolLimit:        o.SpoolLimit,
 		MaxRetries:        o.MaxRetries,
 		RetryBackoff:      o.RetryBackoff,
+		Tracer:            tracer,
+		Metrics:           metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -262,3 +310,19 @@ func (r *RVM) SetOptions(truncateThreshold float64, incremental bool) {
 // Stats returns a snapshot of cumulative counters, in the spirit of the
 // real RVM's rvm_statistics.
 func (r *RVM) Stats() Statistics { return r.eng.Stats() }
+
+// Snapshot returns the engine's full observable state: the Stats
+// counters, histogram quantiles and gauges (when Options.Metrics is on),
+// and live levels such as log usage and active transactions.
+func (r *RVM) Snapshot() (Snapshot, error) { return r.eng.Snapshot() }
+
+// WriteTrace writes the retained event trace to w in the given format
+// (TraceFormatJSON or TraceFormatChrome).  With tracing disabled it
+// writes an empty trace.
+func (r *RVM) WriteTrace(w io.Writer, format string) error {
+	return r.eng.Tracer().WriteTrace(w, format)
+}
+
+// TraceEvents returns a snapshot of the retained trace, oldest first
+// (nil when tracing is disabled).
+func (r *RVM) TraceEvents() []TraceEvent { return r.eng.Tracer().Events() }

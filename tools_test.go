@@ -1,6 +1,9 @@
 package rvm_test
 
 import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -103,5 +106,73 @@ func TestOperatorWorkflow(t *testing.T) {
 	}
 	if string(reg2.Data()[:13]) != "operator-data" {
 		t.Fatal("data lost through operator workflow")
+	}
+}
+
+// TestRvmstatRoundTrip proves Engine.Snapshot and rvmstat agree on the
+// wire format: a snapshot saved as JSON, parsed by rvmstat, and
+// re-emitted with -json is byte-identical.  It then drives the live
+// paths (-url view and -trace dump) against a real DebugHandler.
+func TestRvmstatRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool workflow skipped in -short")
+	}
+	s := newStore(t, rvm.Options{TraceEvents: 1024, Metrics: true})
+	reg, err := s.db.Map(s.segPath, 0, int64(rvm.PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, s.db, reg, 6, rvm.Flush)
+	commitN(t, s.db, reg, 2, rvm.NoFlush)
+
+	sn, err := s.db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.MarshalIndent(sn, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(t.TempDir(), "snap.json")
+	if err := os.WriteFile(snapPath, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round trip: parse + re-marshal must reproduce the engine's bytes.
+	out := runTool(t, "rvmstat", "-snapshot", snapPath, "-json")
+	if strings.TrimSpace(out) != string(want) {
+		t.Errorf("rvmstat -json does not round-trip Snapshot JSON:\n got: %s\nwant: %s", out, want)
+	}
+
+	// The rendered view from the same file mentions the headline numbers.
+	out = runTool(t, "rvmstat", "-snapshot", snapPath)
+	for _, frag := range []string{"flush 6", "noflush 2", "commit-flush", "log-force"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rvmstat view missing %q:\n%s", frag, out)
+		}
+	}
+
+	// Live paths against a mounted DebugHandler.
+	srv := httptest.NewServer(s.db.DebugHandler())
+	defer srv.Close()
+	out = runTool(t, "rvmstat", "-url", srv.URL)
+	if !strings.Contains(out, "flush 6") {
+		t.Errorf("rvmstat -url view: %s", out)
+	}
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	out = runTool(t, "rvmstat", "-url", srv.URL, "-trace", tracePath, "-format", "chrome")
+	if !strings.Contains(out, "chrome trace") {
+		t.Errorf("rvmstat -trace: %s", out)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("dumped trace is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("dumped trace is empty")
 	}
 }
