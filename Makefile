@@ -3,7 +3,7 @@
 STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.3
 
-.PHONY: build test lint bench
+.PHONY: build test lint bench bench-gates
 
 build:
 	go build ./...
@@ -25,4 +25,11 @@ lint:
 	else echo "govulncheck not installed; go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)"; fi
 
 bench:
-	go test -bench 'Table1|ConcurrentCommit' -benchtime 1x -run '^$$' .
+	go test -bench 'Table1|ConcurrentCommit|ConcurrentSetRange' -benchtime 1x -run '^$$' .
+
+# bench-gates runs the three checked-in regression gates the way CI does:
+# fsyncs/commit + p99, observability overhead, and commit scaling.
+bench-gates:
+	go run ./cmd/rvmbench -experiment concurrent -json BENCH_ci.json -thresholds bench_thresholds.json
+	go run ./cmd/rvmbench -experiment obs -thresholds bench_thresholds.json
+	go run ./cmd/rvmbench -experiment scaling -json BENCH_ci.json -thresholds bench_thresholds.json

@@ -436,6 +436,79 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentSetRange measures the no-flush hot path under
+// goroutine concurrency with every worker on its own region: after the
+// engine-lock decomposition, transactions on disjoint regions contend
+// only at the log pipeline, never on a shared region or global mutex.
+// NoSync keeps the numbers about lock contention rather than fsync
+// latency; the durability-side scaling gate is `rvmbench -experiment
+// scaling`, which runs real fsyncs under group commit.
+func BenchmarkConcurrentSetRange(b *testing.B) {
+	const commitsPerWorker = 32
+	const regionLen = int64(1) << 14 // 4 pages per worker
+	payload := bytes.Repeat([]byte{13}, 128)
+	for _, workers := range []int{1, 2, 4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("g%d", workers), func(b *testing.B) {
+			dir := b.TempDir()
+			logPath := filepath.Join(dir, "s.log")
+			segPath := filepath.Join(dir, "s.seg")
+			if err := rvm.CreateLog(logPath, 64<<20); err != nil {
+				b.Fatal(err)
+			}
+			if err := rvm.CreateSegment(segPath, 1, int64(workers)*regionLen); err != nil {
+				b.Fatal(err)
+			}
+			db, err := rvm.Open(rvm.Options{LogPath: logPath, NoSync: true, TruncateThreshold: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { db.Close() })
+			regions := make([]*rvm.Region, workers)
+			for w := range regions {
+				if regions[w], err = db.Map(segPath, int64(w)*regionLen, regionLen); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for j := 0; j < commitsPerWorker; j++ {
+							tx, err := db.Begin(rvm.NoRestore)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if err := tx.Modify(regions[w], int64(j%32)*256, payload); err != nil {
+								b.Error(err)
+								return
+							}
+							if err := tx.Commit(rvm.NoFlush); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+				if err := db.Flush(); err != nil { // bound the spool between iterations
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			st := db.Stats()
+			if commits := float64(st.NoFlushCommits); commits > 0 {
+				b.ReportMetric(commits/b.Elapsed().Seconds(), "commits/s")
+			}
+		})
+	}
+}
+
 // BenchmarkSetRange measures the basic set-range path (with old-value
 // copy) — the operation the paper calls out as RVM's per-modification
 // overhead.

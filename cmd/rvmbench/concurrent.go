@@ -70,6 +70,10 @@ type concThresholds struct {
 		Workers        int     `json:"workers"`
 		MaxOverheadPct float64 `json:"max_overhead_pct"`
 	} `json:"obs_overhead"`
+	Scaling struct {
+		Workers    int     `json:"workers"`
+		MinSpeedup float64 `json:"min_speedup"`
+	} `json:"scaling"`
 }
 
 // concurrent runs the sweep, prints a table, optionally writes jsonPath,

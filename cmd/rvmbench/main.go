@@ -15,7 +15,11 @@
 // fsyncs/commit and p99 commit latency and exits nonzero on violation.
 // -experiment obs measures the observability tax itself: the 16-committer
 // group cell with tracing+metrics on vs off, gated to stay within
-// bench_thresholds.json's obs_overhead budget.
+// bench_thresholds.json's obs_overhead budget.  -experiment scaling gates
+// the lock decomposition: flush-commit throughput on disjoint regions at
+// 16 workers must stay a healthy multiple of the single-worker number
+// (bench_thresholds.json's scaling entry); its results merge into the
+// -json file under a "scaling" key.
 //
 // Table 1 / Figures 8-9 run in simulation mode: the workload and the
 // logging/optimization logic are real, but I/O and CPU are charged to a
@@ -44,7 +48,7 @@ var accounts = []int{
 var patterns = []tpca.Pattern{tpca.Sequential, tpca.Random, tpca.Localized}
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1 | fig8 | fig9 | table2 | future | concurrent | obs | all")
+	experiment := flag.String("experiment", "all", "table1 | fig8 | fig9 | table2 | future | concurrent | obs | scaling | all")
 	quick := flag.Bool("quick", false, "fewer simulated transactions per cell")
 	scale := flag.Int("scale", 30, "Table 2 transaction-count divisor")
 	jsonPath := flag.String("json", "", "write concurrent-experiment results to this JSON file")
@@ -69,6 +73,11 @@ func main() {
 		}
 	case "obs":
 		if err := obsOverhead(*thresholds); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "scaling":
+		if err := scaling(*jsonPath, *thresholds); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

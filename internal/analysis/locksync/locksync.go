@@ -9,19 +9,25 @@
 // l.mu around dev.Sync(), and the group-commit leader forces holding
 // neither gc.mu nor e.mu.
 //
-// Two rules, both lexical and function-local:
+// Three rules, all lexical and function-local:
 //
 //   - Rule A: a raw device sync — (*os.File).Sync, a Sync method on a
 //     Device interface, or syscall.Fsync/Fdatasync — under ANY held
 //     mutex.  There is never a reason to hold a lock across the raw
 //     syscall.
 //   - Rule B: a module method named Force or Sync (which syncs
-//     transitively) under a held mutex, unless that mutex belongs to the
-//     Engine.  The coarse Engine.mu intentionally serializes the flush
-//     and truncation paths (flushLocked, appendWithRetryLocked), so
-//     forcing under it is the design, not a bug; every finer-grained
-//     mutex (wal.Log.mu, groupCommitter.mu, iofault.Injector.mu) must be
-//     released first.
+//     transitively) under ANY held mutex.  Since the engine-lock
+//     decomposition there is no exception: the engine forces the log
+//     after releasing its structural mutex, the region locks, and the
+//     pipeline lock, so a force under wal.Log.mu, groupCommit.mu,
+//     iofault.Injector.mu, Engine.mu, Region.mu, or pipeline.mu is
+//     always a regression that re-serializes group commit.
+//   - Rule C: acquiring a Region lock while holding the log-pipeline
+//     lock.  The engine's lock hierarchy is Engine.mu, then Region
+//     locks in ascending index order, then pipeline.mu innermost; a
+//     commit holds its region locks across the pipeline section, so
+//     taking them in the other order is a lock-order inversion that can
+//     deadlock against every committer.
 //
 // Method values count as calls: `e.retryIO(e.log.Force)` invokes Force
 // right there for this analysis's purposes.
@@ -43,7 +49,7 @@ import (
 // Analyzer is the locksync pass.
 var Analyzer = &framework.Analyzer{
 	Name: "locksync",
-	Doc:  "no fsync/Force under a held mutex (the Engine's own coarse mutex excepted)",
+	Doc:  "no fsync/Force under a held mutex; no Region lock under the log-pipeline lock",
 	Run:  run,
 }
 
@@ -156,14 +162,26 @@ func clone(held map[string]heldMutex) map[string]heldMutex {
 	return c
 }
 
-// applyLock mutates held for a Lock/RLock/Unlock/RUnlock statement; the
-// lock call itself is also scanned for sync work in its arguments.
+// applyLock mutates held for a Lock/RLock/Unlock/RUnlock statement; a
+// Lock is also checked against Rule C before it is recorded.
 func (w *walker) applyLock(held map[string]heldMutex, path, op string, pos token.Pos, e ast.Expr) {
 	switch op {
 	case "Lock", "RLock":
 		owner := ""
 		if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
 			owner = mutexOwner(w.pass.TypesInfo, call)
+		}
+		// Rule C: pipeline.mu is the innermost lock of the engine
+		// hierarchy; a Region lock acquired under it inverts the order
+		// every committer relies on.
+		if owner == "Region" {
+			for _, h := range held {
+				if h.owner == "pipeline" {
+					w.pass.Reportf(pos, "Region lock %s acquired while holding log-pipeline lock %s (locked at %s); the hierarchy is Engine, then Region locks, then the pipeline lock innermost — acquire region locks before entering the pipeline",
+						path, h.path, w.pass.Fset.Position(h.pos))
+					break
+				}
+			}
 		}
 		held[path] = heldMutex{path: path, owner: owner, pos: pos}
 	case "Unlock", "RUnlock":
@@ -284,12 +302,7 @@ func (w *walker) checkFunc(fn *types.Func, pos token.Pos, held map[string]heldMu
 	}
 	if isModuleForce(fn) {
 		for _, h := range held {
-			if h.owner == "Engine" {
-				// The coarse Engine mutex intentionally serializes the
-				// flush/truncation paths; forcing under it is the design.
-				continue
-			}
-			w.pass.Reportf(pos, "%s.%s called while holding %s (locked at %s); PR 2's group commit requires forcing outside fine-grained mutexes",
+			w.pass.Reportf(pos, "%s.%s called while holding %s (locked at %s); the engine forces the log holding no lock — release the mutex first or group commit re-serializes",
 				recvName(fn), fn.Name(), h.path, w.pass.Fset.Position(h.pos))
 			return
 		}

@@ -78,17 +78,60 @@ func goodForce(w *wrapper) error {
 	return l.Force()
 }
 
-// The coarse Engine mutex intentionally serializes the flush path;
-// forcing under it is the design, not a bug.
+// Since the engine-lock decomposition even the Engine's own mutex gets
+// no exemption: the engine forces the log holding no lock at all.
 type Engine struct {
-	mu  sync.Mutex
-	log *wal.Log
+	mu   sync.Mutex
+	pipe pipeline
+	log  *wal.Log
 }
 
 func (e *Engine) flushLocked() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.log.Force()
+	return e.log.Force() // want `Log.Force called while holding e.mu`
+}
+
+func (e *Engine) flushUnlocked() error {
+	e.mu.Lock()
+	l := e.log
+	e.mu.Unlock()
+	return l.Force()
+}
+
+// Rule C: the engine's lock hierarchy is Engine, then Region locks,
+// then the log-pipeline lock innermost.
+type pipeline struct {
+	mu sync.Mutex
+}
+
+type Region struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+func badOrder(e *Engine, r *Region) {
+	e.pipe.mu.Lock()
+	defer e.pipe.mu.Unlock()
+	r.mu.Lock() // want `Region lock r.mu acquired while holding log-pipeline lock e.pipe.mu`
+	r.data[0] = 1
+	r.mu.Unlock()
+}
+
+func goodOrder(e *Engine, r *Region) {
+	r.mu.Lock()
+	e.pipe.mu.Lock()
+	r.data[0] = 1
+	e.pipe.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// Forcing under a Region lock is Rule B like any other mutex: the
+// committer releases its region locks before the force.
+func badRegionForce(e *Engine, r *Region) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return e.log.Force() // want `Log.Force called while holding r.mu`
 }
 
 // A goroutine does not hold the spawner's locks.

@@ -9,12 +9,13 @@
 //
 //   - Rule A: a call to an obs emission method (Record, Span, Observe*,
 //     Set*, Add*, and the heavier Snapshot/Events/WriteTrace exports)
-//     while holding a mutex, unless that mutex belongs to the Engine.
-//     The coarse Engine.mu intentionally serializes the commit path, so
-//     emitting under it adds no new contention; every finer mutex
-//     (wal.Log.mu, groupCommit.mu, iofault.Injector.mu) must be released
-//     first — capture the handle and the values under the lock, emit
-//     after unlocking.  Reading the tracer clock (Now) and the gauge /
+//     while holding ANY mutex.  Since the engine-lock decomposition
+//     there is no Engine exception: the commit hot path holds region
+//     locks and the log-pipeline lock, and every mutex in the system
+//     (wal.Log.mu, groupCommit.mu, iofault.Injector.mu, Engine.mu,
+//     Region.mu, pipeline.mu) must be released before emitting —
+//     capture the handle and the values under the lock, emit after
+//     unlocking.  Reading the tracer clock (Now) and the gauge /
 //     histogram read accessors are exempt: they are single atomic loads.
 //   - Rule B: an argument to an emission call that allocates — a fmt or
 //     strconv call, string concatenation, a string/[]byte conversion, a
@@ -39,7 +40,7 @@ import (
 // Analyzer is the obsleak pass.
 var Analyzer = &framework.Analyzer{
 	Name: "obsleak",
-	Doc:  "obs emission must not allocate or run under a fine-grained mutex (Engine.mu excepted)",
+	Doc:  "obs emission must not allocate or run under any held mutex",
 	Run:  run,
 }
 
@@ -260,13 +261,8 @@ func (w *walker) checkCall(call *ast.CallExpr, held map[string]heldMutex) {
 				recvName(fn), fn.Name(), what)
 		}
 	}
-	// Rule A: emission under a fine-grained mutex.
+	// Rule A: emission under any held mutex.
 	for _, h := range held {
-		if h.owner == "Engine" {
-			// The coarse Engine mutex already serializes the commit path;
-			// emitting under it is the documented exception.
-			continue
-		}
 		w.pass.Reportf(call.Pos(), "%s.%s called while holding %s (locked at %s); capture values under the lock and emit after unlocking",
 			recvName(fn), fn.Name(), h.path, w.pass.Fset.Position(h.pos))
 		return

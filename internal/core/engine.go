@@ -6,11 +6,36 @@
 // The public github.com/rvm-go/rvm package is a thin facade over this
 // engine; the split keeps the paper's machinery in one place while the
 // facade carries the documented, stable API.
+//
+// # Lock hierarchy
+//
+// The engine scales across CPUs by never taking a global lock on the
+// transaction hot path.  Three lock levels exist, acquired strictly in
+// this order (DESIGN.md §12):
+//
+//		e.mu (Engine)  >  r.mu (Region, ascending index)  >  e.pipe.mu (pipeline)
+//
+//	  - e.mu is structural: Map/Unmap/Close/Query/Snapshot, the segment and
+//	    dictionary tables, the regions slice, and the truncation claim
+//	    (truncating + cond).  Begin/SetRange/Commit/Abort never touch it.
+//	  - r.mu is per-region: it guards r.data stability, r.nTx, r.mapped,
+//	    and orders pvec reference-count checks against the page writes they
+//	    gate.  Transactions on disjoint regions share no lock.
+//	  - e.pipe.mu is the log pipeline: it serializes buildRanges-to-append
+//	    ordering, the spool, and the truncation queue.  It is the innermost
+//	    lock; holding it while acquiring a region lock is a lock-order
+//	    inversion (flagged by the rvmcheck locksync analyzer).
+//
+// wal.Log's and groupCommit's mutexes are leaves below all three.  No
+// fsync runs under any engine lock (locksync Rule A/B).  Engine-wide
+// counters, the active-transaction count, the transaction-ID source, and
+// the poisoned/closed flags are atomics.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -81,8 +106,8 @@ type Options struct {
 	// benchmark harnesses that measure log traffic, not durability.
 	NoSync bool
 	// GroupCommit batches the log forces of concurrent flush-mode
-	// commits.  A committer appends its record under the engine lock,
-	// releases the lock, and waits on a group-commit ticket: one
+	// commits.  A committer appends its record under the log-pipeline
+	// lock, releases it, and waits on a group-commit ticket: one
 	// leader-elected committer issues a single fsync covering every
 	// record appended since the last force and wakes all waiters with
 	// the shared outcome.  N concurrent committers then pay ~1 fsync per
@@ -155,42 +180,86 @@ func (s Statistics) String() string {
 		s.ForcesSaved, s.GroupCommitSize)
 }
 
+// counters are the engine's cumulative statistics as atomics, so the
+// transaction hot path and background truncation bump them without any
+// lock.  Stats() assembles the public Statistics from a load of each.
+type counters struct {
+	begins          atomic.Uint64
+	flushCommits    atomic.Uint64
+	noFlushCommits  atomic.Uint64
+	aborts          atomic.Uint64
+	setRanges       atomic.Uint64
+	emptyCommits    atomic.Uint64
+	intraSavedBytes atomic.Uint64
+	interSavedBytes atomic.Uint64
+	flushes         atomic.Uint64
+	epochTruncs     atomic.Uint64
+	incrSteps       atomic.Uint64
+	pagesWritten    atomic.Uint64
+	recoveries      atomic.Uint64
+	recoveredBytes  atomic.Uint64
+	retries         atomic.Uint64
+	truncFailures   atomic.Uint64
+}
+
+// pipeline is the engine's log-pipeline stage: the one serialization
+// point a commit passes through.  Its mutex orders record appends (and
+// with them the truncation-queue pushes and spool drains that must keep
+// log order), and guards the spool and the incremental-truncation queue.
+// It is the innermost engine lock: code holding pipe.mu must not acquire
+// e.mu or any Region lock, and must never fsync.
+type pipeline struct {
+	mu          sync.Mutex
+	spool       []*spooled // committed no-flush transactions not yet in the log
+	spoolBytes  int64
+	queue       pagevec.Queue
+	epochEndSeq uint64 // while an epoch truncation is in flight: its EndSeq
+}
+
 // Engine is an open RVM instance: one log plus any number of mapped
 // regions.  All methods are safe for concurrent use.
 type Engine struct {
-	opts Options
+	opts Options // immutable after Open (runtime knobs below are atomics)
 
-	mu      sync.Mutex
-	cond    *sync.Cond // signalled when a truncation finishes
-	log     *wal.Log
-	dict    *dict
-	segs    map[uint64]*segment.Segment // open segments by ID
-	byPath  map[string]uint64           // canonical path -> segment ID
-	regions []*Region                   // index = region handle; nil after unmap
-	nextTID uint64
-	active  int // transactions begun and not yet resolved
+	// Structural state, guarded by mu.  The regions slice is additionally
+	// mutated only while also holding pipe.mu, so either lock suffices to
+	// read it; the truncation claim (truncating) gives claim holders
+	// stable reads of the slice with neither.
+	mu         sync.Mutex
+	cond       *sync.Cond // signalled when a truncation finishes
+	log        *wal.Log
+	dict       *dict
+	segs       map[uint64]*segment.Segment // open segments by ID
+	byPath     map[string]uint64           // canonical path -> segment ID
+	regions    []*Region                   // index = region handle; nil after unmap
+	truncating atomic.Bool                 // truncation claim; written under mu
+	truncErr   error                       // most recent background-truncation failure
 
-	spool      []*spooled // committed no-flush transactions not yet in the log
-	spoolBytes int64
-
-	queue       pagevec.Queue
-	truncating  bool   // a truncation (epoch or incremental) is in flight
-	epochEndSeq uint64 // while an epoch truncation is in flight: its EndSeq
+	pipe pipeline
 
 	gc groupCommit // group-commit ticket state (own mutex; see groupcommit.go)
 
+	nextTID  atomic.Uint64
+	active   atomic.Int64 // transactions begun and not yet resolved
+	closed   atomic.Bool
+	poisoned atomic.Pointer[poisonCause] // non-nil after an unrecoverable I/O error
+
+	// Runtime-adjustable truncation knobs (SetOptions); read lock-free on
+	// the commit path.
+	truncThreshold atomic.Uint64 // math.Float64bits
+	incremental    atomic.Bool
+
 	// Observability sinks, copied from Options at Open.  Both are
-	// nil-safe; emission under e.mu is permitted (coarse lock), but never
-	// under wal.Log's or the injector's mutex (rvmcheck obsleak).
+	// nil-safe.  Emission never runs under a mutex: call sites capture
+	// values under their lock and emit after unlocking (rvmcheck obsleak).
 	tr  *obs.Tracer
 	met *obs.Metrics
 
-	stats    Statistics
-	retries  atomic.Uint64 // transient-fault retries (atomic: truncation retries run without e.mu)
-	poisoned error         // root cause of the fail-stop state; nil while healthy
-	truncErr error         // most recent background-truncation failure
-	closed   bool
+	stats counters
 }
+
+// poisonCause wraps the fail-stop root cause for atomic publication.
+type poisonCause struct{ err error }
 
 // spooled is a committed no-flush transaction awaiting its log write.
 type spooled struct {
@@ -204,15 +273,22 @@ type spooled struct {
 // Region is a mapped region of an external data segment.  Its memory is
 // exposed via Data; applications read and write it directly, bracketing
 // writes with SetRange inside a transaction.
+//
+// The region's own mutex is level 2 of the lock hierarchy: transactions
+// touching only this region contend on it and on the pipeline lock,
+// never on a global lock.  When a transaction spans several regions,
+// their locks are taken in ascending index order.
 type Region struct {
 	eng    *Engine
 	idx    int
 	seg    *segment.Segment
 	segOff int64 // region start within the segment's data space
 	length int64
+	pvec   *pagevec.Vector // entries are atomics; mu orders refs-check vs page write
+
+	mu     sync.Mutex // guards data/buf stability, nTx, mapped
 	buf    *mapping.Buffer
 	data   []byte
-	pvec   *pagevec.Vector
 	nTx    int // active transactions with ranges in this region
 	mapped bool
 }
@@ -237,15 +313,17 @@ func Open(opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		opts:    opts,
-		log:     l,
-		dict:    d,
-		segs:    make(map[uint64]*segment.Segment),
-		byPath:  make(map[string]uint64),
-		nextTID: 1,
-		tr:      opts.Tracer,
-		met:     opts.Metrics,
+		opts:   opts,
+		log:    l,
+		dict:   d,
+		segs:   make(map[uint64]*segment.Segment),
+		byPath: make(map[string]uint64),
+		tr:     opts.Tracer,
+		met:    opts.Metrics,
 	}
+	e.nextTID.Store(1)
+	e.truncThreshold.Store(math.Float64bits(opts.TruncateThreshold))
+	e.incremental.Store(opts.Incremental)
 	e.cond = sync.NewCond(&e.mu)
 	e.gc.cond = sync.NewCond(&e.gc.mu)
 	l.SetObs(e.tr, e.met)
@@ -261,8 +339,8 @@ func Open(opts Options) (*Engine, error) {
 			e.closeFiles()
 			return nil, fmt.Errorf("rvm: recovery: %w", err)
 		}
-		e.stats.Recoveries = 1
-		e.stats.RecoveredBytes = st.TreeBytes
+		e.stats.recoveries.Store(1)
+		e.stats.recoveredBytes.Store(st.TreeBytes)
 	}
 	return e, nil
 }
@@ -282,7 +360,8 @@ func CreateSegment(path string, id uint64, length int64) error {
 func dictPath(logPath string) string { return logPath + ".segs" }
 
 // lookupSegment resolves a segment ID via the dictionary, opening and
-// caching the segment.  Used by recovery and truncation.
+// caching the segment.  Used by recovery and truncation.  Caller holds
+// e.mu (or is the only goroutine, at Open).
 func (e *Engine) lookupSegment(id uint64) (*segment.Segment, error) {
 	if s, ok := e.segs[id]; ok {
 		return s, nil
@@ -312,7 +391,7 @@ func (e *Engine) lookupSegment(id uint64) (*segment.Segment, error) {
 func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.checkLocked(); err != nil {
+	if err := e.check(); err != nil {
 		return nil, err
 	}
 	e.waitTruncationLocked()
@@ -342,7 +421,7 @@ func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 		return nil, fmt.Errorf("%w: [%d,+%d) exceeds segment length %d", ErrBounds, segOff, length, seg.Length())
 	}
 	for _, r := range e.regions {
-		if r != nil && r.mapped && r.seg.ID() == seg.ID() &&
+		if r != nil && r.seg.ID() == seg.ID() &&
 			segOff < r.segOff+r.length && r.segOff < segOff+length {
 			return nil, fmt.Errorf("%w: [%d,+%d) vs existing [%d,+%d)", ErrOverlap, segOff, length, r.segOff, r.length)
 		}
@@ -352,7 +431,7 @@ func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 	// dictionary and its durable copy could otherwise diverge, leaving
 	// future log records referencing a segment recovery cannot find.
 	if err := e.dict.set(seg.ID(), abs); err != nil {
-		return nil, e.maybePoisonLocked(err)
+		return nil, e.maybePoison(err)
 	}
 	var buf *mapping.Buffer
 	if e.opts.DemandPaging {
@@ -390,7 +469,11 @@ func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 		pvec:   pagevec.New(int(length / int64(mapping.PageSize))),
 		mapped: true,
 	}
+	// The regions slice is read under pipe.mu by the spool drain and
+	// epoch completion, so mutations hold both locks.
+	e.pipe.mu.Lock()
 	e.regions = append(e.regions, r)
+	e.pipe.mu.Unlock()
 	return r, nil
 }
 
@@ -399,44 +482,73 @@ func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 // region's dirty pages are written to its segment before the memory is
 // released, so a subsequent Map sees the committed image.
 func (e *Engine) Unmap(r *Region) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.checkLocked(); err != nil {
+	if err := e.check(); err != nil {
 		return err
 	}
-	e.waitTruncationLocked()
+	// Claim the truncation slot: unmapping mutates the same page/queue
+	// state a truncation walks, and the claim keeps the regions slice
+	// stable for the claim holder.
+	if err := e.claimTruncation(); err != nil {
+		return err
+	}
+	r.mu.Lock()
 	if !r.mapped {
+		r.mu.Unlock()
+		e.releaseTruncation()
 		return ErrRegionUnmapped
 	}
-	if r.nTx > 0 {
-		return fmt.Errorf("%w: %d active", ErrUncommitted, r.nTx)
+	if n := r.nTx; n > 0 {
+		r.mu.Unlock()
+		e.releaseTruncation()
+		return fmt.Errorf("%w: %d active", ErrUncommitted, n)
+	}
+	// Seal the region: new SetRanges fail, so nTx cannot grow while the
+	// flush and page write-out below run without the region lock held.
+	r.mapped = false
+	r.mu.Unlock()
+	fail := func(err error) error {
+		r.mu.Lock()
+		r.mapped = true
+		r.mu.Unlock()
+		e.releaseTruncation()
+		return e.maybePoison(err)
 	}
 	// Spooled commits may reference this region's memory state; make them
 	// durable first so the page write-out below cannot expose committed-
 	// but-unlogged bytes (no-undo/redo invariant).
-	if err := e.flushLocked(); err != nil {
-		return e.maybePoisonLocked(err)
+	if err := e.flushSpool(true); err != nil {
+		return fail(err)
 	}
-	if err := e.writeDirtyPagesLocked(r); err != nil {
-		return e.maybePoisonLocked(err)
+	if err := e.writeDirtyPages(r); err != nil {
+		return fail(err)
 	}
-	e.queue.RemoveRegion(r.idx)
-	r.mapped = false
-	r.data = nil
-	err := r.buf.Free()
-	r.buf = nil
+	e.mu.Lock()
+	e.pipe.mu.Lock()
+	e.pipe.queue.RemoveRegion(r.idx)
 	e.regions[r.idx] = nil
+	e.pipe.mu.Unlock()
+	e.mu.Unlock()
+	r.mu.Lock()
+	r.data = nil
+	buf := r.buf
+	r.buf = nil
+	r.mu.Unlock()
+	err := buf.Free()
+	e.releaseTruncation()
 	return err
 }
 
-// writeDirtyPagesLocked writes every dirty page of r from memory to its
-// segment and syncs, clearing the dirty bits.
-func (e *Engine) writeDirtyPagesLocked(r *Region) error {
+// writeDirtyPages writes every dirty page of r from memory to its segment
+// and syncs, clearing the dirty bits.  Only called on sealed or quiescent
+// regions (Unmap, with the truncation slot claimed), so the dirty set is
+// stable; the sync runs with no lock held.
+func (e *Engine) writeDirtyPages(r *Region) error {
 	if r.pvec.DirtyCount() == 0 {
 		return nil
 	}
 	ps := int64(mapping.PageSize)
 	wrote := false
+	r.mu.Lock()
 	for p := 0; p < r.pvec.NumPages(); p++ {
 		if !r.pvec.IsDirty(p) {
 			continue
@@ -446,11 +558,13 @@ func (e *Engine) writeDirtyPagesLocked(r *Region) error {
 			return r.seg.WriteAt(r.data[off:off+ps], r.segOff+off)
 		})
 		if err != nil {
+			r.mu.Unlock()
 			return err
 		}
 		wrote = true
-		e.stats.PagesWritten++
+		e.stats.pagesWritten.Add(1)
 	}
+	r.mu.Unlock()
 	if wrote {
 		if err := e.retryIO(r.seg.Sync); err != nil {
 			return err
@@ -462,10 +576,34 @@ func (e *Engine) writeDirtyPagesLocked(r *Region) error {
 	return nil
 }
 
+// claimTruncation blocks until it owns the truncation slot.  The slot
+// serializes truncations, Unmap, and Close against each other, and gives
+// its holder stable reads of the regions slice and region mapped-state.
+func (e *Engine) claimTruncation() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.truncating.Load() {
+		e.cond.Wait()
+	}
+	if err := e.check(); err != nil {
+		return err
+	}
+	e.truncating.Store(true)
+	return nil
+}
+
+// releaseTruncation gives the slot back and wakes waiters.
+func (e *Engine) releaseTruncation() {
+	e.mu.Lock()
+	e.truncating.Store(false)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
 // waitTruncationLocked blocks until no truncation is in flight.  Callers
 // hold e.mu; the condition variable releases it while waiting.
 func (e *Engine) waitTruncationLocked() {
-	for e.truncating {
+	for e.truncating.Load() {
 		e.cond.Wait()
 	}
 }
@@ -501,31 +639,39 @@ type QueryInfo struct {
 // Query reports engine state; if r is non-nil the region fields are filled
 // in for it (paper §4.2 query primitive).
 func (e *Engine) Query(r *Region) (QueryInfo, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		return QueryInfo{}, ErrClosed
 	}
 	qi := QueryInfo{
 		LogUsed:       e.log.Used(),
 		LogSize:       e.log.AreaSize(),
-		SpoolBytes:    e.spoolBytes,
-		ActiveTxs:     e.active,
-		Poisoned:      e.poisoned != nil,
-		TruncFailures: e.stats.TruncFailures,
-		LastFault:     e.lastFaultLocked(),
+		ActiveTxs:     int(e.active.Load()),
+		Poisoned:      e.poisonCause() != nil,
+		TruncFailures: e.stats.truncFailures.Load(),
 	}
+	e.mu.Lock()
+	qi.LastFault = e.lastFaultLocked()
+	e.mu.Unlock()
+	p := &e.pipe
+	p.mu.Lock()
+	qi.SpoolBytes = p.spoolBytes
 	if r != nil {
-		if !r.mapped {
-			return QueryInfo{}, ErrRegionUnmapped
-		}
-		qi.UncommittedTxs = r.nTx
-		qi.DirtyPages = r.pvec.DirtyCount()
-		e.queue.Walk(func(d pagevec.Descriptor) {
+		p.queue.Walk(func(d pagevec.Descriptor) {
 			if d.ID.Region == r.idx {
 				qi.QueuedPages++
 			}
 		})
+	}
+	p.mu.Unlock()
+	if r != nil {
+		r.mu.Lock()
+		if !r.mapped {
+			r.mu.Unlock()
+			return QueryInfo{}, ErrRegionUnmapped
+		}
+		qi.UncommittedTxs = r.nTx
+		r.mu.Unlock()
+		qi.DirtyPages = r.pvec.DirtyCount()
 	}
 	return qi, nil
 }
@@ -533,21 +679,38 @@ func (e *Engine) Query(r *Region) (QueryInfo, error) {
 // SetOptions adjusts tunables at runtime (paper §4.2 set_options).  Only
 // the truncation knobs may change after Open.
 func (e *Engine) SetOptions(truncateThreshold float64, incremental bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.opts.TruncateThreshold = truncateThreshold
-	e.opts.Incremental = incremental
+	e.truncThreshold.Store(math.Float64bits(truncateThreshold))
+	e.incremental.Store(incremental)
 }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters.  The counters are
+// independent atomics, so a concurrent snapshot is not a single instant;
+// resolution counters (commits, aborts) are loaded before begins so the
+// "resolved ≤ begun" identity holds in every snapshot (a transaction
+// bumps begins strictly before it can bump a resolution counter).
 func (e *Engine) Stats() Statistics {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	st := e.stats
+	c := &e.stats
+	st := Statistics{
+		FlushCommits:    c.flushCommits.Load(),
+		NoFlushCommits:  c.noFlushCommits.Load(),
+		Aborts:          c.aborts.Load(),
+		SetRanges:       c.setRanges.Load(),
+		EmptyCommits:    c.emptyCommits.Load(),
+		IntraSavedBytes: c.intraSavedBytes.Load(),
+		InterSavedBytes: c.interSavedBytes.Load(),
+		Flushes:         c.flushes.Load(),
+		EpochTruncs:     c.epochTruncs.Load(),
+		IncrSteps:       c.incrSteps.Load(),
+		PagesWritten:    c.pagesWritten.Load(),
+		Recoveries:      c.recoveries.Load(),
+		RecoveredBytes:  c.recoveredBytes.Load(),
+		Retries:         c.retries.Load(),
+		TruncFailures:   c.truncFailures.Load(),
+	}
+	st.Begins = c.begins.Load()
 	ls := e.log.Stats()
 	st.LogBytes = ls.BytesAppended
 	st.LogForces = ls.Forces
-	st.Retries = e.retries.Load()
 	e.gc.mu.Lock()
 	st.ForcesSaved = e.gc.saved
 	st.GroupCommitSize = e.gc.maxBatch
@@ -578,28 +741,31 @@ type Snapshot struct {
 // every commit would not be allocation-free), so a snapshot is the
 // moment it refreshes.
 func (e *Engine) Snapshot() (Snapshot, error) {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return Snapshot{}, ErrClosed
 	}
 	dirty := 0
+	e.mu.Lock()
 	for _, r := range e.regions {
-		if r != nil && r.mapped {
+		if r != nil {
 			dirty += r.pvec.DirtyCount()
 		}
 	}
+	e.mu.Unlock()
+	p := &e.pipe
+	p.mu.Lock()
+	spoolBytes := p.spoolBytes
+	p.mu.Unlock()
 	sn := Snapshot{
 		LogUsed:    e.log.Used(),
 		LogSize:    e.log.AreaSize(),
-		SpoolBytes: e.spoolBytes,
-		ActiveTxs:  e.active,
+		SpoolBytes: spoolBytes,
+		ActiveTxs:  int(e.active.Load()),
 		DirtyPages: dirty,
-		Truncating: e.truncating,
-		Poisoned:   e.poisoned != nil,
+		Truncating: e.truncating.Load(),
+		Poisoned:   e.poisonCause() != nil,
 	}
 	e.met.SetDirtyPages(int64(dirty))
-	e.mu.Unlock()
 	sn.Stats = e.Stats()
 	sn.Metrics = e.met.Snapshot()
 	sn.TraceEvents = e.tr.Recorded()
@@ -619,36 +785,66 @@ func (e *Engine) Metrics() *obs.Metrics { return e.met }
 // reports the poisoned state.
 func (e *Engine) Close() error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	e.waitTruncationLocked()
+	if e.closed.Load() {
+		e.mu.Unlock()
 		return nil
 	}
-	e.waitTruncationLocked()
-	if e.active > 0 {
-		return fmt.Errorf("%w: %d", ErrActiveTx, e.active)
+	// Publish closed before reading active: Begin increments active
+	// before checking closed, so either the Begin sees the close or we
+	// see its active count — never a transaction slipping into a closing
+	// engine.
+	e.closed.Store(true)
+	if n := e.active.Load(); n > 0 {
+		e.closed.Store(false)
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrActiveTx, n)
+	}
+	// Hold the truncation slot across the close so no background
+	// truncation interleaves with the teardown.
+	e.truncating.Store(true)
+	e.mu.Unlock()
+	fail := func(err error) error {
+		err = e.maybePoison(err)
+		e.mu.Lock()
+		e.closed.Store(false)
+		e.truncating.Store(false)
+		e.cond.Broadcast()
+		e.mu.Unlock()
+		return err
 	}
 	var poisonErr error
-	if e.poisoned != nil {
-		poisonErr = fmt.Errorf("%w: %w", ErrPoisoned, e.poisoned)
+	if cause := e.poisonCause(); cause != nil {
+		poisonErr = fmt.Errorf("%w: %w", ErrPoisoned, cause)
 	} else {
-		if err := e.flushLocked(); err != nil {
-			return e.maybePoisonLocked(err)
+		if err := e.flushSpool(true); err != nil {
+			return fail(err)
 		}
-		if err := e.truncateLocked(); err != nil {
-			return e.maybePoisonLocked(err)
+		if err := e.inlineEpochTruncate(); err != nil {
+			return fail(err)
 		}
 	}
+	e.mu.Lock()
 	for _, r := range e.regions {
-		if r != nil && r.mapped {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		if r.mapped {
 			r.mapped = false
 			r.data = nil
 			if err := r.buf.Free(); err != nil {
+				r.mu.Unlock()
+				e.mu.Unlock()
 				return err
 			}
 			r.buf = nil
 		}
+		r.mu.Unlock()
 	}
-	e.closed = true
+	e.truncating.Store(false)
+	e.cond.Broadcast()
+	e.mu.Unlock()
 	if err := e.closeFiles(); err != nil && poisonErr == nil {
 		return err
 	}

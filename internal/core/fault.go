@@ -36,8 +36,7 @@ func (e *Engine) retryPolicy() (int, time.Duration) {
 }
 
 // retryIO runs op, retrying transient storage faults with exponential
-// backoff.  Non-transient errors return immediately.  The retry counter is
-// atomic because truncation calls this without holding e.mu.
+// backoff.  Non-transient errors return immediately.
 func (e *Engine) retryIO(op func() error) error {
 	max, backoff := e.retryPolicy()
 	var err error
@@ -46,7 +45,7 @@ func (e *Engine) retryIO(op func() error) error {
 		if err == nil || attempt >= max || !iofault.IsTransient(err) {
 			return err
 		}
-		e.retries.Add(1)
+		e.stats.retries.Add(1)
 		e.tr.Record(obs.EvRetry, 0, uint64(attempt+1), 0)
 		time.Sleep(backoff)
 		backoff *= 2
@@ -64,36 +63,47 @@ func isLogicalErr(err error) bool {
 		errors.Is(err, ErrPoisoned)
 }
 
-// maybePoisonLocked classifies an error escaping a storage path: logical
+// maybePoison classifies an error escaping a storage path: logical
 // conditions pass through, anything else marks the engine poisoned and is
-// returned wrapped in ErrPoisoned.  Caller holds e.mu.
-func (e *Engine) maybePoisonLocked(err error) error {
+// returned wrapped in ErrPoisoned.  The poisoned flag is an atomic
+// pointer, so the commit path and background truncation report faults
+// without taking any engine lock; the first publisher wins.
+func (e *Engine) maybePoison(err error) error {
 	if err == nil || isLogicalErr(err) {
 		return err
 	}
-	if e.poisoned == nil {
-		e.poisoned = err
+	if e.poisoned.CompareAndSwap(nil, &poisonCause{err: err}) {
 		e.tr.Record(obs.EvPoisoned, 0, 0, 0)
 	}
 	return fmt.Errorf("%w: %w", ErrPoisoned, err)
 }
 
-// checkLocked gates the mutating entry points.  Caller holds e.mu.
-func (e *Engine) checkLocked() error {
-	if e.closed {
+// poisonCause returns the poisoning root cause, or nil.
+func (e *Engine) poisonCause() error {
+	if c := e.poisoned.Load(); c != nil {
+		return c.err
+	}
+	return nil
+}
+
+// check gates the mutating entry points.  Lock-free: closed and poisoned
+// are atomics.
+func (e *Engine) check() error {
+	if e.closed.Load() {
 		return ErrClosed
 	}
-	if e.poisoned != nil {
-		return fmt.Errorf("%w: %w", ErrPoisoned, e.poisoned)
+	if cause := e.poisonCause(); cause != nil {
+		return fmt.Errorf("%w: %w", ErrPoisoned, cause)
 	}
 	return nil
 }
 
 // lastFaultLocked is the root cause surfaced by Query: the poisoning error,
-// or failing that the most recent background-truncation failure.
+// or failing that the most recent background-truncation failure.  Caller
+// holds e.mu (which guards truncErr).
 func (e *Engine) lastFaultLocked() error {
-	if e.poisoned != nil {
-		return e.poisoned
+	if cause := e.poisonCause(); cause != nil {
+		return cause
 	}
 	return e.truncErr
 }

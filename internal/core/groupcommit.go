@@ -12,9 +12,10 @@ import (
 // engine lock makes them pay N back-to-back fsyncs for records that a
 // single fsync would have covered.
 //
-// Protocol: a committer appends its record under e.mu (so records, page
-// enqueues, and spool drains keep their log order), releases e.mu, and
-// calls waitForced with its record's sequence number — its ticket.  The
+// Protocol: a committer appends its record under the log-pipeline lock
+// (so records, page enqueues, and spool drains keep their log order),
+// releases it, and calls waitForced with its record's sequence number —
+// its ticket.  The
 // WAL tracks a forced-through LSN (wal.Log.ForcedThrough): a ticket is
 // satisfied the moment any completed force covers its sequence number,
 // whoever issued it.  If no force is in flight, the committer elects
@@ -66,7 +67,8 @@ func (e *Engine) joinWindow() {
 
 // waitForced blocks until the log is durably forced through seq, electing
 // this committer as the force leader when no force is in flight.  Callers
-// must NOT hold e.mu.  A nil return means a successful force covered seq;
+// must hold no engine lock.  A nil return means a successful force covered
+// seq;
 // a non-nil return is the sticky group-force failure (wrapped ErrPoisoned).
 func (e *Engine) waitForced(seq uint64) error {
 	gc := &e.gc
@@ -99,9 +101,7 @@ func (e *Engine) waitForced(seq uint64) error {
 		e.joinWindow()
 		err := e.retryIO(e.log.Force)
 		if err != nil {
-			e.mu.Lock()
-			err = e.maybePoisonLocked(err)
-			e.mu.Unlock()
+			err = e.maybePoison(err)
 		}
 		led = true
 		gc.mu.Lock()

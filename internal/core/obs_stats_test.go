@@ -11,9 +11,10 @@ import (
 
 // TestStatsRaceWithTruncation hammers Stats and Snapshot while commits,
 // truncations, and fault-driven retries run concurrently.  Stats merges
-// three counter domains — the e.mu-guarded struct, the WAL's counters,
-// and the atomic retries counter truncation bumps without e.mu — and
-// this test is the -race witness that the merge is sound.
+// three counter domains — the engine's lock-free atomic counters, the
+// WAL's counters, and the group-commit tallies — and this test is the
+// -race witness that the merge is sound, including the load ordering
+// that keeps commits <= begins in every snapshot.
 func TestStatsRaceWithTruncation(t *testing.T) {
 	v, err := newFaultEnv(t, 1<<20, pageBytes(2), 42,
 		[]iofault.Fault{{Ops: iofault.OpSync, Count: 1 << 30, Prob: 0.05}}, nil,

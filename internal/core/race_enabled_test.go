@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// counts are not stable under -race, so alloc-regression tests skip.
+const raceEnabled = true

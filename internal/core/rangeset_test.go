@@ -139,6 +139,42 @@ func TestRangesetModel(t *testing.T) {
 	}
 }
 
+// TestRangesetAddAllocs pins the in-place splice: a warm set absorbs
+// fully-covered adds without allocating, and a merging add reuses the
+// existing backing array instead of building a fresh slice per call.
+func TestRangesetAddAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	var s rangeset
+	for i := int64(0); i < 64; i++ {
+		s.add(i*100, i*100+50)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if got := s.add(1200, 1240); len(got) != 0 {
+			t.Fatalf("unexpectedly added %v", got)
+		}
+	}); n != 0 {
+		t.Fatalf("fully-covered add allocated %.1f times per run, want 0", n)
+	}
+	// A bridging add collapses all 64 spans to one; the splice must shrink
+	// the slice in place, not reallocate.
+	c0 := cap(s.spans)
+	s.add(0, 6400)
+	if len(s.spans) != 1 || s.spans[0] != (span{0, 6400}) {
+		t.Fatalf("bridge add left spans %v", s.spans)
+	}
+	if cap(s.spans) != c0 {
+		t.Fatalf("merge reallocated backing array: cap %d -> %d", c0, cap(s.spans))
+	}
+	// And further covered adds on the collapsed set stay allocation-free.
+	if n := testing.AllocsPerRun(200, func() {
+		s.add(100, 6300)
+	}); n != 0 {
+		t.Fatalf("covered add after merge allocated %.1f times per run, want 0", n)
+	}
+}
+
 // TestRangesetTotalBytesQuick: total covered bytes equal the union size.
 func TestRangesetTotalBytesQuick(t *testing.T) {
 	f := func(pairs []uint16) bool {

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/rvm-go/rvm/internal/mapping"
@@ -16,30 +17,77 @@ import (
 // Flush blocks until all committed no-flush transactions have been forced
 // to the log (paper §4.2 flush).
 func (e *Engine) Flush() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.checkLocked(); err != nil {
+	if err := e.check(); err != nil {
 		return err
 	}
-	return e.maybePoisonLocked(e.flushLocked())
+	return e.maybePoison(e.flushSpool(false))
 }
 
-// flushLocked drains the spool and forces the log, retrying transient
-// faults.
-func (e *Engine) flushLocked() error {
+// flushSpool drains the spool into the log and forces it.  claimed says
+// whether the caller already holds the truncation slot: it decides how a
+// full log is handled (an unclaimed caller claims the slot to truncate; a
+// claimed caller truncates inline, since waiting for the slot it already
+// owns would deadlock).  The force runs with no lock held.
+func (e *Engine) flushSpool(claimed bool) error {
 	t0 := time.Now()
-	drained := e.spoolBytes
-	if err := e.drainSpoolLocked(); err != nil {
-		return err
+	p := &e.pipe
+	var drained int64
+	first := true
+	for attempt := 0; ; attempt++ {
+		p.mu.Lock()
+		if first {
+			drained = p.spoolBytes
+			first = false
+		}
+		err := e.drainSpoolPipeLocked()
+		var need int64
+		if err != nil && len(p.spool) > 0 {
+			need = wal.EncodedLen(p.spool[0].ranges)
+		}
+		p.mu.Unlock()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, wal.ErrLogFull) {
+			return err
+		}
+		if attempt >= 3 {
+			// Giving up: even after inline truncations the record does not
+			// fit.  Say why, so the caller can tell "log too small for this
+			// record" from a log that is merely busy.
+			return fmt.Errorf(
+				"rvm: log full after %d inline truncations while flushing the spool (record needs %d bytes, log area %d bytes, %d live): %w",
+				attempt, need, e.log.AreaSize(), e.log.Used(), err)
+		}
+		if mkErr := e.makeLogSpace(need, claimed); mkErr != nil {
+			return mkErr
+		}
 	}
 	if err := e.retryIO(e.log.Force); err != nil {
 		return err
 	}
-	e.stats.Flushes++
+	e.stats.flushes.Add(1)
 	e.met.ObserveSpoolFlush(time.Since(t0).Nanoseconds())
-	e.met.SetSpoolBytes(e.spoolBytes)
+	e.met.SetSpoolBytes(0)
 	e.tr.SpanSince(obs.EvSpoolFlush, t0, 0, uint64(drained), 0)
 	return nil
+}
+
+// makeLogSpace frees log space for a record of need bytes by running an
+// epoch truncation.  An unclaimed caller first claims the truncation slot
+// — which also waits out any truncation already in flight, after which the
+// space it freed may already suffice.
+func (e *Engine) makeLogSpace(need int64, claimed bool) error {
+	if !claimed {
+		if err := e.claimTruncation(); err != nil {
+			return err
+		}
+		defer e.releaseTruncation()
+		if e.log.AreaSize()-e.log.Used() >= need {
+			return nil
+		}
+	}
+	return e.inlineEpochTruncate()
 }
 
 // Truncate blocks until all committed changes in the write-ahead log have
@@ -52,119 +100,149 @@ func (e *Engine) Truncate() error {
 
 // epochTruncate runs one epoch truncation.  The epoch (the live log at
 // collection time) is applied to the segments while forward processing
-// continues; only the head advance at the end takes the log lock again
-// (paper §5.1.2, Figure 6).  Callers must NOT hold e.mu.
+// continues; commits only stall on the pipeline lock during collection and
+// completion (paper §5.1.2, Figure 6).  Callers must hold no engine lock.
 func (e *Engine) epochTruncate() error {
 	t0 := time.Now()
-	e.mu.Lock()
-	if err := e.checkLocked(); err != nil {
-		e.mu.Unlock()
+	if err := e.claimTruncation(); err != nil {
 		return err
 	}
-	e.waitTruncationLocked()
-	e.truncating = true
-	pause := time.Now() // forward processing is paused while e.mu is held
-	finish := func() {
-		e.truncating = false
-		e.epochEndSeq = 0
-		e.cond.Broadcast()
-		e.mu.Unlock()
+	pause := time.Now() // the pipeline is busy while the epoch is collected
+	fail := func(err error) error {
+		err = e.maybePoison(err)
+		e.clearEpochSeq()
+		e.releaseTruncation()
+		return err
 	}
 	// Spooled commits become log records now so the epoch covers them,
-	// and the Force guarantees nothing unforced is ever applied to a
-	// segment (the no-undo/redo invariant).
-	if err := e.flushLocked(); err != nil {
-		err = e.maybePoisonLocked(err)
-		finish()
-		return err
+	// and the force inside guarantees nothing unforced is ever applied to
+	// a segment (the no-undo/redo invariant).
+	if err := e.flushSpool(true); err != nil {
+		return fail(err)
 	}
-	ep, err := e.collectEpochLocked()
+	ep, err := e.collectEpochPipe()
 	if err != nil {
-		err = e.maybePoisonLocked(err)
-		finish()
-		return err
+		return fail(err)
 	}
-	e.epochEndSeq = ep.EndSeq()
 	e.met.ObserveTruncPause(time.Since(pause).Nanoseconds())
 	e.tr.SpanSince(obs.EvTruncPause, pause, 0, 0, 0)
-	e.mu.Unlock()
 
-	// Apply outside the engine lock: commits keep flowing into the
-	// current epoch meanwhile.
+	// Apply outside every lock: commits keep flowing into the current
+	// epoch meanwhile.
 	_, err = ep.Apply(e.lookupSegmentSync, e.retryIO)
 
-	e.mu.Lock()
 	pause = time.Now()
 	if err == nil {
-		e.completeEpochLocked(ep.EndSeq())
-		e.stats.EpochTruncs++
+		e.completeEpochPipe(ep.EndSeq())
+		e.stats.epochTruncs.Add(1)
 	} else {
 		// The head was not advanced, so the log still covers everything
 		// the segments may have partially absorbed; recovery stays
 		// correct.  The engine, however, can no longer trust the device.
-		err = e.maybePoisonLocked(err)
+		err = e.maybePoison(err)
+		e.clearEpochSeq()
 	}
 	e.met.ObserveTruncPause(time.Since(pause).Nanoseconds())
 	e.tr.SpanSince(obs.EvTruncPause, pause, 0, 0, 0)
 	e.tr.SpanSince(obs.EvTruncEpoch, t0, 0, uint64(ep.Records()), 0)
-	finish()
+	e.releaseTruncation()
 	return err
 }
 
-// collectEpochLocked snapshots the live log as a truncation epoch, retrying
-// transient read faults (a failed collection has no side effects).
-func (e *Engine) collectEpochLocked() (*recovery.Epoch, error) {
+// collectEpochPipe snapshots the live log as a truncation epoch and
+// publishes its end sequence, all under the pipeline lock: any commit
+// appending after the collection then sees epochEndSeq set and promotes
+// re-modified pages to their new (surviving) log reference.  Records can
+// append unforced between the spool flush and the collection, so the
+// epoch's tail is forced before it may be applied.
+func (e *Engine) collectEpochPipe() (*recovery.Epoch, error) {
+	p := &e.pipe
+	p.mu.Lock()
 	var ep *recovery.Epoch
 	err := e.retryIO(func() error {
 		var err error
 		ep, err = recovery.CollectEpoch(e.log)
 		return err
 	})
-	return ep, err
-}
-
-// truncateLocked is the Close-path truncation: everything already under
-// e.mu, no concurrency needed.
-func (e *Engine) truncateLocked() error {
-	ep, err := e.collectEpochLocked()
+	if err == nil {
+		p.epochEndSeq = ep.EndSeq()
+	}
+	p.mu.Unlock()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	e.epochEndSeq = ep.EndSeq()
-	if _, err := ep.Apply(e.lookupSegment, e.retryIO); err != nil {
-		e.epochEndSeq = 0
-		return err
+	if end := ep.EndSeq(); end > 0 && e.log.ForcedThrough() < end-1 {
+		if ferr := e.retryIO(e.log.Force); ferr != nil {
+			return nil, ferr
+		}
 	}
-	e.completeEpochLocked(ep.EndSeq())
-	e.epochEndSeq = 0
-	e.stats.EpochTruncs++
-	return nil
+	return ep, nil
 }
 
-// completeEpochLocked drops queue descriptors the epoch made obsolete and
+// clearEpochSeq resets the in-flight epoch marker after a failed epoch.
+func (e *Engine) clearEpochSeq() {
+	e.pipe.mu.Lock()
+	e.pipe.epochEndSeq = 0
+	e.pipe.mu.Unlock()
+}
+
+// completeEpochPipe drops queue descriptors the epoch made obsolete and
 // clears dirty bits for pages whose committed changes are now fully in
-// their segments.
-func (e *Engine) completeEpochLocked(endSeq uint64) {
-	e.queue.DropOlderThan(endSeq)
+// their segments.  Callers hold the truncation claim (so the regions
+// slice and mapped-state are stable); the queue/spool/dirty reconciliation
+// runs under the pipeline lock so it cannot interleave with a commit's
+// enqueue.
+func (e *Engine) completeEpochPipe(endSeq uint64) {
+	p := &e.pipe
+	p.mu.Lock()
+	p.queue.DropOlderThan(endSeq)
 	// Pages referenced by still-spooled transactions keep their dirty
 	// bits: their changes are only in memory and in the spool.
 	spoolPages := make(map[pagevec.PageID]bool)
-	for _, sp := range e.spool {
+	for _, sp := range p.spool {
 		for _, id := range sp.pages {
 			spoolPages[id] = true
 		}
 	}
 	for _, r := range e.regions {
-		if r == nil || !r.mapped {
+		if r == nil {
 			continue
 		}
-		for p := 0; p < r.pvec.NumPages(); p++ {
-			id := pagevec.PageID{Region: r.idx, Page: int64(p)}
-			if r.pvec.IsDirty(p) && !e.queue.Has(id) && !spoolPages[id] {
-				r.pvec.ClearDirty(p)
+		for pg := 0; pg < r.pvec.NumPages(); pg++ {
+			id := pagevec.PageID{Region: r.idx, Page: int64(pg)}
+			if r.pvec.IsDirty(pg) && !p.queue.Has(id) && !spoolPages[id] {
+				r.pvec.ClearDirty(pg)
 			}
 		}
 	}
+	p.epochEndSeq = 0
+	p.mu.Unlock()
+}
+
+// inlineEpochTruncate is epoch truncation for callers that already hold
+// the truncation claim (log-full recovery, Close).  The spool is
+// intentionally not drained — there may be no room for it; it stays in
+// memory and flows into the next epoch.  The leading force makes every
+// record the epoch will contain durable before any of it reaches a
+// segment (no-undo/redo invariant).
+func (e *Engine) inlineEpochTruncate() error {
+	tt := time.Now()
+	if err := e.retryIO(e.log.Force); err != nil {
+		return err
+	}
+	ep, err := e.collectEpochPipe()
+	if err != nil {
+		return err
+	}
+	if _, err := ep.Apply(e.lookupSegmentSync, e.retryIO); err != nil {
+		e.clearEpochSeq()
+		return err
+	}
+	e.completeEpochPipe(ep.EndSeq())
+	e.stats.epochTruncs.Add(1)
+	e.met.ObserveTruncPause(time.Since(tt).Nanoseconds())
+	e.tr.SpanSince(obs.EvTruncEpoch, tt, 0, uint64(ep.Records()), 0)
+	return nil
 }
 
 // lookupSegmentSync is lookupSegment under the engine lock, for use from
@@ -175,25 +253,37 @@ func (e *Engine) lookupSegmentSync(id uint64) (*segment.Segment, error) {
 	return e.lookupSegment(id)
 }
 
-// incrementalStepsLocked performs incremental truncation steps (paper
-// Figure 7) until the live log shrinks to targetUsed bytes or the head of
-// the page queue is blocked by an uncommitted reference.  It reports
-// whether the target was reached.  Caller holds e.mu with e.truncating
-// set, and must have flushed the spool.
+// incrementalSteps performs incremental truncation steps (paper Figure 7)
+// until the live log shrinks to targetUsed bytes or the head of the page
+// queue is blocked by an uncommitted reference.  It reports whether the
+// target was reached.  Caller holds the truncation claim and must have
+// flushed the spool.
 //
-// Page write-outs are batched: pages are written without syncing, the
-// touched segments are synced once, and only then does the log head move —
-// a single status write per batch instead of one per page, with the same
-// guarantee (a page is durably in its segment before the head passes its
-// first log reference).
-func (e *Engine) incrementalStepsLocked(targetUsed int64) (bool, error) {
+// Each step holds the page's region lock across the write-out, the dirty
+// clear, and the queue pop: the region lock excludes commits on that
+// region, so no commit can re-enqueue (and dedup against) a descriptor in
+// the middle of being retired.  Page write-outs are batched: pages are
+// written without syncing, the touched segments are synced once with no
+// lock held, and only then does the log head move — a single status write
+// per batch instead of one per page, with the same guarantee (a page is
+// durably in its segment before the head passes its first log reference).
+func (e *Engine) incrementalSteps(targetUsed int64) (bool, error) {
 	ps := int64(mapping.PageSize)
+	p := &e.pipe
 	wrote := make(map[*segment.Segment]bool)
 	var newPos int64
 	var newSeq uint64
 	moved := false
+	// A page blocked by an uncommitted reference is usually mid-commit:
+	// the committer holds the reference across its log force (no lock
+	// held) and drops it within milliseconds.  Wait briefly for such
+	// transient references to drain before declaring the queue blocked
+	// and reverting to an epoch truncation.
+	blockDeadline := time.Now().Add(50 * time.Millisecond)
 	for e.log.Used()-e.reclaimableTo(newPos, moved) > targetUsed {
-		d, ok := e.queue.First()
+		p.mu.Lock()
+		d, ok := p.queue.First()
+		p.mu.Unlock()
 		if !ok {
 			// Every live record's pages have been written out: the whole
 			// log is reflected; the head can move to the tail.
@@ -201,11 +291,21 @@ func (e *Engine) incrementalStepsLocked(targetUsed int64) (bool, error) {
 			moved = true
 			break
 		}
-		r := e.regions[d.ID.Region]
-		if r == nil || !r.mapped {
+		r := e.regions[d.ID.Region] // stable under the truncation claim
+		if r == nil {
 			// Unmap removes descriptors, so this is unreachable; tolerate
 			// a stale descriptor by skipping it.
-			e.queue.PopFirst()
+			p.mu.Lock()
+			p.queue.PopFirst()
+			p.mu.Unlock()
+			continue
+		}
+		r.mu.Lock()
+		if !r.mapped {
+			r.mu.Unlock()
+			p.mu.Lock()
+			p.queue.PopFirst()
+			p.mu.Unlock()
 			continue
 		}
 		if r.pvec.Refs(int(d.ID.Page)) > 0 {
@@ -213,6 +313,11 @@ func (e *Engine) incrementalStepsLocked(targetUsed int64) (bool, error) {
 			// cannot be written without violating no-undo/redo; the head
 			// cannot move past it (paper: truncation is blocked until the
 			// count drops to zero).
+			r.mu.Unlock()
+			if time.Now().Before(blockDeadline) {
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
 			break
 		}
 		off := d.ID.Page * ps
@@ -220,18 +325,22 @@ func (e *Engine) incrementalStepsLocked(targetUsed int64) (bool, error) {
 			return r.seg.WriteAt(r.data[off:off+ps], r.segOff+off)
 		})
 		if err != nil {
+			r.mu.Unlock()
 			return false, err
 		}
-		wrote[r.seg] = true
 		r.pvec.ClearDirty(int(d.ID.Page))
-		e.queue.PopFirst()
-		e.stats.IncrSteps++
-		e.stats.PagesWritten++
-		if next, ok := e.queue.First(); ok {
+		p.mu.Lock()
+		p.queue.PopFirst()
+		if next, ok := p.queue.First(); ok {
 			newPos, newSeq = next.Pos, next.Seq
 		} else {
 			newPos, newSeq = e.log.Tail()
 		}
+		p.mu.Unlock()
+		r.mu.Unlock()
+		wrote[r.seg] = true
+		e.stats.incrSteps.Add(1)
+		e.stats.pagesWritten.Add(1)
 		moved = true
 	}
 	for seg := range wrote {
@@ -273,31 +382,25 @@ func (e *Engine) reclaimableTo(pos int64, moved bool) int64 {
 // benchmarks; background truncation uses the same path.
 func (e *Engine) TruncateIncremental(targetFraction float64) error {
 	// Like Commit, the operation span starts at the call so traces show
-	// truncation overlapping commits that held the engine while it waited.
+	// truncation overlapping the commits it contended with.
 	t0 := time.Now()
-	e.mu.Lock()
-	if err := e.checkLocked(); err != nil {
-		e.mu.Unlock()
+	if err := e.claimTruncation(); err != nil {
 		return err
 	}
-	e.waitTruncationLocked()
-	e.truncating = true
-	pause := time.Now() // incremental steps run entirely under e.mu
-	stepsBefore := e.stats.IncrSteps
+	pause := time.Now()
+	stepsBefore := e.stats.incrSteps.Load()
 	target := int64(targetFraction * float64(e.log.AreaSize()))
-	err := e.flushLocked()
+	err := e.flushSpool(true)
 	var done bool
 	if err == nil {
-		done, err = e.incrementalStepsLocked(target)
+		done, err = e.incrementalSteps(target)
 	}
-	err = e.maybePoisonLocked(err)
-	pages := e.stats.IncrSteps - stepsBefore
+	err = e.maybePoison(err)
+	pages := e.stats.incrSteps.Load() - stepsBefore
 	e.met.ObserveTruncPause(time.Since(pause).Nanoseconds())
 	e.tr.SpanSince(obs.EvTruncPause, pause, 0, pages, 0)
 	e.tr.SpanSince(obs.EvTruncIncr, t0, 0, pages, 0)
-	e.truncating = false
-	e.cond.Broadcast()
-	e.mu.Unlock()
+	e.releaseTruncation()
 	if err != nil {
 		return err
 	}
@@ -309,11 +412,11 @@ func (e *Engine) TruncateIncremental(targetFraction float64) error {
 	return nil
 }
 
-// shouldAutoTruncateLocked reports whether a commit should kick off a
-// background truncation.
-func (e *Engine) shouldAutoTruncateLocked() bool {
-	thr := e.opts.TruncateThreshold
-	if thr <= 0 || e.truncating || e.closed {
+// shouldAutoTruncate reports whether a commit should kick off a background
+// truncation.  Lock-free: all inputs are atomics.
+func (e *Engine) shouldAutoTruncate() bool {
+	thr := math.Float64frombits(e.truncThreshold.Load())
+	if thr <= 0 || e.truncating.Load() || e.closed.Load() {
 		return false
 	}
 	return float64(e.log.Used()) > thr*float64(e.log.AreaSize())
@@ -322,16 +425,12 @@ func (e *Engine) shouldAutoTruncateLocked() bool {
 // autoTruncate is the background truncation started after a commit crosses
 // the threshold.
 func (e *Engine) autoTruncate() {
-	e.mu.Lock()
-	if e.truncating || e.closed || !e.shouldAutoTruncateLocked() {
-		e.mu.Unlock()
+	if e.truncating.Load() || !e.shouldAutoTruncate() {
 		return
 	}
-	incremental := e.opts.Incremental
-	thr := e.opts.TruncateThreshold
-	e.mu.Unlock()
+	thr := math.Float64frombits(e.truncThreshold.Load())
 	var err error
-	if incremental {
+	if e.incremental.Load() {
 		// Aim well below the trigger so truncations are not continuous.
 		err = e.TruncateIncremental(thr / 2)
 	} else {
@@ -343,65 +442,9 @@ func (e *Engine) autoTruncate() {
 		// correct either way — the log head did not advance, so recovery
 		// still covers every acknowledged commit — but the log will keep
 		// filling until the operator notices via Query/Stats.
+		e.stats.truncFailures.Add(1)
 		e.mu.Lock()
-		e.stats.TruncFailures++
 		e.truncErr = err
 		e.mu.Unlock()
-	}
-}
-
-// appendWithRetryLocked appends a record, retrying transient device faults
-// and making space synchronously when the log is full.  Caller holds e.mu.
-func (e *Engine) appendWithRetryLocked(tid uint64, flags uint8, ranges []wal.Range) (int64, uint64, int64, error) {
-	for attempt := 0; ; attempt++ {
-		var pos, n int64
-		var seq uint64
-		err := e.retryIO(func() error {
-			var err error
-			pos, seq, n, err = e.log.Append(tid, flags, ranges)
-			return err
-		})
-		if err == nil || !errors.Is(err, wal.ErrLogFull) {
-			return pos, seq, n, err
-		}
-		if attempt >= 3 {
-			// Giving up: even after inline truncations the record does not
-			// fit.  Say why, so the caller can tell "log too small for this
-			// record" from a log that is merely busy.
-			return pos, seq, n, fmt.Errorf(
-				"rvm: log full after %d inline truncations (record needs %d bytes, log area %d bytes, %d live): %w",
-				attempt, wal.EncodedLen(ranges), e.log.AreaSize(), e.log.Used(), err)
-		}
-		if e.truncating {
-			// A truncation is already in flight; wait for it to free
-			// space.  cond.Wait releases e.mu meanwhile.
-			e.cond.Wait()
-			if e.closed {
-				return 0, 0, 0, ErrClosed
-			}
-			continue
-		}
-		// Inline epoch truncation.  Force first: records applied to
-		// segments must be durable in the log (no-undo/redo invariant).
-		// The spool is intentionally not drained here — there may be no
-		// room for it; it stays in memory.
-		tt := time.Now()
-		if err := e.retryIO(e.log.Force); err != nil {
-			return 0, 0, 0, err
-		}
-		ep, err := e.collectEpochLocked()
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		e.epochEndSeq = ep.EndSeq()
-		if _, err := ep.Apply(e.lookupSegment, e.retryIO); err != nil {
-			e.epochEndSeq = 0
-			return 0, 0, 0, err
-		}
-		e.completeEpochLocked(ep.EndSeq())
-		e.epochEndSeq = 0
-		e.stats.EpochTruncs++
-		e.met.ObserveTruncPause(time.Since(tt).Nanoseconds())
-		e.tr.SpanSince(obs.EvTruncEpoch, tt, 0, uint64(ep.Records()), 0)
 	}
 }

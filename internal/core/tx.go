@@ -53,7 +53,10 @@ type span struct{ off, end int64 }
 // optimization of paper §5.2.
 type rangeset struct{ spans []span }
 
-// add inserts [off, end) and returns the newly covered pieces.
+// add inserts [off, end) and returns the newly covered pieces.  The span
+// slice is spliced in place: the merge replaces spans[i:j] with a single
+// union span and an insert shifts the tail, so a warm set adds no
+// allocations beyond the amortized growth of the backing array.
 func (s *rangeset) add(off, end int64) []span {
 	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].end >= off })
 	var added []span
@@ -80,12 +83,15 @@ func (s *rangeset) add(off, end int64) []span {
 		if s.spans[j-1].end > newEnd {
 			newEnd = s.spans[j-1].end
 		}
+		s.spans[i] = span{newOff, newEnd}
+		if j > i+1 {
+			s.spans = append(s.spans[:i+1], s.spans[j:]...)
+		}
+	} else {
+		s.spans = append(s.spans, span{})
+		copy(s.spans[i+1:], s.spans[i:])
+		s.spans[i] = span{newOff, newEnd}
 	}
-	out := make([]span, 0, len(s.spans)-(j-i)+1)
-	out = append(out, s.spans[:i]...)
-	out = append(out, span{newOff, newEnd})
-	out = append(out, s.spans[j:]...)
-	s.spans = out
 	return added
 }
 
@@ -108,7 +114,8 @@ type txRegion struct {
 
 // Tx is an active transaction.  A Tx is not safe for concurrent use by
 // multiple goroutines, but many transactions may be active at once; RVM
-// provides no serializability between them (paper §3.1).
+// provides no serializability between them (paper §3.1).  Transactions on
+// disjoint regions share no lock: they meet only at the log pipeline.
 type Tx struct {
 	eng     *Engine
 	id      uint64
@@ -117,17 +124,18 @@ type Tx struct {
 	regions map[int]*txRegion
 }
 
-// Begin starts a transaction (paper §4.2 begin_transaction).
+// Begin starts a transaction (paper §4.2 begin_transaction).  It takes no
+// lock: the transaction count and ID source are atomics.  The increment-
+// then-check order pairs with Close's publish-closed-then-read-active so
+// a Begin can never slip into a closing engine unobserved.
 func (e *Engine) Begin(mode TxMode) (*Tx, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.checkLocked(); err != nil {
+	e.active.Add(1)
+	if err := e.check(); err != nil {
+		e.active.Add(-1)
 		return nil, err
 	}
-	t := &Tx{eng: e, id: e.nextTID, mode: mode, regions: make(map[int]*txRegion)}
-	e.nextTID++
-	e.active++
-	e.stats.Begins++
+	t := &Tx{eng: e, id: e.nextTID.Add(1) - 1, mode: mode, regions: make(map[int]*txRegion)}
+	e.stats.begins.Add(1)
 	e.met.AddActiveTx(1)
 	e.tr.Record(obs.EvTxBegin, t.id, 0, 0)
 	return t, nil
@@ -140,7 +148,8 @@ func (t *Tx) ID() uint64 { return t.id }
 // of region r (paper §4.2).  For Restore transactions the current contents
 // are copied so an abort can undo the change.  Duplicate, overlapping, and
 // adjacent ranges are coalesced unless intra-transaction optimization is
-// disabled.
+// disabled.  Only r's own lock is taken, so set-ranges on disjoint regions
+// run concurrently.
 func (t *Tx) SetRange(r *Region, off, n int64) error {
 	if t.done {
 		return ErrTxDone
@@ -152,11 +161,11 @@ func (t *Tx) SetRange(r *Region, off, n int64) error {
 		return nil
 	}
 	e := t.eng
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.checkLocked(); err != nil {
+	if err := e.check(); err != nil {
 		return err
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if !r.mapped {
 		return ErrRegionUnmapped
 	}
@@ -166,7 +175,7 @@ func (t *Tx) SetRange(r *Region, off, n int64) error {
 		t.regions[r.idx] = tr
 		r.nTx++
 	}
-	e.stats.SetRanges++
+	e.stats.setRanges.Add(1)
 	tr.naive += rangeEncodedLen(n)
 
 	if e.opts.NoIntraOpt {
@@ -217,32 +226,61 @@ func (t *Tx) Modify(r *Region, off int64, data []byte) error {
 	return nil
 }
 
-// finishLocked releases per-region bookkeeping common to commit and abort.
-func (t *Tx) finishLocked() {
-	e := t.eng
-	for _, tr := range t.regions {
-		for p := range tr.pages {
-			tr.region.pvec.DecRef(int(p))
-		}
-		tr.region.nTx--
-	}
-	t.done = true
-	e.active--
-	e.met.AddActiveTx(-1)
-}
-
-// buildRanges reads the current (new) values of the transaction's ranges
-// from region memory.  When copy is true the data is duplicated (needed
-// for spooling, where memory keeps changing after commit).
-func (t *Tx) buildRanges(copyData bool) ([]wal.Range, []pagevec.PageID) {
-	var ranges []wal.Range
-	var pages []pagevec.PageID
-	// Deterministic region order keeps logs reproducible.
+// sortedRegions returns the transaction's region indices in ascending
+// order — both the lock-acquisition order and the deterministic log order.
+func (t *Tx) sortedRegions() []int {
 	idxs := make([]int, 0, len(t.regions))
 	for idx := range t.regions {
 		idxs = append(idxs, idx)
 	}
 	sort.Ints(idxs)
+	return idxs
+}
+
+// lockRegions acquires the lock of every region the transaction touched,
+// in ascending index order (the hierarchy's rule for multi-region
+// transactions), and returns the sorted indices.
+func (t *Tx) lockRegions() []int {
+	idxs := t.sortedRegions()
+	for _, idx := range idxs {
+		t.regions[idx].region.mu.Lock()
+	}
+	return idxs
+}
+
+func (t *Tx) unlockRegions(idxs []int) {
+	for _, idx := range idxs {
+		t.regions[idx].region.mu.Unlock()
+	}
+}
+
+// finish releases per-region bookkeeping common to commit and abort.
+func (t *Tx) finish() {
+	e := t.eng
+	for _, tr := range t.regions {
+		for p := range tr.pages {
+			tr.region.pvec.DecRef(int(p))
+		}
+		r := tr.region
+		r.mu.Lock()
+		r.nTx--
+		r.mu.Unlock()
+	}
+	t.done = true
+	e.active.Add(-1)
+	e.met.AddActiveTx(-1)
+}
+
+// buildRanges reads the current (new) values of the transaction's ranges
+// from region memory.  When copy is true the data is duplicated (needed
+// for spooling, where memory keeps changing after commit); otherwise the
+// ranges alias region memory, which the caller must keep locked until the
+// log consumes them.  It returns the intra-transaction savings for the
+// caller to account once the commit actually succeeds.
+func (t *Tx) buildRanges(idxs []int, copyData bool) ([]wal.Range, []pagevec.PageID, int64) {
+	var ranges []wal.Range
+	var pages []pagevec.PageID
+	var saved int64
 	for _, idx := range idxs {
 		tr := t.regions[idx]
 		r := tr.region
@@ -270,25 +308,25 @@ func (t *Tx) buildRanges(copyData bool) ([]wal.Range, []pagevec.PageID) {
 		}
 		// Exact intra-transaction savings: what verbatim logging of every
 		// set-range call would have cost minus what we will actually log.
-		t.eng.stats.IntraSavedBytes += uint64(tr.naive - actual)
+		saved += tr.naive - actual
 		for p := range tr.pages {
 			pages = append(pages, pagevec.PageID{Region: r.idx, Page: p})
 		}
 	}
-	return ranges, pages
+	return ranges, pages, saved
 }
 
 // Commit ends the transaction, making its changes permanent per the commit
-// mode (paper §4.2 end_transaction).
+// mode (paper §4.2 end_transaction).  The hot path takes only the locks of
+// the regions the transaction touched plus the log-pipeline lock for the
+// append; the force (group or serialized) runs with no lock at all.
 func (t *Tx) Commit(mode CommitMode) error {
 	if t.done {
 		return ErrTxDone
 	}
 	e := t.eng
 	t0 := time.Now()
-	e.mu.Lock()
-	if err := e.checkLocked(); err != nil {
-		e.mu.Unlock()
+	if err := e.check(); err != nil {
 		return err
 	}
 
@@ -299,134 +337,177 @@ func (t *Tx) Commit(mode CommitMode) error {
 
 	if len(t.regions) == 0 {
 		// Nothing was modified; no log record is needed.
-		t.finishLocked()
-		e.stats.EmptyCommits++
+		t.finish()
+		e.stats.emptyCommits.Add(1)
 		if mode == Flush {
-			e.stats.FlushCommits++
+			e.stats.flushCommits.Add(1)
 		} else {
-			e.stats.NoFlushCommits++
+			e.stats.noFlushCommits.Add(1)
 		}
-		e.mu.Unlock()
 		return nil
 	}
 
 	switch mode {
 	case NoFlush:
-		flags |= flagNoFlush
-		ranges, pages := t.buildRanges(true)
-		sp := &spooled{tid: t.id, flags: flags, ranges: ranges, pages: pages}
-		for _, r := range ranges {
-			sp.bytes += rangeEncodedLen(int64(len(r.Data)))
-		}
-		if !e.opts.NoInterOpt {
-			e.subsumeSpoolLocked(sp)
-		}
-		e.spool = append(e.spool, sp)
-		e.spoolBytes += sp.bytes
-		e.met.SetSpoolBytes(e.spoolBytes)
-		t.markDirtyLocked(nil, 0, 0) // dirty bits only; queue entries at flush
-		t.finishLocked()
-		e.stats.NoFlushCommits++
-		limit := e.opts.SpoolLimit
-		if limit == 0 {
-			limit = 1 << 20
-		}
-		if limit > 0 && e.spoolBytes > limit {
-			// Implicit flush: the spool is full.  Persistence stays
-			// "bounded by the period between log flushes" (§4.2) — this
-			// just bounds the period by memory as well as by time.
-			if err := e.flushLocked(); err != nil {
-				err = e.maybePoisonLocked(err)
-				e.mu.Unlock()
-				return err
-			}
-		}
-		trigger := e.shouldAutoTruncateLocked()
-		e.met.ObserveCommitNoFlush(time.Since(t0).Nanoseconds())
-		e.tr.SpanSince(obs.EvCommitNoFlush, t0, t.id, uint64(sp.bytes), 0)
-		e.mu.Unlock()
-		if trigger {
-			go e.autoTruncate()
-		}
-		return nil
-
+		return t.commitNoFlush(flags|flagNoFlush, t0)
 	case Flush:
-		ranges, pages := t.buildRanges(false)
-		// Older spooled transactions must reach the log first to keep
-		// commit order intact.
-		if err := e.drainSpoolLocked(); err != nil {
-			err = e.maybePoisonLocked(err)
-			t.abandonIfPoisonedLocked(err)
-			e.mu.Unlock()
-			return err
-		}
-		pos, seq, nbytes, err := e.appendWithRetryLocked(t.id, flags, ranges)
-		if err != nil {
-			err = e.maybePoisonLocked(err)
-			t.abandonIfPoisonedLocked(err)
-			e.mu.Unlock()
-			return err
-		}
-		// The force is the acknowledgement point: the transaction is
-		// only reported committed once its record is durable.  A force
-		// that fails past the transient retries leaves the device state
-		// unknowable, so the engine poisons itself rather than risk
-		// acknowledging on a log it cannot trust.
-		if e.opts.GroupCommit {
-			// Dirty bits and page enqueues happen here, in the same
-			// critical section as the append, so the truncation queue
-			// keeps log order.  The pages cannot be written out before
-			// the force completes: this transaction still holds their
-			// uncommitted reference counts until finishLocked, and epoch
-			// truncation forces the log before applying records.
-			t.markDirtyLocked(pages, pos, seq)
-			e.mu.Unlock()
-			ferr := e.waitForced(seq)
-			e.mu.Lock()
-			if ferr != nil {
-				t.abandonIfPoisonedLocked(ferr)
-				e.mu.Unlock()
-				return ferr
-			}
-		} else {
-			if err := e.retryIO(e.log.Force); err != nil {
-				err = e.maybePoisonLocked(err)
-				t.abandonIfPoisonedLocked(err)
-				e.mu.Unlock()
-				return err
-			}
-			t.markDirtyLocked(pages, pos, seq)
-		}
-		t.finishLocked()
-		e.stats.FlushCommits++
-		trigger := e.shouldAutoTruncateLocked()
-		e.met.ObserveCommitFlush(time.Since(t0).Nanoseconds())
-		e.tr.SpanSince(obs.EvCommitFlush, t0, t.id, uint64(nbytes), seq)
-		e.mu.Unlock()
-		if trigger {
-			go e.autoTruncate()
-		}
-		return nil
+		return t.commitFlush(flags, t0)
 	default:
-		e.mu.Unlock()
 		return fmt.Errorf("rvm: unknown commit mode %d", int(mode))
 	}
 }
 
-// abandonIfPoisonedLocked resolves a transaction whose commit just poisoned
-// the engine: it can never commit, and leaving it active would wedge Close
+func (t *Tx) commitNoFlush(flags uint8, t0 time.Time) error {
+	e := t.eng
+	idxs := t.lockRegions()
+	ranges, _, saved := t.buildRanges(idxs, true)
+	sp := &spooled{tid: t.id, flags: flags, ranges: ranges}
+	for _, r := range ranges {
+		sp.bytes += rangeEncodedLen(int64(len(r.Data)))
+	}
+	for _, idx := range idxs {
+		tr := t.regions[idx]
+		for p := range tr.pages {
+			sp.pages = append(sp.pages, pagevec.PageID{Region: idx, Page: p})
+		}
+	}
+	p := &e.pipe
+	p.mu.Lock()
+	if !e.opts.NoInterOpt {
+		e.subsumeSpoolPipeLocked(sp)
+	}
+	p.spool = append(p.spool, sp)
+	p.spoolBytes += sp.bytes
+	spoolBytes := p.spoolBytes
+	t.markDirtyPipeLocked(nil, 0, 0) // dirty bits only; queue entries at flush
+	p.mu.Unlock()
+	t.unlockRegions(idxs)
+	t.finish()
+	e.stats.noFlushCommits.Add(1)
+	e.stats.intraSavedBytes.Add(uint64(saved))
+	e.met.SetSpoolBytes(spoolBytes)
+	limit := e.opts.SpoolLimit
+	if limit == 0 {
+		limit = 1 << 20
+	}
+	if limit > 0 && spoolBytes > limit {
+		// Implicit flush: the spool is full.  Persistence stays
+		// "bounded by the period between log flushes" (§4.2) — this
+		// just bounds the period by memory as well as by time.
+		if err := e.flushSpool(false); err != nil {
+			return e.maybePoison(err)
+		}
+	}
+	trigger := e.shouldAutoTruncate()
+	e.met.ObserveCommitNoFlush(time.Since(t0).Nanoseconds())
+	e.tr.SpanSince(obs.EvCommitNoFlush, t0, t.id, uint64(sp.bytes), 0)
+	if trigger {
+		go e.autoTruncate()
+	}
+	return nil
+}
+
+func (t *Tx) commitFlush(flags uint8, t0 time.Time) error {
+	e := t.eng
+	var pos int64
+	var seq uint64
+	var nbytes int64
+	var saved int64
+	var need int64
+	for attempt := 0; ; attempt++ {
+		// Ranges are rebuilt per attempt: they alias region memory, which
+		// is only stable while the region locks are held.
+		idxs := t.lockRegions()
+		ranges, pages, sv := t.buildRanges(idxs, false)
+		p := &e.pipe
+		p.mu.Lock()
+		// Older spooled transactions must reach the log first to keep
+		// commit order intact.
+		err := e.drainSpoolPipeLocked()
+		if err == nil {
+			pos, seq, nbytes, err = e.appendPipeLocked(t.id, flags, ranges)
+		}
+		if err == nil {
+			// Dirty bits and page enqueues happen here, in the same
+			// critical section as the append, so the truncation queue
+			// keeps log order.  The pages cannot be written out before
+			// the force completes: this transaction still holds their
+			// uncommitted reference counts until finish, and epoch
+			// truncation forces the log before applying records.
+			t.markDirtyPipeLocked(pages, pos, seq)
+		}
+		p.mu.Unlock()
+		t.unlockRegions(idxs)
+		if err == nil {
+			saved = sv
+			break
+		}
+		if errors.Is(err, wal.ErrLogFull) {
+			if attempt >= 3 {
+				// Giving up: even after inline truncations the record does
+				// not fit.  Say why, so the caller can tell "log too small
+				// for this record" from a log that is merely busy.
+				return fmt.Errorf(
+					"rvm: log full after %d inline truncations (record needs %d bytes, log area %d bytes, %d live): %w",
+					attempt, wal.EncodedLen(ranges), e.log.AreaSize(), e.log.Used(), err)
+			}
+			need = wal.EncodedLen(ranges)
+			if mkErr := e.makeLogSpace(need, false); mkErr != nil {
+				mkErr = e.maybePoison(mkErr)
+				t.abandonIfPoisoned(mkErr)
+				return mkErr
+			}
+			continue
+		}
+		err = e.maybePoison(err)
+		t.abandonIfPoisoned(err)
+		return err
+	}
+	// The force is the acknowledgement point: the transaction is only
+	// reported committed once its record is durable.  It runs with no
+	// lock held.  A force that fails past the transient retries leaves
+	// the device state unknowable, so the engine poisons itself rather
+	// than risk acknowledging on a log it cannot trust.
+	if e.opts.GroupCommit {
+		if err := e.waitForced(seq); err != nil {
+			t.abandonIfPoisoned(err)
+			return err
+		}
+	} else {
+		if err := e.retryIO(e.log.Force); err != nil {
+			err = e.maybePoison(err)
+			t.abandonIfPoisoned(err)
+			return err
+		}
+	}
+	t.finish()
+	e.stats.flushCommits.Add(1)
+	e.stats.intraSavedBytes.Add(uint64(saved))
+	trigger := e.shouldAutoTruncate()
+	e.met.ObserveCommitFlush(time.Since(t0).Nanoseconds())
+	e.tr.SpanSince(obs.EvCommitFlush, t0, t.id, uint64(nbytes), seq)
+	if trigger {
+		go e.autoTruncate()
+	}
+	return nil
+}
+
+// abandonIfPoisoned resolves a transaction whose commit just poisoned the
+// engine: it can never commit, and leaving it active would wedge Close
 // behind ErrActiveTx.  Logical failures (log full) keep the transaction
-// alive so the caller can retry or abort.  Caller holds e.mu.
-func (t *Tx) abandonIfPoisonedLocked(err error) {
+// alive so the caller can retry or abort.
+func (t *Tx) abandonIfPoisoned(err error) {
 	if errors.Is(err, ErrPoisoned) {
-		t.finishLocked()
+		t.finish()
 	}
 }
 
-// markDirtyLocked marks the transaction's pages dirty; when queue position
-// info is supplied (flush path) the pages are also enqueued for
-// incremental truncation.
-func (t *Tx) markDirtyLocked(pages []pagevec.PageID, pos int64, seq uint64) {
+// markDirtyPipeLocked marks the transaction's pages dirty; when queue
+// position info is supplied (flush path) the pages are also enqueued for
+// incremental truncation.  Caller holds e.pipe.mu — the dirty bits are
+// atomic, but setting them inside the pipeline section keeps them
+// consistent with the spool/queue state that epoch completion reads.
+func (t *Tx) markDirtyPipeLocked(pages []pagevec.PageID, pos int64, seq uint64) {
 	e := t.eng
 	for _, tr := range t.regions {
 		for p := range tr.pages {
@@ -434,29 +515,43 @@ func (t *Tx) markDirtyLocked(pages []pagevec.PageID, pos int64, seq uint64) {
 		}
 	}
 	for _, id := range pages {
-		e.enqueuePageLocked(id, pos, seq)
+		e.enqueuePagePipeLocked(id, pos, seq)
 	}
 }
 
-// enqueuePageLocked records a page's log reference in the FIFO queue,
-// honouring the no-duplicates rule and the epoch-promotion rule.
-func (e *Engine) enqueuePageLocked(id pagevec.PageID, pos int64, seq uint64) {
-	if d, ok := e.queue.Get(id); ok {
+// enqueuePagePipeLocked records a page's log reference in the FIFO queue,
+// honouring the no-duplicates rule and the epoch-promotion rule.  Caller
+// holds e.pipe.mu.
+func (e *Engine) enqueuePagePipeLocked(id pagevec.PageID, pos int64, seq uint64) {
+	p := &e.pipe
+	if d, ok := p.queue.Get(id); ok {
 		// Already queued at its earliest reference — unless that reference
 		// is inside an epoch being truncated right now, in which case the
 		// earliest *surviving* reference is this record.
-		if e.epochEndSeq > 0 && d.Seq < e.epochEndSeq {
-			e.queue.Promote(id, pos, seq)
+		if p.epochEndSeq > 0 && d.Seq < p.epochEndSeq {
+			p.queue.Promote(id, pos, seq)
 		}
 		return
 	}
-	e.queue.Push(id, pos, seq)
+	p.queue.Push(id, pos, seq)
 }
 
-// subsumeSpoolLocked applies the inter-transaction optimization (paper
+// appendPipeLocked appends one record, retrying transient faults.  Caller
+// holds e.pipe.mu, which is what serializes commit order into the log.
+func (e *Engine) appendPipeLocked(tid uint64, flags uint8, ranges []wal.Range) (pos int64, seq uint64, n int64, err error) {
+	err = e.retryIO(func() error {
+		var aerr error
+		pos, seq, n, aerr = e.log.Append(tid, flags, ranges)
+		return aerr
+	})
+	return pos, seq, n, err
+}
+
+// subsumeSpoolPipeLocked applies the inter-transaction optimization (paper
 // §5.2): if sp's modifications subsume those of an earlier unflushed
-// transaction, the older records are discarded.
-func (e *Engine) subsumeSpoolLocked(sp *spooled) {
+// transaction, the older records are discarded.  Caller holds e.pipe.mu.
+func (e *Engine) subsumeSpoolPipeLocked(sp *spooled) {
+	p := &e.pipe
 	// Coverage of the new transaction, per segment.
 	cover := make(map[uint64]*rangeset)
 	for _, r := range sp.ranges {
@@ -467,16 +562,19 @@ func (e *Engine) subsumeSpoolLocked(sp *spooled) {
 		}
 		cs.add(int64(r.Off), int64(r.Off)+int64(len(r.Data)))
 	}
-	kept := e.spool[:0]
-	for _, old := range e.spool {
+	kept := p.spool[:0]
+	for _, old := range p.spool {
 		if spoolSubsumed(old, cover) {
-			e.spoolBytes -= old.bytes
-			e.stats.InterSavedBytes += uint64(old.bytes)
+			p.spoolBytes -= old.bytes
+			e.stats.interSavedBytes.Add(uint64(old.bytes))
 			continue
 		}
 		kept = append(kept, old)
 	}
-	e.spool = kept
+	for i := len(kept); i < len(p.spool); i++ {
+		p.spool[i] = nil // release subsumed payloads to the GC
+	}
+	p.spool = kept
 }
 
 // spoolSubsumed reports whether every range of old is covered by the new
@@ -491,12 +589,16 @@ func spoolSubsumed(old *spooled, cover map[uint64]*rangeset) bool {
 	return true
 }
 
-// drainSpoolLocked appends every spooled transaction to the log (without
-// forcing) and enqueues their pages.
-func (e *Engine) drainSpoolLocked() error {
-	for len(e.spool) > 0 {
-		sp := e.spool[0]
-		pos, seq, _, err := e.appendWithRetryLocked(sp.tid, sp.flags, sp.ranges)
+// drainSpoolPipeLocked appends every spooled transaction to the log
+// (without forcing) and enqueues their pages.  Drained slots are nilled
+// out and the slice head is reset once empty, so spooled payloads become
+// garbage-collectable the moment they reach the log.  Caller holds
+// e.pipe.mu; the regions slice is readable under it (see Engine.regions).
+func (e *Engine) drainSpoolPipeLocked() error {
+	p := &e.pipe
+	for len(p.spool) > 0 {
+		sp := p.spool[0]
+		pos, seq, _, err := e.appendPipeLocked(sp.tid, sp.flags, sp.ranges)
 		if err != nil {
 			return err
 		}
@@ -505,13 +607,14 @@ func (e *Engine) drainSpoolLocked() error {
 			// entry was created; Unmap flushed the spool first, so this
 			// cannot happen — but guard against stale region slots anyway.
 			if id.Region < len(e.regions) && e.regions[id.Region] != nil {
-				e.enqueuePageLocked(id, pos, seq)
+				e.enqueuePagePipeLocked(id, pos, seq)
 			}
 		}
-		e.spool = e.spool[1:]
-		e.spoolBytes -= sp.bytes
+		p.spool[0] = nil
+		p.spool = p.spool[1:]
+		p.spoolBytes -= sp.bytes
 	}
-	e.met.SetSpoolBytes(e.spoolBytes)
+	p.spool = nil
 	return nil
 }
 
@@ -545,12 +648,7 @@ func (t *Tx) CommitUndo(mode CommitMode) ([]UndoRecord, error) {
 		return nil, fmt.Errorf("rvm: CommitUndo requires a restore-mode transaction")
 	}
 	var undo []UndoRecord
-	idxs := make([]int, 0, len(t.regions))
-	for idx := range t.regions {
-		idxs = append(idxs, idx)
-	}
-	sort.Ints(idxs)
-	for _, idx := range idxs {
+	for _, idx := range t.sortedRegions() {
 		tr := t.regions[idx]
 		r := tr.region
 		if t.eng.opts.NoIntraOpt {
@@ -588,12 +686,12 @@ func (t *Tx) Abort() error {
 		return ErrNoRestoreAbort
 	}
 	e := t.eng
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		return ErrClosed
 	}
-	for _, tr := range t.regions {
+	idxs := t.lockRegions()
+	for _, idx := range idxs {
+		tr := t.regions[idx]
 		r := tr.region
 		if e.opts.NoIntraOpt {
 			// Restore verbatim captures newest-first so earlier captures
@@ -608,8 +706,9 @@ func (t *Tx) Abort() error {
 			})
 		}
 	}
-	t.finishLocked()
-	e.stats.Aborts++
+	t.unlockRegions(idxs)
+	t.finish()
+	e.stats.aborts.Add(1)
 	e.tr.Record(obs.EvTxAbort, t.id, 0, 0)
 	return nil
 }

@@ -250,9 +250,10 @@ func (in *Injector) Sync() error {
 	if f := in.match(OpSync); f != nil {
 		in.stats.Faults++
 		tr := in.tr
+		err := f.err() // resolve under mu: match() mutates fault budgets
 		in.mu.Unlock()
 		tr.Record(obs.EvFault, 0, uint64(OpSync), 0)
-		return f.err()
+		return err
 	}
 	in.mu.Unlock()
 	return in.dev.Sync()

@@ -16,64 +16,69 @@
 //     references: a page appears only in the earliest descriptor in which
 //     it could appear.
 //
-// The paper's per-entry "reserved" bit is an internal lock; here callers
-// serialize access externally (the engine holds its mutex), so no
-// per-entry lock is needed.
+// The paper's per-entry "reserved" bit is an internal lock; here the
+// Vector entries are atomics, so concurrent transactions on the same
+// region can bump reference counts and dirty bits without a shared lock.
+// Ordering between a reference-count check and the page write it guards
+// is still the caller's job (the engine's region mutex provides it).  The
+// Queue has no internal synchronization; the engine serializes access
+// under its log-pipeline lock.
 package pagevec
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
-// Vector tracks per-page modification state for one mapped region.
+// Vector tracks per-page modification state for one mapped region.  All
+// methods are safe for concurrent use.
 type Vector struct {
-	refs  []int32
-	dirty []bool
-	ndirt int
+	refs  []atomic.Int32
+	dirty []atomic.Bool
+	ndirt atomic.Int64
 }
 
 // New returns a Vector for a region of npages pages.
 func New(npages int) *Vector {
-	return &Vector{refs: make([]int32, npages), dirty: make([]bool, npages)}
+	return &Vector{refs: make([]atomic.Int32, npages), dirty: make([]atomic.Bool, npages)}
 }
 
 // NumPages returns the region size in pages.
 func (v *Vector) NumPages() int { return len(v.refs) }
 
 // IncRef notes an uncommitted set-range reference to page.
-func (v *Vector) IncRef(page int) { v.refs[page]++ }
+func (v *Vector) IncRef(page int) { v.refs[page].Add(1) }
 
 // DecRef drops an uncommitted reference on commit or abort.
 func (v *Vector) DecRef(page int) {
-	if v.refs[page] == 0 {
+	if v.refs[page].Add(-1) < 0 {
 		panic(fmt.Sprintf("pagevec: DecRef on page %d with zero refs", page))
 	}
-	v.refs[page]--
 }
 
 // Refs returns the page's uncommitted reference count.
-func (v *Vector) Refs(page int) int { return int(v.refs[page]) }
+func (v *Vector) Refs(page int) int { return int(v.refs[page].Load()) }
 
 // SetDirty marks a page as having committed changes not yet reflected to
 // its external data segment.
 func (v *Vector) SetDirty(page int) {
-	if !v.dirty[page] {
-		v.dirty[page] = true
-		v.ndirt++
+	if v.dirty[page].CompareAndSwap(false, true) {
+		v.ndirt.Add(1)
 	}
 }
 
 // ClearDirty marks the page clean after it is written to its segment.
 func (v *Vector) ClearDirty(page int) {
-	if v.dirty[page] {
-		v.dirty[page] = false
-		v.ndirt--
+	if v.dirty[page].CompareAndSwap(true, false) {
+		v.ndirt.Add(-1)
 	}
 }
 
 // IsDirty reports whether the page has unreflected committed changes.
-func (v *Vector) IsDirty(page int) bool { return v.dirty[page] }
+func (v *Vector) IsDirty(page int) bool { return v.dirty[page].Load() }
 
 // DirtyCount returns the number of dirty pages.
-func (v *Vector) DirtyCount() int { return v.ndirt }
+func (v *Vector) DirtyCount() int { return int(v.ndirt.Load()) }
 
 // PageID names a page across all mapped regions.
 type PageID struct {

@@ -470,36 +470,133 @@ func (l *Log) appendLocked(tid uint64, flags uint8, ranges []Range) (pos int64, 
 	return at, seq, total, nil
 }
 
-// writeRecord encodes and writes one record of totalLen bytes at area
-// offset pos, consuming the next sequence number.
-func (l *Log) writeRecord(pos int64, typ uint8, tid uint64, flags uint8, ranges []Range, totalLen int64) error {
-	buf := make([]byte, totalLen)
-	binary.BigEndian.PutUint32(buf[0:], recMagic)
-	binary.BigEndian.PutUint32(buf[4:], uint32(totalLen))
-	buf[8] = typ
-	buf[9] = flags
-	binary.BigEndian.PutUint32(buf[12:], uint32(len(ranges)))
-	seq := l.nextSeq
-	binary.BigEndian.PutUint64(buf[16:], seq)
-	binary.BigEndian.PutUint64(buf[24:], tid)
-	p := int64(headerSize)
-	for _, r := range ranges {
-		binary.BigEndian.PutUint64(buf[p:], r.Seg)
-		binary.BigEndian.PutUint64(buf[p+8:], r.Off)
-		binary.BigEndian.PutUint32(buf[p+16:], uint32(len(r.Data)))
-		p += rangeHdrSize
-		copy(buf[p:], r.Data)
-		p += int64(len(r.Data))
+// encBuf is writeRecord's pooled encoding scratch: the record metadata
+// (header, per-range headers, padding, trailer), the chunk list ordering
+// metadata and caller range data for the device write, and the gather
+// buffer for devices without a vectored-write path.
+type encBuf struct {
+	meta   []byte
+	chunks [][]byte
+	gather []byte
+}
+
+// encBufMaxRetain bounds the backing arrays a pooled encBuf may keep: a
+// one-off giant record (or a huge wrap gap) should not pin megabytes in
+// the pool forever.
+const encBufMaxRetain = 1 << 20
+
+var encPool = sync.Pool{New: func() any { return new(encBuf) }}
+
+func (eb *encBuf) release() {
+	for i := range eb.chunks {
+		eb.chunks[i] = nil // do not pin caller range data across reuses
 	}
-	binary.BigEndian.PutUint64(buf[totalLen-trailerSize:], seq)
-	binary.BigEndian.PutUint32(buf[totalLen-8:], uint32(totalLen))
-	binary.BigEndian.PutUint32(buf[totalLen-4:], crc32.ChecksumIEEE(buf[:totalLen-4]))
-	if _, err := l.dev.WriteAt(buf, areaOff(pos)); err != nil {
+	eb.chunks = eb.chunks[:0]
+	if cap(eb.meta) > encBufMaxRetain {
+		eb.meta = nil
+	}
+	if cap(eb.gather) > encBufMaxRetain {
+		eb.gather = nil
+	}
+	encPool.Put(eb)
+}
+
+// writeRecord encodes and writes one record of totalLen bytes at area
+// offset pos, consuming the next sequence number.  Encoding is zero-copy:
+// the fixed parts are laid out in a pooled scratch buffer, the caller's
+// range data is referenced in place (never copied into an intermediate
+// record buffer), the CRC streams across the pieces, and the record
+// reaches the device as one vectored write (pwritev on an *os.File) or
+// one gathered WriteAt elsewhere.  Callers guarantee the range data is
+// stable for the duration of the call — the engine holds the owning
+// region locks across the append.
+func (l *Log) writeRecord(pos int64, typ uint8, tid uint64, flags uint8, ranges []Range, totalLen int64) error {
+	eb := encPool.Get().(*encBuf)
+	defer eb.release()
+
+	var dataLen int64
+	for _, r := range ranges {
+		dataLen += int64(len(r.Data))
+	}
+	metaLen := int(totalLen - dataLen) // header + range headers + padding + trailer
+	if cap(eb.meta) < metaLen {
+		eb.meta = make([]byte, metaLen)
+	}
+	meta := eb.meta[:metaLen]
+	chunks := eb.chunks[:0]
+
+	hdr := meta[:headerSize]
+	binary.BigEndian.PutUint32(hdr[0:], recMagic)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(totalLen))
+	hdr[8] = typ
+	hdr[9] = flags
+	hdr[10], hdr[11] = 0, 0
+	binary.BigEndian.PutUint32(hdr[12:], uint32(len(ranges)))
+	seq := l.nextSeq
+	binary.BigEndian.PutUint64(hdr[16:], seq)
+	binary.BigEndian.PutUint64(hdr[24:], tid)
+	chunks = append(chunks, hdr)
+	mp := headerSize
+	for _, r := range ranges {
+		rh := meta[mp : mp+rangeHdrSize]
+		binary.BigEndian.PutUint64(rh[0:], r.Seg)
+		binary.BigEndian.PutUint64(rh[8:], r.Off)
+		binary.BigEndian.PutUint32(rh[16:], uint32(len(r.Data)))
+		mp += rangeHdrSize
+		chunks = append(chunks, rh, r.Data)
+	}
+	// Padding (runt-gap absorption, alignment, wrap gaps) plus trailer
+	// fill the rest of the scratch buffer; pooled bytes are stale, so the
+	// padding is re-zeroed each use to keep records byte-reproducible.
+	tail := meta[mp:]
+	pad := tail[:len(tail)-trailerSize]
+	for i := range pad {
+		pad[i] = 0
+	}
+	trailer := tail[len(tail)-trailerSize:]
+	binary.BigEndian.PutUint64(trailer[0:], seq)
+	binary.BigEndian.PutUint32(trailer[8:], uint32(totalLen))
+	chunks = append(chunks, tail)
+	eb.chunks = chunks
+
+	// Streaming CRC over every byte that precedes the crc field itself.
+	var crc uint32
+	for _, c := range chunks[:len(chunks)-1] {
+		crc = crc32.Update(crc, crc32.IEEETable, c)
+	}
+	crc = crc32.Update(crc, crc32.IEEETable, tail[:len(tail)-4])
+	binary.BigEndian.PutUint32(trailer[trailerSize-4:], crc)
+
+	if err := l.writeChunks(eb, chunks, areaOff(pos)); err != nil {
 		return fmt.Errorf("wal: append at %d: %w", pos, err)
 	}
 	l.nextSeq = seq + 1
 	l.dirty = true
 	return nil
+}
+
+// writeChunks lands the record's chunks contiguously at the device offset.
+// A plain *os.File takes the vectored path where the platform has one;
+// wrapped devices (fault injectors, test doubles) get a single gathered
+// WriteAt so their tear/fault semantics keep seeing whole records.
+func (l *Log) writeChunks(eb *encBuf, chunks [][]byte, off int64) error {
+	if f, ok := l.dev.(*os.File); ok && haveWritev {
+		return writevAt(f, chunks, off)
+	}
+	n := 0
+	for _, c := range chunks {
+		n += len(c)
+	}
+	if cap(eb.gather) < n {
+		eb.gather = make([]byte, 0, n)
+	}
+	g := eb.gather[:0]
+	for _, c := range chunks {
+		g = append(g, c...)
+	}
+	eb.gather = g
+	_, err := l.dev.WriteAt(g, off)
+	return err
 }
 
 // Force makes all appended records durable (fsync).  It is a no-op when

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// haveWritev: no vectored append on this platform; writeChunks gathers the
+// record into one pooled buffer and issues a single WriteAt.
+const haveWritev = false
+
+// writevAt is unreachable when haveWritev is false; it exists so the
+// platform-independent code compiles.
+func writevAt(f *os.File, chunks [][]byte, off int64) error {
+	panic("wal: writevAt on a platform without pwritev")
+}
