@@ -74,6 +74,12 @@ type concThresholds struct {
 		Workers    int     `json:"workers"`
 		MinSpeedup float64 `json:"min_speedup"`
 	} `json:"scaling"`
+	Recovery struct {
+		Parallelism      int     `json:"parallelism"`
+		MinSpeedup       float64 `json:"min_speedup"`
+		MaxNsPerMB       int64   `json:"max_ns_per_mb"`
+		MaxCkptScanBytes uint64  `json:"max_ckpt_scan_bytes"`
+	} `json:"recovery"`
 }
 
 // concurrent runs the sweep, prints a table, optionally writes jsonPath,

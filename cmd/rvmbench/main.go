@@ -48,7 +48,7 @@ var accounts = []int{
 var patterns = []tpca.Pattern{tpca.Sequential, tpca.Random, tpca.Localized}
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1 | fig8 | fig9 | table2 | future | concurrent | obs | scaling | all")
+	experiment := flag.String("experiment", "all", "table1 | fig8 | fig9 | table2 | future | concurrent | obs | scaling | recovery | all")
 	quick := flag.Bool("quick", false, "fewer simulated transactions per cell")
 	scale := flag.Int("scale", 30, "Table 2 transaction-count divisor")
 	jsonPath := flag.String("json", "", "write concurrent-experiment results to this JSON file")
@@ -78,6 +78,11 @@ func main() {
 		}
 	case "scaling":
 		if err := scaling(*jsonPath, *thresholds); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "recovery":
+		if err := recoveryBench(*jsonPath, *thresholds, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

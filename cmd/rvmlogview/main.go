@@ -55,6 +55,21 @@ func main() {
 	shown := 0
 	stop := fmt.Errorf("done")
 	visit := func(r *wal.Record) error {
+		if r.Type == wal.RecCheckpoint {
+			// Checkpoint records carry no ranges; segment and offset
+			// filters never match them, but an unfiltered or tid=0 view
+			// shows where a restart's backward scan would stop.
+			if *tidFilter > 0 || *segFilter >= 0 {
+				return nil
+			}
+			fmt.Printf("seq %-6d checkpoint  pos %-8d len %-8d stable seq %d (records below are reflected)\n",
+				r.Seq, r.Pos, r.Len, r.CkptSeq)
+			shown++
+			if *max > 0 && shown >= *max {
+				return stop
+			}
+			return nil
+		}
 		if *tidFilter >= 0 && r.TID != uint64(*tidFilter) {
 			return nil
 		}

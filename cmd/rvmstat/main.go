@@ -158,8 +158,9 @@ func render(w io.Writer, sn rvm.Snapshot) {
 	fmt.Fprintf(w, "group    forces saved %d   max batch %d\n", s.ForcesSaved, s.GroupCommitSize)
 	fmt.Fprintf(w, "trunc    epochs %d   incr steps %d   pages written %d   failures %d\n",
 		s.EpochTruncs, s.IncrSteps, s.PagesWritten, s.TruncFailures)
-	fmt.Fprintf(w, "recovery runs %d   bytes %s   io retries %d\n",
-		s.Recoveries, fmtBytes(int64(s.RecoveredBytes)), s.Retries)
+	fmt.Fprintf(w, "recovery runs %d   bytes %s   scanned %s   io retries %d\n",
+		s.Recoveries, fmtBytes(int64(s.RecoveredBytes)), fmtBytes(int64(s.RecoveryScanned)), s.Retries)
+	fmt.Fprintf(w, "ckpt     runs %d   pages %d\n", s.Checkpoints, s.CheckpointPages)
 
 	if sn.Metrics == nil {
 		fmt.Fprintln(w, "latency  (metrics disabled — open with Options.Metrics to collect)")
@@ -177,6 +178,9 @@ func render(w io.Writer, sn rvm.Snapshot) {
 		{"log-force", m.ForceLatencyNs, true},
 		{"spool-flush", m.SpoolFlushNs, true},
 		{"trunc-pause", m.TruncPauseNs, true},
+		{"checkpoint", m.CheckpointNs, true},
+		{"recov-scan", m.RecoveryScanNs, true},
+		{"recov-apply", m.RecoveryApplyNs, true},
 		{"force-batch", m.ForceBatch, false},
 	}
 	for _, row := range rows {

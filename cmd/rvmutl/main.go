@@ -124,8 +124,16 @@ func copyLog(srcPath, dstPath string, size int64) {
 		die(err)
 	}
 	defer dst.Close()
-	records := 0
+	records, ckpts := 0, 0
 	err = src.ScanForward(func(r *wal.Record) error {
+		if r.Type == wal.RecCheckpoint {
+			// A checkpoint's stable LSN names sequence numbers of the
+			// source log; copying it would bound recovery of the copy
+			// with a cutoff that means nothing there.  The copy simply
+			// replays from its head, which is always correct.
+			ckpts++
+			return nil
+		}
 		if _, _, _, err := dst.Append(r.TID, r.Flags, r.Ranges); err != nil {
 			return err
 		}
@@ -145,6 +153,9 @@ func copyLog(srcPath, dstPath string, size int64) {
 	}
 	fmt.Printf("copied %d live record(s) into %s (%d-byte record area)\n",
 		records, dstPath, dst.AreaSize())
+	if ckpts > 0 {
+		fmt.Printf("skipped %d checkpoint record(s) (stable LSNs do not survive renumbering)\n", ckpts)
+	}
 }
 
 // verify checks a store offline: both log scan directions agree, every
@@ -258,10 +269,16 @@ func status(path string) {
 	fmt.Printf("live bytes:   %d (%.1f%%)\n", l.Used(), 100*float64(l.Used())/float64(l.AreaSize()))
 	fmt.Printf("head:         offset %d, seq %d\n", head, headSeq)
 	fmt.Printf("tail:         offset %d, next seq %d\n", tail, nextSeq)
-	var recs, ranges int
+	var recs, ranges, ckpts int
 	var bytes uint64
+	var stable uint64
 	segs := map[uint64]bool{}
 	err = l.ScanForward(func(r *wal.Record) error {
+		if r.Type == wal.RecCheckpoint {
+			ckpts++
+			stable = r.CkptSeq // forward scan: the last one seen is newest
+			return nil
+		}
 		recs++
 		for _, rg := range r.Ranges {
 			ranges++
@@ -275,6 +292,10 @@ func status(path string) {
 	}
 	fmt.Printf("live records: %d transactions, %d ranges, %d data bytes, %d segment(s)\n",
 		recs, ranges, bytes, len(segs))
+	if ckpts > 0 {
+		fmt.Printf("checkpoints:  %d record(s), newest stable seq %d (recovery scans from there)\n",
+			ckpts, stable)
+	}
 }
 
 // segments prints the segment dictionary next to the log.

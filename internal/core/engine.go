@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -122,6 +123,15 @@ type Options struct {
 	// longer, trading commit latency for bigger batches when committers
 	// are slow to arrive.  Only meaningful with GroupCommit.
 	MaxForceDelay time.Duration
+	// RecoveryParallelism is the number of workers recovery uses to decode,
+	// build, and replay redo trees at Open.  Zero selects GOMAXPROCS;
+	// negative forces a serial recovery.
+	RecoveryParallelism int
+	// CheckpointInterval enables background fuzzy checkpoints: every
+	// interval the engine writes queued dirty pages to their segments
+	// without stalling committers and records the stable LSN in the log,
+	// bounding the suffix a future recovery must scan.  Zero disables.
+	CheckpointInterval time.Duration
 	// SpoolLimit bounds the bytes of committed no-flush transactions held
 	// in memory awaiting a flush; crossing it triggers an implicit flush
 	// (the real RVM's log buffers were finite too, and an unbounded spool
@@ -156,10 +166,13 @@ type Statistics struct {
 	PagesWritten    uint64 `json:"pages_written"`     // pages written to segments by truncation/unmap
 	Recoveries      uint64 `json:"recoveries"`        // recoveries performed at Open (0 or 1)
 	RecoveredBytes  uint64 `json:"recovered_bytes"`   // bytes applied to segments during recovery
+	RecoveryScanned uint64 `json:"recovery_scanned"`  // log bytes visited by recovery's analysis pass
 	Retries         uint64 `json:"retries"`           // transient storage faults retried on log/segment paths
 	TruncFailures   uint64 `json:"trunc_failures"`    // background truncations that failed
 	ForcesSaved     uint64 `json:"forces_saved"`      // flush commits acknowledged by another committer's force
 	GroupCommitSize uint64 `json:"group_commit_size"` // largest number of flush commits covered by one force
+	Checkpoints     uint64 `json:"checkpoints"`       // fuzzy checkpoints completed
+	CheckpointPages uint64 `json:"checkpoint_pages"`  // pages written to segments by checkpoints
 }
 
 // String renders the counters as a compact multi-line summary, so tools
@@ -169,13 +182,15 @@ func (s Statistics) String() string {
 		"tx: begins=%d flush=%d noflush=%d aborts=%d empty=%d setranges=%d\n"+
 			"log: bytes=%d forces=%d flushes=%d intra-saved=%d inter-saved=%d\n"+
 			"truncation: epochs=%d incr-steps=%d pages=%d failures=%d\n"+
-			"recovery: runs=%d bytes=%d\n"+
+			"recovery: runs=%d bytes=%d scanned=%d\n"+
+			"checkpoint: runs=%d pages=%d\n"+
 			"faults: retries=%d\n"+
 			"group-commit: saved=%d max-batch=%d",
 		s.Begins, s.FlushCommits, s.NoFlushCommits, s.Aborts, s.EmptyCommits, s.SetRanges,
 		s.LogBytes, s.LogForces, s.Flushes, s.IntraSavedBytes, s.InterSavedBytes,
 		s.EpochTruncs, s.IncrSteps, s.PagesWritten, s.TruncFailures,
-		s.Recoveries, s.RecoveredBytes,
+		s.Recoveries, s.RecoveredBytes, s.RecoveryScanned,
+		s.Checkpoints, s.CheckpointPages,
 		s.Retries,
 		s.ForcesSaved, s.GroupCommitSize)
 }
@@ -198,8 +213,11 @@ type counters struct {
 	pagesWritten    atomic.Uint64
 	recoveries      atomic.Uint64
 	recoveredBytes  atomic.Uint64
+	recoveryScanned atomic.Uint64
 	retries         atomic.Uint64
 	truncFailures   atomic.Uint64
+	checkpoints     atomic.Uint64
+	checkpointPages atomic.Uint64
 }
 
 // pipeline is the engine's log-pipeline stage: the one serialization
@@ -248,6 +266,15 @@ type Engine struct {
 	// the commit path.
 	truncThreshold atomic.Uint64 // math.Float64bits
 	incremental    atomic.Bool
+
+	// Background fuzzy-checkpoint loop (nil channels when disabled).
+	// lastCkptStable/lastCkptSeq are only touched under the truncation
+	// claim.
+	ckptStop       chan struct{}
+	ckptDone       chan struct{}
+	ckptOnce       sync.Once
+	lastCkptStable uint64 // stable seq the newest checkpoint record carries
+	lastCkptSeq    uint64 // seq of that checkpoint record itself
 
 	// Observability sinks, copied from Options at Open.  Both are
 	// nil-safe.  Emission never runs under a mutex: call sites capture
@@ -334,13 +361,24 @@ func Open(opts Options) (*Engine, error) {
 		l.SetNoSync(true)
 	}
 	if l.Used() > 0 {
-		st, err := recovery.Recover(l, e.lookupSegment, e.retryIO)
+		par := opts.RecoveryParallelism
+		if par == 0 {
+			par = runtime.GOMAXPROCS(0)
+		}
+		st, err := recovery.RecoverParallel(l, e.lookupSegment, e.retryIO,
+			recovery.Config{Parallelism: par})
 		if err != nil {
 			e.closeFiles()
-			return nil, fmt.Errorf("rvm: recovery: %w", err)
+			// The partial stats say how far redo got before the failure.
+			return nil, fmt.Errorf("rvm: recovery: applied %d byte(s) in %d write(s), %d segment(s) synced: %w",
+				st.TreeBytes, st.WritesMerged, st.Segments, err)
 		}
 		e.stats.recoveries.Store(1)
 		e.stats.recoveredBytes.Store(st.TreeBytes)
+		e.stats.recoveryScanned.Store(st.ScannedBytes)
+	}
+	if opts.CheckpointInterval > 0 {
+		e.startCheckpointer(opts.CheckpointInterval)
 	}
 	return e, nil
 }
@@ -704,8 +742,11 @@ func (e *Engine) Stats() Statistics {
 		PagesWritten:    c.pagesWritten.Load(),
 		Recoveries:      c.recoveries.Load(),
 		RecoveredBytes:  c.recoveredBytes.Load(),
+		RecoveryScanned: c.recoveryScanned.Load(),
 		Retries:         c.retries.Load(),
 		TruncFailures:   c.truncFailures.Load(),
+		Checkpoints:     c.checkpoints.Load(),
+		CheckpointPages: c.checkpointPages.Load(),
 	}
 	st.Begins = c.begins.Load()
 	ls := e.log.Stats()
@@ -784,6 +825,11 @@ func (e *Engine) Metrics() *obs.Metrics { return e.met }
 // the flush and truncation (fail-stop: no further storage writes) and
 // reports the poisoned state.
 func (e *Engine) Close() error {
+	// Stop the background checkpointer first: it claims the truncation
+	// slot, and no claim is held here yet, so waiting for it cannot
+	// deadlock.  It stays stopped even if this Close fails (active
+	// transactions); only explicit Checkpoint calls run after that.
+	e.stopCheckpointer()
 	e.mu.Lock()
 	e.waitTruncationLocked()
 	if e.closed.Load() {

@@ -308,17 +308,40 @@ func (e *Engine) incrementalSteps(targetUsed int64) (bool, error) {
 			p.mu.Unlock()
 			continue
 		}
-		if r.pvec.Refs(int(d.ID.Page)) > 0 {
-			// The first page in the queue has uncommitted changes and
-			// cannot be written without violating no-undo/redo; the head
-			// cannot move past it (paper: truncation is blocked until the
-			// count drops to zero).
+		blocked := r.pvec.Refs(int(d.ID.Page)) > 0
+		spooled := false
+		if !blocked {
+			// A no-flush transaction committed after the caller's spool
+			// flush may have re-dirtied this page: its bytes are committed
+			// but not yet logged, so writing the page (and moving the head
+			// past its log reference) would break atomicity on a crash.
+			p.mu.Lock()
+			spooled = e.spoolRefsPagePipeLocked(d.ID)
+			p.mu.Unlock()
+		}
+		if blocked || spooled {
+			// The first page in the queue has uncommitted or unlogged
+			// changes and cannot be written without violating no-undo/redo;
+			// the head cannot move past it (paper: truncation is blocked
+			// until the count drops to zero).
 			r.mu.Unlock()
-			if time.Now().Before(blockDeadline) {
-				time.Sleep(200 * time.Microsecond)
-				continue
+			if !time.Now().Before(blockDeadline) {
+				break
 			}
-			break
+			if spooled {
+				// A spooled reference never drains on its own; turn the
+				// spooled bytes into log records (legal: the caller holds
+				// the truncation claim and no locks are held here) so the
+				// page becomes writable and stepping continues.
+				if err := e.flushSpool(true); err != nil {
+					return false, err
+				}
+			}
+			// Pace the retry in both cases: a committer re-spooling the
+			// page on every visit would otherwise turn this loop into a
+			// flush spin that starves the very commits it is waiting on.
+			time.Sleep(200 * time.Microsecond)
+			continue
 		}
 		off := d.ID.Page * ps
 		err := e.retryIO(func() error {
@@ -399,17 +422,18 @@ func (e *Engine) TruncateIncremental(targetFraction float64) error {
 	pages := e.stats.incrSteps.Load() - stepsBefore
 	e.met.ObserveTruncPause(time.Since(pause).Nanoseconds())
 	e.tr.SpanSince(obs.EvTruncPause, pause, 0, pages, 0)
-	e.tr.SpanSince(obs.EvTruncIncr, t0, 0, pages, 0)
 	e.releaseTruncation()
-	if err != nil {
-		return err
-	}
-	if !done {
+	if err == nil && !done {
 		// Blocked with the log still above target: revert to epoch
 		// truncation (paper §5.1.2).
-		return e.epochTruncate()
+		err = e.epochTruncate()
 	}
-	return nil
+	// The operation span closes only now so it covers the epoch
+	// fallback too: a fallback's apply phase is the longest part of the
+	// call, and ending the span before it would leave the window where
+	// truncation overlaps the most forward commits uncovered.
+	e.tr.SpanSince(obs.EvTruncIncr, t0, 0, pages, 0)
+	return err
 }
 
 // shouldAutoTruncate reports whether a commit should kick off a background

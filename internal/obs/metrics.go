@@ -30,6 +30,9 @@ type Metrics struct {
 	ForceBatch    Hist // records made durable per completed force (group-commit batch size)
 	TruncPause    Hist // time truncation held the engine lock against forward processing
 	SpoolFlush    Hist // spool drain + force latency (explicit or implicit Flush)
+	Checkpoint    Hist // fuzzy checkpoint duration (page write-out + record force)
+	RecoveryScan  Hist // recovery analysis + tree build duration
+	RecoveryApply Hist // recovery segment replay duration
 
 	// Gauges (live levels, updated by the engine and WAL).
 	LogLiveBytes Gauge // live bytes in the log record area
@@ -78,6 +81,27 @@ func (m *Metrics) ObserveSpoolFlush(ns int64) {
 	}
 }
 
+// ObserveCheckpoint records one fuzzy-checkpoint duration.
+func (m *Metrics) ObserveCheckpoint(ns int64) {
+	if m != nil {
+		m.Checkpoint.Observe(ns)
+	}
+}
+
+// ObserveRecoveryScan records one recovery analysis/build duration.
+func (m *Metrics) ObserveRecoveryScan(ns int64) {
+	if m != nil {
+		m.RecoveryScan.Observe(ns)
+	}
+}
+
+// ObserveRecoveryApply records one recovery replay duration.
+func (m *Metrics) ObserveRecoveryApply(ns int64) {
+	if m != nil {
+		m.RecoveryApply.Observe(ns)
+	}
+}
+
 // SetLogLiveBytes updates the live-log gauge.
 func (m *Metrics) SetLogLiveBytes(v int64) {
 	if m != nil {
@@ -114,6 +138,9 @@ type MetricsSnapshot struct {
 	ForceBatch      HistStat `json:"force_batch"`
 	TruncPauseNs    HistStat `json:"trunc_pause_ns"`
 	SpoolFlushNs    HistStat `json:"spool_flush_ns"`
+	CheckpointNs    HistStat `json:"checkpoint_ns"`
+	RecoveryScanNs  HistStat `json:"recovery_scan_ns"`
+	RecoveryApplyNs HistStat `json:"recovery_apply_ns"`
 
 	LogLiveBytes int64 `json:"log_live_bytes"`
 	SpoolBytes   int64 `json:"spool_bytes"`
@@ -134,6 +161,9 @@ func (m *Metrics) Snapshot() *MetricsSnapshot {
 		ForceBatch:      m.ForceBatch.Snapshot(),
 		TruncPauseNs:    m.TruncPause.Snapshot(),
 		SpoolFlushNs:    m.SpoolFlush.Snapshot(),
+		CheckpointNs:    m.Checkpoint.Snapshot(),
+		RecoveryScanNs:  m.RecoveryScan.Snapshot(),
+		RecoveryApplyNs: m.RecoveryApply.Snapshot(),
 		LogLiveBytes:    m.LogLiveBytes.Load(),
 		SpoolBytes:      m.SpoolBytes.Load(),
 		ActiveTx:        m.ActiveTx.Load(),

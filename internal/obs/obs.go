@@ -53,6 +53,7 @@ const (
 	EvRetry                   // instant: transient fault retried
 	EvFault                   // instant: fault injected (A = op class)
 	EvPoisoned                // instant: engine fail-stopped
+	EvCheckpoint              // span: fuzzy checkpoint (A = pages written, B = stable seq)
 )
 
 var eventNames = [...]string{
@@ -72,6 +73,7 @@ var eventNames = [...]string{
 	EvRetry:         "retry",
 	EvFault:         "fault-injected",
 	EvPoisoned:      "poisoned",
+	EvCheckpoint:    "checkpoint",
 }
 
 // String returns the event type's stable name (used in JSON exports).

@@ -1,14 +1,26 @@
 // Package recovery implements RVM crash recovery and the epoch-truncation
 // reuse of it (paper §5.1.2).
 //
-// Crash recovery reads the log from tail to head, constructing an in-memory
-// tree of the latest committed changes for each data segment encountered in
-// the log.  The trees are then traversed, applying their modifications to
-// the corresponding external data segments.  Finally the log's head and
+// Crash recovery reads the log from tail to head, constructing in-memory
+// trees of the latest committed changes for the data segments encountered
+// in the log.  The trees are then traversed, applying their modifications
+// to the corresponding external data segments.  Finally the log's head and
 // tail are updated to reflect an empty log.  Idempotency is achieved by
 // delaying that final step until all other recovery actions — including
 // syncing the segments — are complete: a crash during recovery simply
 // replays it.
+//
+// Beyond the paper's single-threaded scan, recovery here is split into an
+// analysis pass and an apply pass so restart time stays bounded on large
+// logs.  Analysis walks the reverse displacements tail-to-head collecting
+// record references, stopping at the newest checkpoint record's stable
+// sequence number (every older record is already reflected in its
+// segment).  The apply pass then decodes records and replays interval
+// trees across a worker pool.  Redo order only matters within a page: the
+// trees are sharded by 64KB-aligned segment stripes, each stripe's bytes
+// are inserted newest-first into exactly one shard and applied by exactly
+// one worker, so intra-page ordering is preserved while disjoint stripes
+// replay concurrently.
 //
 // Epoch truncation applies the same procedure to an initial portion of the
 // log while forward processing continues in the rest: records are collected
@@ -18,6 +30,9 @@ package recovery
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/rvm-go/rvm/internal/itree"
 	"github.com/rvm-go/rvm/internal/obs"
@@ -26,6 +41,8 @@ import (
 )
 
 // SegmentLookup resolves a segment ID found in the log to an open segment.
+// It is not required to be safe for concurrent use: recovery resolves
+// every segment serially before fanning out apply workers.
 type SegmentLookup func(segID uint64) (*segment.Segment, error)
 
 // Retry wraps each storage operation of a recovery or truncation pass
@@ -42,14 +59,25 @@ func retried(retry Retry, op func() error) error {
 	return retry(op)
 }
 
-// Stats reports what a recovery or truncation pass did.
+// Config tunes a recovery pass.
+type Config struct {
+	// Parallelism is the number of workers decoding, building, and
+	// applying redo trees.  Values below 1 mean serial.
+	Parallelism int
+}
+
+// Stats reports what a recovery or truncation pass did.  On error the
+// counters hold the partial progress made before the failure, so a
+// poisoning report can say how far redo got.
 type Stats struct {
-	Records      int    // committed transaction records processed
-	Ranges       int    // modification ranges processed
-	TreeBytes    uint64 // distinct bytes applied to segments
-	RecordBytes  uint64 // bytes carried by the processed records
-	Segments     int    // distinct segments written
-	WritesMerged int    // maximal intervals written (tree writes)
+	Records       int    // committed transaction records processed
+	Ranges        int    // modification ranges processed
+	TreeBytes     uint64 // distinct bytes applied to segments
+	RecordBytes   uint64 // bytes carried by the processed records
+	Segments      int    // distinct segments written
+	WritesMerged  int    // maximal intervals written (tree writes)
+	ScannedBytes  uint64 // log bytes visited by the analysis pass
+	CheckpointSeq uint64 // stable seq of the bounding checkpoint (0: none)
 }
 
 // treeSet accumulates ranges into per-segment trees under a policy.
@@ -65,7 +93,8 @@ func (ts treeSet) add(r wal.Range, p itree.Policy) {
 }
 
 // apply writes every tree interval to its segment and syncs the touched
-// segments.
+// segments.  Stats accumulate per interval written, not per tree, so a
+// failure mid-segment still reports the work done up to it.
 func (ts treeSet) apply(lookup SegmentLookup, retry Retry, st *Stats) error {
 	for segID, tr := range ts {
 		seg, err := lookup(segID)
@@ -73,10 +102,14 @@ func (ts treeSet) apply(lookup SegmentLookup, retry Retry, st *Stats) error {
 			return fmt.Errorf("recovery: segment %d referenced by log: %w", segID, err)
 		}
 		err = tr.Walk(func(iv itree.Interval) error {
-			st.WritesMerged++
-			return retried(retry, func() error {
+			if err := retried(retry, func() error {
 				return seg.WriteAt(iv.Data, int64(iv.Off))
-			})
+			}); err != nil {
+				return err
+			}
+			st.WritesMerged++
+			st.TreeBytes += uint64(len(iv.Data))
+			return nil
 		})
 		if err != nil {
 			return err
@@ -85,39 +118,218 @@ func (ts treeSet) apply(lookup SegmentLookup, retry Retry, st *Stats) error {
 			return err
 		}
 		st.Segments++
-		st.TreeBytes += tr.Bytes()
 	}
 	return nil
 }
 
-// Recover replays the entire live log onto the external data segments and
-// resets the log to empty.  It must run before any region is mapped.
+// stripeShift is the log2 width of the shard stripes: every 64KB-aligned
+// stripe of a segment belongs to exactly one shard, so any page's bytes
+// are built into and applied from exactly one tree by one worker.
+const stripeShift = 16
+
+// batchBytes bounds the encoded log bytes decoded and held in memory at
+// once during the build pass; trees copy the bytes they keep, so decoded
+// records are dropped batch by batch.
+const batchBytes = 64 << 20
+
+// shardOf maps a (segment, offset) stripe to a shard index.
+func shardOf(seg, off uint64, par int) int {
+	h := seg*0x9e3779b97f4a7c15 + off>>stripeShift
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(par))
+}
+
+// runWorkers runs fn(w) for w in [0, n) concurrently and returns the
+// first error.
+func runWorkers(n int, fn func(w int) error) error {
+	if n == 1 {
+		return fn(0)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = fn(w)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recover replays the live log onto the external data segments serially
+// and resets the log to empty.  It must run before any region is mapped.
 // retry (optional) wraps each storage operation.
 func Recover(l *wal.Log, lookup SegmentLookup, retry Retry) (Stats, error) {
+	return RecoverParallel(l, lookup, retry, Config{})
+}
+
+// RecoverParallel is Recover with a worker pool: analysis collects record
+// references (bounded by the newest checkpoint), then cfg.Parallelism
+// workers decode records, build stripe-sharded redo trees, and replay them
+// concurrently.  On error the returned Stats hold partial progress.
+func RecoverParallel(l *wal.Log, lookup SegmentLookup, retry Retry, cfg Config) (Stats, error) {
+	par := cfg.Parallelism
+	if par < 1 {
+		par = 1
+	}
 	var st Stats
 	tr := l.Tracer()
-	trees := make(treeSet)
-	// Tail-to-head: newest record first, so earlier-seen bytes win.
+	met := l.Metrics()
+
 	scanStart := tr.Now()
-	err := l.ScanBackward(func(rec *wal.Record) error {
-		st.Records++
-		for _, r := range rec.Ranges {
-			st.Ranges++
-			st.RecordBytes += uint64(len(r.Data))
-			trees.add(r, itree.KeepExisting)
-		}
-		return nil
-	})
+	t0 := time.Now()
+	refs, stable, scanned, err := l.AnalyzeBackward()
 	if err != nil {
 		return st, err
 	}
-	tr.Span(obs.EvRecovScan, scanStart, 0, uint64(st.Records), 0)
+	st.ScannedBytes = uint64(scanned)
+	st.CheckpointSeq = stable
+	st.Records = len(refs)
+
+	shards := make([]treeSet, par)
+	for i := range shards {
+		shards[i] = make(treeSet)
+	}
+
+	// Decode and build in batches: refs are newest-first, and within a
+	// shard inserts stay newest-first with KeepExisting, so the earliest
+	// insert of a byte — the newest value — wins across batches too.
+	for lo := 0; lo < len(refs); {
+		hi := lo
+		var enc int64
+		for hi < len(refs) && (hi == lo || enc+refs[hi].Len <= batchBytes) {
+			enc += refs[hi].Len
+			hi++
+		}
+		recs := make([]*wal.Record, hi-lo)
+		err := runWorkers(par, func(w int) error {
+			for i := lo + w; i < hi; i += par {
+				rec, err := l.ReadRecord(refs[i])
+				if err != nil {
+					return err
+				}
+				recs[i-lo] = rec
+			}
+			return nil
+		})
+		if err != nil {
+			return st, err
+		}
+		for _, rec := range recs {
+			st.Ranges += len(rec.Ranges)
+			for _, r := range rec.Ranges {
+				st.RecordBytes += uint64(len(r.Data))
+			}
+		}
+		err = runWorkers(par, func(w int) error {
+			for _, rec := range recs {
+				for _, r := range rec.Ranges {
+					off, data := r.Off, r.Data
+					for len(data) > 0 {
+						n := uint64(len(data))
+						if end := (off>>stripeShift + 1) << stripeShift; off+n > end {
+							n = end - off
+						}
+						if par == 1 || shardOf(r.Seg, off, par) == w {
+							shards[w].add(wal.Range{Seg: r.Seg, Off: off, Data: data[:n]}, itree.KeepExisting)
+						}
+						off += n
+						data = data[n:]
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return st, err
+		}
+		lo = hi
+	}
+	scanDur := time.Since(t0).Nanoseconds()
+	tr.Span(obs.EvRecovScan, scanStart, 0, uint64(st.Records), stable)
+	met.ObserveRecoveryScan(scanDur)
+
 	applyStart := tr.Now()
-	if err := trees.apply(lookup, retry, &st); err != nil {
+	ta := time.Now()
+	// Resolve every referenced segment serially; lookup may mutate engine
+	// state and is not safe for concurrent calls.
+	segs := make(map[uint64]*segment.Segment)
+	for _, ts := range shards {
+		for id := range ts {
+			if _, ok := segs[id]; ok {
+				continue
+			}
+			seg, err := lookup(id)
+			if err != nil {
+				return st, fmt.Errorf("recovery: segment %d referenced by log: %w", id, err)
+			}
+			segs[id] = seg
+		}
+	}
+	type applyTask struct {
+		seg  *segment.Segment
+		tree *itree.Tree
+	}
+	var tasks []applyTask
+	for _, ts := range shards {
+		for id, t := range ts {
+			tasks = append(tasks, applyTask{segs[id], t})
+		}
+	}
+	var nextTask atomic.Int64
+	var treeBytes, writesMerged atomic.Uint64
+	err = runWorkers(par, func(int) error {
+		for {
+			i := int(nextTask.Add(1)) - 1
+			if i >= len(tasks) {
+				return nil
+			}
+			task := tasks[i]
+			err := task.tree.Walk(func(iv itree.Interval) error {
+				if err := retried(retry, func() error {
+					return task.seg.WriteAt(iv.Data, int64(iv.Off))
+				}); err != nil {
+					return err
+				}
+				writesMerged.Add(1)
+				treeBytes.Add(uint64(len(iv.Data)))
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+	})
+	// Fold partial progress in before checking the error, so poisoning
+	// reports how far redo got.
+	st.WritesMerged = int(writesMerged.Load())
+	st.TreeBytes = treeBytes.Load()
+	if err != nil {
 		return st, err
 	}
-	tr.Span(obs.EvRecovApply, applyStart, 0, st.TreeBytes, 0)
+	for _, seg := range segs {
+		if err := retried(retry, seg.Sync); err != nil {
+			return st, err
+		}
+		st.Segments++
+	}
+	applyDur := time.Since(ta).Nanoseconds()
+	tr.Span(obs.EvRecovApply, applyStart, 0, st.TreeBytes, uint64(par))
+	met.ObserveRecoveryApply(applyDur)
+
 	// All recovery actions are complete; only now mark the log empty.
+	// Records older than the checkpoint's stable seq were skipped above
+	// precisely because they are already in the segments, so the whole
+	// live region — prefix included — is safe to discard.
 	pos, seq := l.Tail()
 	if err := retried(retry, func() error { return l.SetHead(pos, seq) }); err != nil {
 		return st, err
@@ -139,6 +351,9 @@ func CollectEpoch(l *wal.Log) (*Epoch, error) {
 			// A record appended between the Tail snapshot and the scan:
 			// it belongs to the current epoch, not this truncation.
 			return stop
+		}
+		if rec.Type != wal.RecTx {
+			return nil // checkpoint records carry no segment bytes
 		}
 		e.stats.Records++
 		for _, r := range rec.Ranges {

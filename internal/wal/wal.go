@@ -64,8 +64,16 @@ const (
 
 // Record types.
 const (
-	recTx   = 1 // a committed transaction's new-value records
-	recWrap = 2 // padding to the end of the record area
+	recTx   uint8 = 1 // a committed transaction's new-value records
+	recWrap uint8 = 2 // padding to the end of the record area
+	recCkpt uint8 = 3 // fuzzy checkpoint: stable LSN, no ranges
+)
+
+// Exported record types, as reported in Record.Type.
+const (
+	RecTx         = recTx
+	RecWrap       = recWrap
+	RecCheckpoint = recCkpt
 )
 
 var (
@@ -96,14 +104,18 @@ type Range struct {
 	Data []byte
 }
 
-// Record is a decoded log record.
+// Record is a decoded log record.  Checkpoint records carry the stable
+// sequence number in CkptSeq and have nil Ranges; scans deliver them so
+// tools can display them, but only transaction records modify segments.
 type Record struct {
-	Pos    int64 // record-area offset of the record's first byte
-	Len    int64 // encoded size on disk, header through trailer
-	Seq    uint64
-	TID    uint64
-	Flags  uint8
-	Ranges []Range
+	Pos     int64 // record-area offset of the record's first byte
+	Len     int64 // encoded size on disk, header through trailer
+	Seq     uint64
+	TID     uint64
+	Type    uint8
+	Flags   uint8
+	CkptSeq uint64 // checkpoint records: the stable sequence number
+	Ranges  []Range
 }
 
 // Stats counts log activity since Open.
@@ -112,6 +124,7 @@ type Stats struct {
 	BytesAppended uint64 // bytes of records appended (incl. wrap/padding)
 	Forces        uint64 // fsyncs issued
 	Wraps         uint64 // wrap records written
+	Checkpoints   uint64 // checkpoint records appended
 }
 
 // Log is an open write-ahead log.  All methods are safe for concurrent use.
@@ -158,6 +171,14 @@ func (l *Log) Tracer() *obs.Tracer {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.tr
+}
+
+// Metrics returns the registry attached via SetObs (nil when metrics are
+// off).  Recovery observes its phase durations through it.
+func (l *Log) Metrics() *obs.Metrics {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.met
 }
 
 // align8 rounds n up to a multiple of 8.
@@ -308,22 +329,30 @@ func areaOff(pos int64) int64 { return 2*int64(mapping.PageSize) + pos }
 // returns (nil, nil) when the bytes there are not a valid next record (torn
 // write or stale data), which ends a forward scan.
 func (l *Log) readRecordAt(pos int64, wantSeq uint64) (*Record, int64, error) {
-	if l.areaSize-pos < minRecordSize {
+	return readRecord(l.dev, l.areaSize, pos, wantSeq)
+}
+
+// readRecord is the device-level record decoder.  It is a free function so
+// recovery workers can decode records concurrently through ReadRecord
+// without serializing on the log mutex: it touches only the device (whose
+// ReadAt is positional and concurrency-safe) and immutable geometry.
+func readRecord(dev Device, areaSize, pos int64, wantSeq uint64) (*Record, int64, error) {
+	if areaSize-pos < minRecordSize {
 		return nil, 0, nil // cannot even hold a header+trailer here
 	}
 	hdr := make([]byte, headerSize)
-	if _, err := l.dev.ReadAt(hdr, areaOff(pos)); err != nil {
+	if _, err := dev.ReadAt(hdr, areaOff(pos)); err != nil {
 		return nil, 0, fmt.Errorf("wal: read header at %d: %w", pos, err)
 	}
 	if binary.BigEndian.Uint32(hdr[0:]) != recMagic {
 		return nil, 0, nil
 	}
 	totalLen := int64(binary.BigEndian.Uint32(hdr[4:]))
-	if totalLen < minRecordSize || totalLen%8 != 0 || pos+totalLen > l.areaSize {
+	if totalLen < minRecordSize || totalLen%8 != 0 || pos+totalLen > areaSize {
 		return nil, 0, nil
 	}
 	buf := make([]byte, totalLen)
-	if _, err := l.dev.ReadAt(buf, areaOff(pos)); err != nil {
+	if _, err := dev.ReadAt(buf, areaOff(pos)); err != nil {
 		return nil, 0, fmt.Errorf("wal: read record at %d: %w", pos, err)
 	}
 	if crc32.ChecksumIEEE(buf[:totalLen-4]) != binary.BigEndian.Uint32(buf[totalLen-4:]) {
@@ -339,22 +368,32 @@ func (l *Log) readRecordAt(pos int64, wantSeq uint64) (*Record, int64, error) {
 	if int64(binary.BigEndian.Uint32(buf[totalLen-8:])) != totalLen {
 		return nil, 0, nil
 	}
+	typ := buf[8]
 	rec := &Record{
 		Pos:   pos,
 		Len:   totalLen,
 		Seq:   seq,
 		TID:   binary.BigEndian.Uint64(buf[24:]),
+		Type:  typ,
 		Flags: buf[9],
 	}
-	typ := buf[8]
 	nranges := binary.BigEndian.Uint32(hdr[12:])
-	if typ == recWrap {
+	switch typ {
+	case recWrap:
 		if nranges != 0 {
 			return nil, 0, nil
 		}
-		return rec, totalLen, nil // Ranges nil marks a wrap record
-	}
-	if typ != recTx {
+		return rec, totalLen, nil // Ranges stays nil
+	case recCkpt:
+		// The stable sequence number rides in the TID header slot.
+		if nranges != 0 {
+			return nil, 0, nil
+		}
+		rec.CkptSeq = rec.TID
+		rec.TID = 0
+		return rec, totalLen, nil
+	case recTx:
+	default:
 		return nil, 0, nil
 	}
 	p := int64(headerSize)
@@ -413,7 +452,7 @@ func (l *Log) tailPos() int64 { return (l.head + l.used) % l.areaSize }
 // bytes consumed (including any wrap record).
 func (l *Log) Append(tid uint64, flags uint8, ranges []Range) (pos int64, seq uint64, nbytes int64, err error) {
 	l.mu.Lock()
-	pos, seq, nbytes, err = l.appendLocked(tid, flags, ranges)
+	pos, seq, nbytes, err = l.appendLocked(recTx, tid, flags, ranges)
 	used := l.used
 	tr, met := l.tr, l.met
 	l.mu.Unlock()
@@ -424,7 +463,26 @@ func (l *Log) Append(tid uint64, flags uint8, ranges []Range) (pos int64, seq ui
 	return pos, seq, nbytes, err
 }
 
-func (l *Log) appendLocked(tid uint64, flags uint8, ranges []Range) (pos int64, seq uint64, nbytes int64, err error) {
+// AppendCheckpoint writes a checkpoint record carrying the stable sequence
+// number: every record with Seq < stable is fully reflected in its segment,
+// so a later recovery may end its backward scan once it passes stable.  The
+// record is not forced; callers force it like any commit.  The pages it
+// covers must be durable in their segments before this is called.
+func (l *Log) AppendCheckpoint(stable uint64) (pos int64, seq uint64, err error) {
+	l.mu.Lock()
+	var nbytes int64
+	pos, seq, nbytes, err = l.appendLocked(recCkpt, stable, 0, nil)
+	used := l.used
+	tr, met := l.tr, l.met
+	l.mu.Unlock()
+	if err == nil {
+		met.SetLogLiveBytes(used)
+		tr.Record(obs.EvLogAppend, 0, uint64(nbytes), seq)
+	}
+	return pos, seq, err
+}
+
+func (l *Log) appendLocked(typ uint8, tid uint64, flags uint8, ranges []Range) (pos int64, seq uint64, nbytes int64, err error) {
 	if l.dev == nil {
 		return 0, 0, 0, ErrLogClosed
 	}
@@ -459,13 +517,17 @@ func (l *Log) appendLocked(tid uint64, flags uint8, ranges []Range) (pos int64, 
 		l.stats.BytesAppended += uint64(gap)
 		at = 0
 	}
-	if err := l.writeRecord(at, recTx, tid, flags, ranges, need); err != nil {
+	if err := l.writeRecord(at, typ, tid, flags, ranges, need); err != nil {
 		return 0, 0, 0, err
 	}
 	seq = l.nextSeq - 1
 	l.used += need
 	l.dirty = true
-	l.stats.Appends++
+	if typ == recCkpt {
+		l.stats.Checkpoints++
+	} else {
+		l.stats.Appends++
+	}
 	l.stats.BytesAppended += uint64(need)
 	return at, seq, total, nil
 }
@@ -697,7 +759,8 @@ func (l *Log) SetNoSync(v bool) {
 	l.noSync = v
 }
 
-// ScanForward visits live records oldest-first.  Wrap records are skipped.
+// ScanForward visits live records oldest-first.  Wrap records are
+// skipped; checkpoint records are delivered (with nil Ranges).
 // fn must not retain the record's range data beyond the call.
 func (l *Log) ScanForward(fn func(*Record) error) error {
 	l.mu.Lock()
@@ -719,7 +782,7 @@ func (l *Log) scanForwardLocked(fn func(*Record) error) error {
 		if rec == nil {
 			return fmt.Errorf("wal: live region corrupt at %d (seq %d)", pos, seq)
 		}
-		if rec.Ranges != nil { // skip wrap records
+		if rec.Type != recWrap {
 			if err := fn(rec); err != nil {
 				return err
 			}
@@ -736,7 +799,8 @@ func (l *Log) scanForwardLocked(fn func(*Record) error) error {
 
 // ScanBackward visits live records newest-first, walking the reverse
 // displacements from the tail — the direction crash recovery reads the log
-// (paper §5.1.2).  Wrap records are skipped.
+// (paper §5.1.2).  Wrap records are skipped; checkpoint records are
+// delivered (with nil Ranges).
 func (l *Log) ScanBackward(fn func(*Record) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -767,7 +831,7 @@ func (l *Log) ScanBackward(fn func(*Record) error) error {
 		if rec == nil || n != totalLen {
 			return fmt.Errorf("wal: live region corrupt at %d (backward, seq %d)", start, seq)
 		}
-		if rec.Ranges != nil {
+		if rec.Type != recWrap {
 			if err := fn(rec); err != nil {
 				return err
 			}
@@ -776,6 +840,95 @@ func (l *Log) ScanBackward(fn func(*Record) error) error {
 		pos = start
 	}
 	return nil
+}
+
+// RecordRef locates one live record for later decoding by ReadRecord.
+type RecordRef struct {
+	Pos int64  // area offset of the record's first byte
+	Len int64  // encoded size on disk
+	Seq uint64 // sequence number
+}
+
+// AnalyzeBackward is recovery's analysis pass: it walks the live region
+// tail-to-head reading only each record's trailer and header, and collects
+// references (newest first) to the transaction records redo must replay.
+// The walk ends early at the newest checkpoint record's stable sequence
+// number: every record with Seq < stable is already reflected in its
+// segment.  It returns the refs, that stable sequence number (0 when no
+// checkpoint bounds the scan), and the log bytes visited.  The refs are
+// decoded later — possibly concurrently — with ReadRecord; full CRC
+// validation happens there, while this pass relies on the structural
+// checks findTail already ran over the live region at Open.
+func (l *Log) AnalyzeBackward() (refs []RecordRef, stable uint64, scanned int64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dev == nil {
+		return nil, 0, 0, ErrLogClosed
+	}
+	pos := l.tailPos()
+	seq := l.nextSeq
+	var seen int64
+	trailer := make([]byte, trailerSize)
+	hdr := make([]byte, headerSize)
+	for seen < l.used {
+		if stable != 0 && seq-1 < stable {
+			break // everything older is reflected in the segments
+		}
+		if pos == 0 {
+			pos = l.areaSize
+		}
+		if _, err := l.dev.ReadAt(trailer, areaOff(pos-trailerSize)); err != nil {
+			return nil, 0, 0, fmt.Errorf("wal: read trailer before %d: %w", pos, err)
+		}
+		totalLen := int64(binary.BigEndian.Uint32(trailer[8:]))
+		if totalLen < minRecordSize || totalLen > pos {
+			return nil, 0, 0, fmt.Errorf("wal: bad reverse displacement %d at %d", totalLen, pos)
+		}
+		start := pos - totalLen
+		seq--
+		if _, err := l.dev.ReadAt(hdr, areaOff(start)); err != nil {
+			return nil, 0, 0, fmt.Errorf("wal: read header at %d: %w", start, err)
+		}
+		if binary.BigEndian.Uint32(hdr[0:]) != recMagic ||
+			int64(binary.BigEndian.Uint32(hdr[4:])) != totalLen ||
+			binary.BigEndian.Uint64(hdr[16:]) != seq {
+			return nil, 0, 0, fmt.Errorf("wal: live region corrupt at %d (analysis, seq %d)", start, seq)
+		}
+		seen += totalLen
+		scanned += totalLen
+		pos = start
+		switch hdr[8] {
+		case recTx:
+			refs = append(refs, RecordRef{Pos: start, Len: totalLen, Seq: seq})
+		case recCkpt:
+			if stable == 0 {
+				// Newest checkpoint wins; older ones carry smaller
+				// stable values and are subsumed.
+				stable = binary.BigEndian.Uint64(hdr[24:])
+			}
+		}
+	}
+	return refs, stable, scanned, nil
+}
+
+// ReadRecord decodes and fully validates the record a RecordRef points at.
+// It is safe for concurrent use by recovery workers: the device handle is
+// snapshotted under the lock and all reads are positional.
+func (l *Log) ReadRecord(ref RecordRef) (*Record, error) {
+	l.mu.Lock()
+	dev, areaSize := l.dev, l.areaSize
+	l.mu.Unlock()
+	if dev == nil {
+		return nil, ErrLogClosed
+	}
+	rec, n, err := readRecord(dev, areaSize, ref.Pos, ref.Seq)
+	if err != nil {
+		return nil, err
+	}
+	if rec == nil || n != ref.Len {
+		return nil, fmt.Errorf("wal: record at %d (seq %d) failed validation", ref.Pos, ref.Seq)
+	}
+	return rec, nil
 }
 
 // SetHead advances the head of the live region to pos, expecting seq there,

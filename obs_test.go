@@ -190,7 +190,27 @@ func TestTraceShowsTruncationOverlap(t *testing.T) {
 		}
 	}()
 	// Each truncation waits for fresh commit traffic first, so every
-	// truncation runs with commits demonstrably in flight.
+	// truncation runs with commits demonstrably in flight.  Spans are
+	// collected right after each truncation: on a single-CPU host the
+	// next wait can let thousands of commits through, and their events
+	// would evict this truncation's spans from the bounded trace ring
+	// before an end-of-run read ever saw them.
+	type span struct{ start, end int64 }
+	var truncs, commits []span
+	collect := func() {
+		for _, ev := range s.db.TraceEvents() {
+			if ev.Dur <= 0 {
+				continue
+			}
+			sp := span{ev.TS, ev.TS + ev.Dur}
+			switch ev.Name {
+			case "trunc-incr":
+				truncs = append(truncs, sp)
+			case "commit-noflush":
+				commits = append(commits, sp)
+			}
+		}
+	}
 	for i := 0; i < 5; i++ {
 		floor := committed.Load() + 3
 		for committed.Load() < floor {
@@ -201,27 +221,16 @@ func TestTraceShowsTruncationOverlap(t *testing.T) {
 			wg.Wait()
 			t.Fatalf("incremental truncation %d: %v", i, err)
 		}
+		collect()
 	}
 	close(stop)
 	wg.Wait()
 	if committerErr != nil {
 		t.Fatal(committerErr)
 	}
-
-	type span struct{ start, end int64 }
-	var truncs, commits []span
-	for _, ev := range s.db.TraceEvents() {
-		if ev.Dur <= 0 {
-			continue
-		}
-		sp := span{ev.TS, ev.TS + ev.Dur}
-		switch ev.Name {
-		case "trunc-incr":
-			truncs = append(truncs, sp)
-		case "commit-noflush":
-			commits = append(commits, sp)
-		}
-	}
+	// One more read picks up commits that were still in flight when the
+	// last truncation's spans were collected.
+	collect()
 	if len(truncs) == 0 {
 		t.Fatal("trace has no incremental-truncation spans")
 	}

@@ -181,6 +181,18 @@ type Options struct {
 	// transactions awaiting a Flush; crossing it flushes implicitly.
 	// Zero selects the 1 MiB default, negative disables the bound.
 	SpoolLimit int64
+	// RecoveryParallelism is the number of workers crash recovery uses at
+	// Open to decode log records, build redo trees, and replay them to the
+	// segments.  Zero selects GOMAXPROCS; negative forces a serial
+	// recovery.  Redo order within a page is preserved at any setting.
+	RecoveryParallelism int
+	// CheckpointInterval enables background fuzzy checkpoints: every
+	// interval, committed dirty pages are written to their segments
+	// without stalling committers and a checkpoint record with the stable
+	// LSN is logged, so a post-crash Open replays only the log written
+	// since the last checkpoint.  Zero disables; Checkpoint can still be
+	// called explicitly.
+	CheckpointInterval time.Duration
 	// MaxRetries bounds the retries for transient storage faults on the
 	// log and segment paths.  Zero selects the default of 3; negative
 	// disables retries.  Non-transient faults poison the engine instead
@@ -240,21 +252,23 @@ func Open(o Options) (*RVM, error) {
 		metrics = obs.NewMetrics()
 	}
 	eng, err := core.Open(core.Options{
-		LogPath:           o.LogPath,
-		Backend:           backend,
-		DemandPaging:      o.DemandPaging,
-		TruncateThreshold: thr,
-		Incremental:       o.Incremental,
-		NoIntraOpt:        o.NoIntraOpt,
-		NoInterOpt:        o.NoInterOpt,
-		NoSync:            o.NoSync,
-		GroupCommit:       o.GroupCommit,
-		MaxForceDelay:     o.MaxForceDelay,
-		SpoolLimit:        o.SpoolLimit,
-		MaxRetries:        o.MaxRetries,
-		RetryBackoff:      o.RetryBackoff,
-		Tracer:            tracer,
-		Metrics:           metrics,
+		LogPath:             o.LogPath,
+		Backend:             backend,
+		DemandPaging:        o.DemandPaging,
+		TruncateThreshold:   thr,
+		Incremental:         o.Incremental,
+		NoIntraOpt:          o.NoIntraOpt,
+		NoInterOpt:          o.NoInterOpt,
+		NoSync:              o.NoSync,
+		GroupCommit:         o.GroupCommit,
+		MaxForceDelay:       o.MaxForceDelay,
+		SpoolLimit:          o.SpoolLimit,
+		RecoveryParallelism: o.RecoveryParallelism,
+		CheckpointInterval:  o.CheckpointInterval,
+		MaxRetries:          o.MaxRetries,
+		RetryBackoff:        o.RetryBackoff,
+		Tracer:              tracer,
+		Metrics:             metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -298,6 +312,13 @@ func (r *RVM) Truncate() error { return r.eng.Truncate() }
 func (r *RVM) TruncateIncremental(targetFraction float64) error {
 	return r.eng.TruncateIncremental(targetFraction)
 }
+
+// Checkpoint runs one fuzzy checkpoint: committed dirty pages are written
+// to their segments without stalling committers, and a checkpoint record
+// carrying the stable LSN is forced to the log.  A post-crash Open then
+// replays only the records written since this point, bounding restart
+// time.  The log head does not move (see Truncate for reclaiming space).
+func (r *RVM) Checkpoint() error { return r.eng.Checkpoint() }
 
 // Query reports engine state, plus region state when reg is non-nil.
 func (r *RVM) Query(reg *Region) (QueryInfo, error) { return r.eng.Query(reg) }
