@@ -12,9 +12,10 @@ test:
 	go build ./... && go test ./...
 
 # lint runs everything that needs no network: gofmt, go vet, and the
-# repo's own rvmcheck suite.  staticcheck and govulncheck run when
-# installed (go install <module>@$(VERSION)) and are skipped otherwise,
-# so `make lint` works in offline sandboxes.
+# repo's own rvmcheck suite (all eight discipline analyzers, run
+# whole-program; see DESIGN.md §10).  staticcheck and govulncheck run
+# when installed (go install <module>@$(VERSION)) and are skipped
+# otherwise, so `make lint` works in offline sandboxes.
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	go vet ./...

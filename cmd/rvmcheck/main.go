@@ -1,10 +1,19 @@
 // Command rvmcheck runs the RVM static-analysis suite: unloggedstore,
-// txlifecycle, uncheckedcommit, and locksync (see internal/analysis).
+// txlifecycle, uncheckedcommit, locksync, obsleak, lockorder,
+// atomicfield, and poolescape (see internal/analysis).
 //
 // Standalone mode analyzes the packages matching the given patterns and
 // exits 1 if any diagnostic is reported:
 //
 //	go run ./cmd/rvmcheck ./...
+//	go run ./cmd/rvmcheck -json ./...
+//
+// Standalone mode loads every matched package into one program, so the
+// interprocedural passes (call-graph summaries, lock-hierarchy
+// verification) see across package boundaries.  With -json the findings
+// are emitted as a machine-readable object:
+//
+//	{"findings":[{"analyzer":...,"file":...,"line":...,"col":...,"message":...}]}
 //
 // The binary also speaks the go vet driver protocol, so it can be used
 // as a vet tool (which additionally analyzes test packages; diagnostics
@@ -19,7 +28,8 @@
 // -V=full (version handshake), -flags (flag discovery), and a JSON
 // config file argument naming the sources and the export data of every
 // dependency; findings go to stderr and exit status 2, matching
-// x/tools' unitchecker.
+// x/tools' unitchecker.  Vet units are single-package programs, so the
+// interprocedural rules degrade to per-package call graphs there.
 package main
 
 import (
@@ -52,8 +62,9 @@ func main() {
 		}
 	}
 
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: rvmcheck [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rvmcheck [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
 		}
@@ -67,26 +78,42 @@ func main() {
 		os.Exit(vetUnit(args[0]))
 	}
 
-	os.Exit(standalone(args))
+	os.Exit(standalone(args, *jsonOut))
 }
 
-// standalone loads, typechecks, and analyzes the matched packages.
-func standalone(patterns []string) int {
+// standalone loads, typechecks, and analyzes the matched packages as one
+// whole program.
+func standalone(patterns []string, jsonOut bool) int {
 	fset, pkgs, err := framework.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rvmcheck: %v\n", err)
 		return 2
 	}
-	diags, err := framework.RunAnalyzers(fset, pkgs, analysis.All())
+	findings, err := framework.RunAnalyzers(fset, pkgs, analysis.All())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rvmcheck: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if jsonOut {
+		out := struct {
+			Findings []framework.Finding `json:"findings"`
+		}{Findings: findings}
+		if out.Findings == nil {
+			out.Findings = []framework.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "rvmcheck: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "rvmcheck: %d finding(s)\n", len(diags))
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "rvmcheck: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
@@ -175,30 +202,29 @@ func vetUnit(cfgPath string) int {
 		return 1
 	}
 
-	diags, err := framework.RunAnalyzers(fset, []*framework.Package{pkg}, analysis.All())
+	findings, err := framework.RunAnalyzers(fset, []*framework.Package{pkg}, analysis.All())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rvmcheck: %v\n", err)
 		return 1
 	}
-	diags = dropTestFileDiags(diags)
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+	findings = dropTestFileDiags(findings)
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
 	}
-	if len(diags) > 0 {
+	if len(findings) > 0 {
 		return 2 // the unitchecker "diagnostics reported" status
 	}
 	return 0
 }
 
 // dropTestFileDiags suppresses findings located in _test.go files.
-func dropTestFileDiags(diags []string) []string {
-	var kept []string
-	for _, d := range diags {
-		file, _, _ := strings.Cut(d, ":")
-		if strings.HasSuffix(file, "_test.go") {
+func dropTestFileDiags(findings []framework.Finding) []framework.Finding {
+	var kept []framework.Finding
+	for _, f := range findings {
+		if strings.HasSuffix(f.File, "_test.go") {
 			continue
 		}
-		kept = append(kept, d)
+		kept = append(kept, f)
 	}
 	return kept
 }

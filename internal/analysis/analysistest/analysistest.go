@@ -133,12 +133,17 @@ func runOne(t *testing.T, a *framework.Analyzer, dir, name string, exports map[s
 
 	var diags []framework.Diagnostic
 	sup := framework.CollectSuppressions(fset, pkg.Files)
+	// The golden package is the whole program: interprocedural rules see
+	// its helpers, while module imports resolve through export data only
+	// (no cross-package summaries), exactly like a vet unit.
+	prog := framework.BuildProgram(fset, []*framework.Package{pkg})
 	pass := &framework.Pass{
 		Analyzer:  a,
 		Fset:      fset,
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
+		Prog:      prog,
 		Report: func(d framework.Diagnostic) {
 			if sup.Allows(fset, a.Name, d.Pos) {
 				return

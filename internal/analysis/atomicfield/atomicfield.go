@@ -1,0 +1,85 @@
+// Package atomicfield enforces the PR 5 atomics discipline: a struct
+// field that is accessed through sync/atomic anywhere in the program
+// must never be read or written plainly outside its init path.
+//
+// The engine mixes lock-free fast paths with locked slow paths (the
+// counters struct, active/closed/nextTID, the seqlock words in
+// internal/obs), and the discipline that keeps that sound is
+// all-or-nothing per field: once one site uses atomic.LoadUint64(&f),
+// a plain `f++` elsewhere is a data race the race detector only catches
+// if a test happens to interleave it.
+//
+// The analyzer aggregates every function's field accesses from the
+// whole-program summaries (framework.Summary records atomic and plain
+// accesses separately), then flags the plain accesses — reads, writes,
+// and aliasing (&f escaping outside a sync/atomic call) — of any field
+// that has at least one atomic access anywhere in the program.
+//
+// Two access shapes are exempt as the init path: accesses inside a
+// function named init, and accesses through a local variable freshly
+// allocated in the same function (a composite literal, &T{...}, or
+// new(T)) — before the value is published, plain stores are the normal
+// way to set initial state.
+//
+// Fields of the typed atomic kinds (atomic.Uint64, atomic.Bool, ...)
+// need no checking here: the type system already forbids plain access,
+// and `go vet -copylocks` catches copying.  The engine itself uses
+// typed atomics exclusively for exactly that reason; this analyzer
+// keeps the function-style form disciplined wherever it appears.
+package atomicfield
+
+import (
+	"go/token"
+
+	"github.com/rvm-go/rvm/internal/analysis/framework"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must not be read or written plainly outside their init path",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	// Aggregate atomic accesses over the whole program: the discipline
+	// is per field, not per package.
+	atomicAt := map[framework.FieldKey]token.Pos{}
+	for _, node := range pass.Prog.Graph.Nodes {
+		for _, op := range node.Sum.Atomic {
+			if _, ok := atomicAt[op.Field]; !ok {
+				atomicAt[op.Field] = op.Pos
+			}
+		}
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+
+	// Report plain accesses located in this pass's package only; the
+	// driver runs the analyzer once per package.
+	inPkg := map[string]bool{}
+	for _, f := range pass.Files {
+		inPkg[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, node := range pass.Prog.Graph.Nodes {
+		for _, op := range node.Sum.Plain {
+			first, ok := atomicAt[op.Field]
+			if !ok || op.Exempt || !inPkg[pass.Fset.Position(op.Pos).Filename] {
+				continue
+			}
+			switch {
+			case op.Alias:
+				pass.Reportf(op.Pos, "address of %s escapes outside sync/atomic, but the field is accessed atomically (e.g. at %s); an alias enables plain access that races with the atomics",
+					op.Field, pass.Fset.Position(first))
+			case op.Write:
+				pass.Reportf(op.Pos, "plain write to %s, but the field is accessed atomically (e.g. at %s); use the sync/atomic store or move this into the init path",
+					op.Field, pass.Fset.Position(first))
+			default:
+				pass.Reportf(op.Pos, "plain read of %s, but the field is accessed atomically (e.g. at %s); use the sync/atomic load or move this into the init path",
+					op.Field, pass.Fset.Position(first))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Golden cases for the atomicfield analyzer: once any site accesses a
+// field through sync/atomic, every access must be atomic outside the
+// init path.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	commits uint64
+	aborts  uint64
+	plain   uint64
+}
+
+// bump is the atomic path; it makes commits and aborts atomic fields
+// program-wide.
+func bump(c *counters) {
+	atomic.AddUint64(&c.commits, 1)
+	atomic.StoreUint64(&c.aborts, 0)
+}
+
+func snapshot(c *counters) uint64 {
+	return atomic.LoadUint64(&c.commits)
+}
+
+func badRead(c *counters) uint64 {
+	return c.commits // want `plain read of a\.counters\.commits`
+}
+
+func badWrite(c *counters) {
+	c.aborts = 7 // want `plain write to a\.counters\.aborts`
+}
+
+func badIncrement(c *counters) {
+	c.commits++ // want `plain write to a\.counters\.commits`
+}
+
+func badAlias(c *counters) *uint64 {
+	return &c.commits // want `address of a\.counters\.commits escapes outside sync/atomic`
+}
+
+// plain has no atomic access anywhere: the discipline is per field, not
+// per struct.
+func okPlainField(c *counters) uint64 {
+	c.plain++
+	return c.plain
+}
+
+// Functions named init are the init path.
+func init() {
+	var c counters
+	c.commits = 1
+	_ = c
+}
+
+// A freshly allocated local is unpublished: plain stores set initial
+// state before any other goroutine can see the value.
+func okFresh() *counters {
+	c := &counters{}
+	c.commits = 42
+	c.aborts = 1
+	return c
+}

@@ -1,0 +1,462 @@
+// Call-graph construction: the whole-program half of the framework.
+//
+// The graph is AST-based and deliberately simple — precise enough for the
+// discipline checks in this module, cheap enough to rebuild on every
+// rvmcheck run.  Nodes are function declarations and function literals in
+// the loaded packages; edges are may-call relations:
+//
+//   - static calls and method calls resolve through the type checker;
+//   - interface calls resolve by method-set lookup over every named type
+//     declared in the loaded packages (a named type implementing the
+//     interface contributes its method as a callee);
+//   - closures resolve through single-assignment variables: for
+//     `f := func() {...}; f()` the call edges to the literal, and the
+//     same tracking covers method values (`f := l.dev.Sync; f()`);
+//   - a function value passed as an argument (`e.retryIO(e.log.Force)`,
+//     `withLock(func() {...})`) edges to the passed function, on the
+//     assumption that the callee may invoke it synchronously;
+//   - `go` and `defer` call edges carry their kind, so effect propagation
+//     can exclude goroutines (which do not run under the spawner's locks)
+//     while keeping defers (which run before the function returns).
+//
+// Cross-package resolution is by stable key, not object identity: a
+// package under analysis sees its dependencies through compiled export
+// data, so the *types.Func for (*wal.Log).Force observed at a call site
+// in internal/core is a different object from the one produced by
+// typechecking internal/wal from source.  FuncKey canonicalizes both to
+// "pkgpath.(Type).Name" and the graph indexes declared functions by it.
+//
+// The graph under-approximates: multiply-assigned function variables,
+// function-typed fields, and closures that escape through returns or
+// stores contribute no edges.  That is the right direction for this
+// suite — a missing edge can only hide a finding, never invent one.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EdgeKind classifies one call edge.
+type EdgeKind uint8
+
+const (
+	// EdgeStatic is a direct call to a declared function or method, or
+	// an immediately-invoked function literal.
+	EdgeStatic EdgeKind = iota
+	// EdgeInterface is an interface method call resolved to a concrete
+	// implementation by method-set lookup.
+	EdgeInterface
+	// EdgeClosure is a call through a single-assignment variable bound
+	// to a function literal or method value.
+	EdgeClosure
+	// EdgeFuncArg is a function value passed as a call argument; the
+	// callee may invoke it synchronously.
+	EdgeFuncArg
+	// EdgeGo is any of the above under a go statement: the callee runs
+	// concurrently and does not hold the caller's locks.
+	EdgeGo
+	// EdgeDefer is any of the above under a defer statement: the callee
+	// runs before the function returns.
+	EdgeDefer
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeInterface:
+		return "interface"
+	case EdgeClosure:
+		return "closure"
+	case EdgeFuncArg:
+		return "funcarg"
+	case EdgeGo:
+		return "go"
+	case EdgeDefer:
+		return "defer"
+	}
+	return "?"
+}
+
+// A Node is one function in the call graph: either a declared function
+// (Func/Decl set) or a function literal (Lit set).
+type Node struct {
+	Func *types.Func   // nil for function literals
+	Decl *ast.FuncDecl // nil for function literals
+	Lit  *ast.FuncLit  // nil for declared functions
+	Pkg  *Package
+	// Edges are the outgoing may-call edges, in source order.
+	Edges []Edge
+	// Sum is the function's effect summary; BuildProgram fills it in.
+	Sum *Summary
+}
+
+// Body returns the function body.
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return n.Decl.Body
+}
+
+// Pos returns the declaration position.
+func (n *Node) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	return n.Decl.Pos()
+}
+
+// Name returns a human-readable name: "(*Log).SetHead", "flushSpool", or
+// "func literal" for closures.
+func (n *Node) Name() string {
+	if n.Func == nil {
+		return "func literal"
+	}
+	if recv := RecvOf(n.Func); recv != nil {
+		if named := NamedOf(recv); named != nil {
+			return fmt.Sprintf("(*%s).%s", named.Obj().Name(), n.Func.Name())
+		}
+	}
+	return n.Func.Name()
+}
+
+// An Edge is one may-call relation.
+type Edge struct {
+	Kind   EdgeKind
+	Pos    token.Pos // call site in the caller
+	Callee *Node
+}
+
+// CallGraph is the whole-program call graph.
+type CallGraph struct {
+	// ByKey indexes declared functions by FuncKey.
+	ByKey map[string]*Node
+	// ByLit indexes function literals.
+	ByLit map[*ast.FuncLit]*Node
+	// Nodes lists every node in deterministic (package, source) order.
+	Nodes []*Node
+
+	named      []*types.Named // concrete named types, for dispatch
+	ifaceCache map[*types.Func][]*Node
+}
+
+// FuncKey canonicalizes a function across type-checker universes: the
+// same declaration seen from source and from export data yields the same
+// key.  Pointer and value receivers collapse to one key.
+func FuncKey(fn *types.Func) string {
+	if recv := RecvOf(fn); recv != nil {
+		if named := NamedOf(recv); named != nil && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + ".(" + named.Obj().Name() + ")." + fn.Name()
+		}
+		return "(?)." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// NodeOf returns the graph node for fn (resolving across universes via
+// FuncKey), or nil when fn has no body in the loaded packages.
+func (g *CallGraph) NodeOf(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.ByKey[FuncKey(fn)]
+}
+
+// buildCallGraph constructs the graph over the loaded packages.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		ByKey:      map[string]*Node{},
+		ByLit:      map[*ast.FuncLit]*Node{},
+		ifaceCache: map[*types.Func][]*Node{},
+	}
+	// Pass 1: nodes, and the concrete named types used for dispatch.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch d := n.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						return false
+					}
+					fn, _ := pkg.TypesInfo.Defs[d.Name].(*types.Func)
+					if fn == nil {
+						return true
+					}
+					node := &Node{Func: fn, Decl: d, Pkg: pkg}
+					g.ByKey[FuncKey(fn)] = node
+					g.Nodes = append(g.Nodes, node)
+				case *ast.FuncLit:
+					node := &Node{Lit: d, Pkg: pkg}
+					g.ByLit[d] = node
+					g.Nodes = append(g.Nodes, node)
+				}
+				return true
+			})
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := types.Unalias(tn.Type()).(*types.Named); ok && !types.IsInterface(named) {
+				g.named = append(g.named, named)
+			}
+		}
+	}
+	// Pass 2: edges.
+	for _, pkg := range pkgs {
+		bind := collectBindings(pkg)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch d := n.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						return false
+					}
+					if node := g.ByKey[FuncKey(pkg.TypesInfo.Defs[d.Name].(*types.Func))]; node != nil {
+						g.addEdges(node, bind)
+					}
+					return false // addEdges recurses into nested literals
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// binding records what a single-assignment variable holds: a function
+// literal or a declared function (method value / function reference).
+type binding struct {
+	lit    *ast.FuncLit
+	fn     *types.Func
+	writes int
+}
+
+// collectBindings maps function-typed variables to their unique bound
+// function across the package.  A variable written more than once, or
+// bound to something unresolvable, yields no binding.
+func collectBindings(pkg *Package) map[types.Object]*binding {
+	bind := map[types.Object]*binding{}
+	record := func(obj types.Object, rhs ast.Expr) {
+		if obj == nil || rhs == nil {
+			return
+		}
+		b := bind[obj]
+		if b == nil {
+			b = &binding{}
+			bind[obj] = b
+		}
+		b.writes++
+		b.lit, b.fn = nil, nil
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.FuncLit:
+			b.lit = r
+		default:
+			b.fn = Callee(pkg.TypesInfo, rhs)
+		}
+	}
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := pkg.TypesInfo.Defs[id]; obj != nil {
+			return obj
+		}
+		return pkg.TypesInfo.Uses[id]
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					record(objOf(lhs), n.Rhs[i])
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) != len(n.Values) {
+					return true
+				}
+				for i, name := range n.Names {
+					record(objOf(name), n.Values[i])
+				}
+			}
+			return true
+		})
+	}
+	for obj, b := range bind {
+		if b.writes != 1 || (b.lit == nil && b.fn == nil) {
+			delete(bind, obj)
+		}
+	}
+	return bind
+}
+
+// addEdges walks node's body and records its outgoing edges.  Nested
+// function literals are their own nodes: the walk does not descend into
+// them for call collection, but recurses to give each literal its edges.
+func (g *CallGraph) addEdges(node *Node, bind map[types.Object]*binding) {
+	info := node.Pkg.TypesInfo
+	// Call expressions under go/defer statements carry that kind.
+	kindOf := map[*ast.CallExpr]EdgeKind{}
+	ast.Inspect(node.Body(), func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			kindOf[n.Call] = EdgeGo
+		case *ast.DeferStmt:
+			kindOf[n.Call] = EdgeDefer
+		}
+		return true
+	})
+	ast.Inspect(node.Body(), func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if sub := g.ByLit[n]; sub != nil {
+				g.addEdges(sub, bind)
+			}
+			return false
+		case *ast.CallExpr:
+			base, override := EdgeStatic, false
+			if k, ok := kindOf[n]; ok {
+				base, override = k, true
+			}
+			g.callEdges(node, info, bind, n, base, override)
+		}
+		return true
+	})
+}
+
+// callEdges records the edges for one call expression: the callee itself
+// and any function values passed as arguments.  When override is set
+// (go/defer), every edge takes the base kind.
+func (g *CallGraph) callEdges(node *Node, info *types.Info, bind map[types.Object]*binding, call *ast.CallExpr, base EdgeKind, override bool) {
+	kind := func(k EdgeKind) EdgeKind {
+		if override {
+			return base
+		}
+		return k
+	}
+	add := func(callee *Node, k EdgeKind, pos token.Pos) {
+		if callee != nil {
+			node.Edges = append(node.Edges, Edge{Kind: k, Pos: pos, Callee: callee})
+		}
+	}
+
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.FuncLit:
+		add(g.ByLit[f], kind(EdgeStatic), call.Pos())
+	default:
+		if fn := Callee(info, call.Fun); fn != nil {
+			if IsInterfaceMethod(fn) {
+				for _, impl := range g.implementers(fn) {
+					add(impl, kind(EdgeInterface), call.Pos())
+				}
+			} else {
+				add(g.NodeOf(fn), kind(EdgeStatic), call.Pos())
+			}
+		} else if id, ok := fun.(*ast.Ident); ok {
+			if b := bind[info.Uses[id]]; b != nil {
+				if b.lit != nil {
+					add(g.ByLit[b.lit], kind(EdgeClosure), call.Pos())
+				} else {
+					add(g.NodeOf(b.fn), kind(EdgeClosure), call.Pos())
+				}
+			}
+		}
+	}
+
+	for _, arg := range call.Args {
+		a := ast.Unparen(arg)
+		if !isFuncValued(info, a) {
+			continue
+		}
+		switch a := a.(type) {
+		case *ast.FuncLit:
+			add(g.ByLit[a], kind(EdgeFuncArg), arg.Pos())
+		case *ast.Ident:
+			if b := bind[info.Uses[a]]; b != nil {
+				if b.lit != nil {
+					add(g.ByLit[b.lit], kind(EdgeFuncArg), arg.Pos())
+				} else {
+					add(g.NodeOf(b.fn), kind(EdgeFuncArg), arg.Pos())
+				}
+			} else if fn, ok := info.Uses[a].(*types.Func); ok {
+				add(g.NodeOf(fn), kind(EdgeFuncArg), arg.Pos())
+			}
+		case *ast.SelectorExpr:
+			if fn := Callee(info, a); fn != nil {
+				if IsInterfaceMethod(fn) {
+					for _, impl := range g.implementers(fn) {
+						add(impl, kind(EdgeFuncArg), arg.Pos())
+					}
+				} else {
+					add(g.NodeOf(fn), kind(EdgeFuncArg), arg.Pos())
+				}
+			}
+		}
+	}
+}
+
+// isFuncValued reports whether e evaluates to a function value (so it can
+// contribute an EdgeFuncArg edge).
+func isFuncValued(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isSig := tv.Type.Underlying().(*types.Signature)
+	return isSig && !tv.IsType()
+}
+
+// IsInterfaceMethod reports whether fn is declared on an interface type.
+func IsInterfaceMethod(fn *types.Func) bool {
+	recv := RecvOf(fn)
+	if recv == nil {
+		return false
+	}
+	_, ok := recv.Underlying().(*types.Interface)
+	return ok
+}
+
+// implementers resolves an interface method to the concrete methods of
+// every loaded named type that implements the interface.
+func (g *CallGraph) implementers(m *types.Func) []*Node {
+	if nodes, ok := g.ifaceCache[m]; ok {
+		return nodes
+	}
+	var nodes []*Node
+	iface, _ := RecvOf(m).Underlying().(*types.Interface)
+	if iface != nil {
+		for _, named := range g.named {
+			ptr := types.NewPointer(named)
+			if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			sel := types.NewMethodSet(ptr).Lookup(m.Pkg(), m.Name())
+			if sel == nil {
+				continue
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if node := g.NodeOf(fn); node != nil {
+					nodes = append(nodes, node)
+				}
+			}
+		}
+	}
+	g.ifaceCache[m] = nodes
+	return nodes
+}

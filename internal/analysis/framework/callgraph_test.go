@@ -1,0 +1,191 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkSrc typechecks one import-free source string as package t and
+// builds the whole-program view over it.
+func checkSrc(t *testing.T, src string) (*Program, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var conf types.Config
+	tpkg, err := conf.Check("t", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{ImportPath: "t", Files: []*ast.File{f}, Types: tpkg, TypesInfo: info}
+	return BuildProgram(fset, []*Package{pkg}), tpkg
+}
+
+func nodeByName(t *testing.T, p *Program, name string) *Node {
+	t.Helper()
+	for _, n := range p.Graph.Nodes {
+		if n.Func != nil && n.Func.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q", name)
+	return nil
+}
+
+// edgesOf flattens a node's edges to "kind callee" strings.
+func edgesOf(n *Node) []string {
+	var out []string
+	for _, e := range n.Edges {
+		out = append(out, e.Kind.String()+" "+e.Callee.Name())
+	}
+	return out
+}
+
+func wantEdges(t *testing.T, n *Node, want ...string) {
+	t.Helper()
+	got := edgesOf(n)
+	if len(got) != len(want) {
+		t.Fatalf("%s edges = %q, want %q", n.Name(), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s edge %d = %q, want %q", n.Name(), i, got[i], want[i])
+		}
+	}
+}
+
+func TestCallGraphStatic(t *testing.T) {
+	p, _ := checkSrc(t, `package t
+func a() { b() }
+func b() {}
+`)
+	wantEdges(t, nodeByName(t, p, "a"), "static b")
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	p, _ := checkSrc(t, `package t
+type doer interface{ do() }
+type one struct{}
+func (one) do() {}
+type two struct{}
+func (*two) do() {}
+func call(d doer) { d.do() }
+`)
+	wantEdges(t, nodeByName(t, p, "call"),
+		"interface (*one).do", "interface (*two).do")
+}
+
+func TestCallGraphClosureAndMethodValue(t *testing.T) {
+	p, _ := checkSrc(t, `package t
+type T struct{}
+func (T) m() {}
+func viaLit() {
+	f := func() {}
+	f()
+}
+func viaMethodValue(v T) {
+	g := v.m
+	g()
+}
+func multiplyAssigned(x bool) {
+	h := func() {}
+	if x {
+		h = func() {}
+	}
+	h()
+}
+`)
+	wantEdges(t, nodeByName(t, p, "viaLit"), "closure func literal")
+	wantEdges(t, nodeByName(t, p, "viaMethodValue"), "closure (*T).m")
+	// Two writes: the binding is dropped and the call contributes no
+	// edge — under-approximation, never invention.
+	wantEdges(t, nodeByName(t, p, "multiplyAssigned"))
+}
+
+func TestCallGraphGoDeferKinds(t *testing.T) {
+	p, _ := checkSrc(t, `package t
+func spawned() {}
+func cleanup() {}
+func body() {}
+func g() {
+	go spawned()
+	defer cleanup()
+	body()
+}
+`)
+	wantEdges(t, nodeByName(t, p, "g"),
+		"go spawned", "defer cleanup", "static body")
+}
+
+func TestCallGraphFuncArg(t *testing.T) {
+	p, _ := checkSrc(t, `package t
+func retry(f func() error) error { return f() }
+func helper() error { return nil }
+func caller() error { return retry(helper) }
+`)
+	wantEdges(t, nodeByName(t, p, "caller"),
+		"static retry", "funcarg helper")
+}
+
+// TestFuncKeyReceiverCollapse pins the canonical key shape: pointer and
+// value receivers collapse, so a call site seen through export data and
+// the declaration seen from source agree.
+func TestFuncKeyReceiverCollapse(t *testing.T) {
+	p, _ := checkSrc(t, `package t
+type K struct{}
+func (K) v() {}
+func (*K) p() {}
+func free() {}
+`)
+	cases := map[string]string{"v": "t.(K).v", "p": "t.(K).p", "free": "t.free"}
+	for name, want := range cases {
+		n := nodeByName(t, p, name)
+		if got := FuncKey(n.Func); got != want {
+			t.Errorf("FuncKey(%s) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+// TestSummariesOfInterface pins interface fan-out: asking for the
+// summaries of an interface method yields one summary per loaded
+// implementer.
+func TestSummariesOfInterface(t *testing.T) {
+	p, tpkg := checkSrc(t, `package t
+type doer interface{ do() }
+type one struct{}
+func (one) do() {}
+type two struct{}
+func (*two) do() {}
+type unrelated struct{}
+func (unrelated) other() {}
+`)
+	iface, ok := tpkg.Scope().Lookup("doer").Type().Underlying().(*types.Interface)
+	if !ok {
+		t.Fatal("doer is not an interface")
+	}
+	m := iface.ExplicitMethod(0)
+	if !IsInterfaceMethod(m) {
+		t.Fatalf("IsInterfaceMethod(%s) = false", m.Name())
+	}
+	if got := len(p.SummariesOf(m)); got != 2 {
+		t.Errorf("SummariesOf(doer.do) returned %d summaries, want 2", got)
+	}
+	// A concrete method resolves to exactly its own summary.
+	other := nodeByName(t, p, "other")
+	if got := len(p.SummariesOf(other.Func)); got != 1 {
+		t.Errorf("SummariesOf(concrete) returned %d summaries, want 1", got)
+	}
+}

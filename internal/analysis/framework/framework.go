@@ -49,6 +49,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog is the whole-program view — call graph and per-function
+	// summaries over every loaded package (see summary.go).  An analyzer
+	// must still report only diagnostics positioned in this pass's
+	// Files; the driver runs it once per package.
+	Prog *Program
 	// Report delivers one diagnostic.  The driver supplies it.
 	Report func(Diagnostic)
 }

@@ -158,14 +158,28 @@ func Check(fset *token.FileSet, imp types.Importer, importPath, dir string, goFi
 	}, nil
 }
 
-// RunAnalyzers applies every analyzer to every package and returns the
-// diagnostics sorted by position.
-func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]string, error) {
-	type diag struct {
-		pos token.Position
-		msg string
-	}
-	var diags []diag
+// A Finding is one diagnostic with its analyzer and resolved position —
+// the machine-readable form behind both the text and -json outputs.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+	pos      token.Position `json:"-"`
+}
+
+// String renders the classic file:line:col: analyzer: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.pos, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers applies every analyzer to every package — each pass
+// carrying the whole-program view built over all of them — and returns
+// the findings sorted by position.
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	prog := BuildProgram(fset, pkgs)
+	var findings []Finding
 	for _, pkg := range pkgs {
 		sup := CollectSuppressions(fset, pkg.Files)
 		for _, a := range analyzers {
@@ -175,32 +189,37 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Prog:      prog,
 			}
 			name := a.Name
 			pass.Report = func(d Diagnostic) {
 				if sup.Allows(fset, name, d.Pos) {
 					return
 				}
-				diags = append(diags, diag{fset.Position(d.Pos), fmt.Sprintf("%s: %s", name, d.Message)})
+				pos := fset.Position(d.Pos)
+				findings = append(findings, Finding{
+					Analyzer: name,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
+					pos:      pos,
+				})
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
 			}
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i].pos, diags[j].pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return diags[i].msg < diags[j].msg
+		return a.Message < b.Message
 	})
-	out := make([]string, len(diags))
-	for i, d := range diags {
-		out[i] = fmt.Sprintf("%s: %s", d.pos, d.msg)
-	}
-	return out, nil
+	return findings, nil
 }

@@ -1,0 +1,566 @@
+// Per-function effect summaries, propagated bottom-up over the call
+// graph.  A Summary answers, for one function, the questions the
+// discipline analyzers ask about whole call chains:
+//
+//   - does calling this function (transitively) perform a raw device
+//     sync, or call a module Force/Sync method?
+//   - which lock classes does it (transitively) acquire?
+//   - which struct fields does it touch through sync/atomic, and which
+//     does it read or write plainly?
+//   - does it hand a parameter (or its receiver) to a sync.Pool's Put?
+//
+// Effects are "at any point" facts: a function that acquires and then
+// releases a lock still Acquires it, because a caller holding another
+// lock across the call creates that lock-order edge.  Propagation
+// excludes go edges — a spawned goroutine does not run under the
+// caller's locks — and includes defer edges, which run before the
+// function returns.  Summaries are computed by a worklist fixpoint, so
+// recursion and mutual recursion converge (the facts are monotone).
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// A LockKey identifies a lock class: the mutex field of a named type
+// ("internal/core", "Engine", "mu"), or a package-level mutex variable
+// (Type empty).  Locks held in local variables have no class and no key.
+type LockKey struct {
+	Pkg   string // defining package import path
+	Type  string // owning named type, "" for package-level vars
+	Field string // field or variable name
+}
+
+// IsZero reports an unclassifiable lock.
+func (k LockKey) IsZero() bool { return k == LockKey{} }
+
+func (k LockKey) String() string {
+	pkg := k.Pkg
+	if i := strings.LastIndex(pkg, "/"); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	if k.Type == "" {
+		return pkg + "." + k.Field
+	}
+	return pkg + "." + k.Type + "." + k.Field
+}
+
+// An Effect is one transitive fact with a witness: the position in the
+// summarized function where the chain starts, and the human-readable
+// call path to the primitive operation.
+type Effect struct {
+	Pos  token.Pos // site in the summarized function
+	Path string    // "setHeadLocked → persistStatusLocked → Device.Sync"
+}
+
+// A FieldKey identifies a struct field across packages.
+type FieldKey struct {
+	Pkg   string
+	Type  string
+	Field string
+}
+
+func (k FieldKey) String() string {
+	pkg := k.Pkg
+	if i := strings.LastIndex(pkg, "/"); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	return pkg + "." + k.Type + "." + k.Field
+}
+
+// A FieldOp is one access to a field: through sync/atomic, or plain.
+type FieldOp struct {
+	Field FieldKey
+	Pos   token.Pos
+	Write bool // write or read-modify-write
+	Alias bool // address taken outside a sync/atomic call
+	// Exempt marks init-path accesses: inside a function named init, or
+	// through a local variable freshly allocated in the same function.
+	Exempt bool
+}
+
+// putFlow records "parameter From is passed onward to parameter To of
+// Callee", used to resolve transitive pool Puts (eb.release()).
+type putFlow struct {
+	From   int // parameter index in this function; -1 = receiver
+	Callee string
+	To     int // parameter index in the callee; -1 = receiver
+}
+
+// Summary is the effect summary of one function.
+type Summary struct {
+	// Syncs is non-nil when the function transitively performs a raw
+	// device sync ((*os.File).Sync, Device.Sync, syscall.Fsync).
+	Syncs *Effect
+	// Forces is non-nil when the function transitively calls a module
+	// method named Force or Sync.
+	Forces *Effect
+	// Acquires maps each lock class the function transitively acquires
+	// to a witness effect.
+	Acquires map[LockKey]Effect
+	// Atomic and Plain list the function's own (not transitive) field
+	// accesses through sync/atomic and outside it.
+	Atomic []FieldOp
+	Plain  []FieldOp
+	// Puts marks parameters handed to a sync.Pool's Put (transitively);
+	// index -1 is the receiver.
+	Puts map[int]bool
+
+	flows []putFlow
+}
+
+// Program is the whole-program view handed to every analyzer pass: the
+// loaded packages, the call graph over them, and the per-function
+// summaries.  In standalone mode the program spans every matched
+// package; under go vet's unitchecker (and in analysistest) it is a
+// single package, and cross-package effects degrade to what the
+// name-based lexical rules can see.
+type Program struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	Graph *CallGraph
+}
+
+// SummaryOf returns the summary for fn, or nil when fn has no body in
+// the loaded packages.
+func (p *Program) SummaryOf(fn *types.Func) *Summary {
+	if node := p.Graph.NodeOf(fn); node != nil {
+		return node.Sum
+	}
+	return nil
+}
+
+// SummariesOf returns every summary a call to fn may execute: the
+// function's own summary for a concrete function, or the summary of
+// every loaded implementer for an interface method.  Analyzers that
+// charge call sites against callee effects use this so that interface
+// dispatch (dev.WriteAt on a wal.Device, which may be an iofault
+// Injector) is as visible as a static call.
+func (p *Program) SummariesOf(fn *types.Func) []*Summary {
+	if fn == nil {
+		return nil
+	}
+	if !IsInterfaceMethod(fn) {
+		if sum := p.SummaryOf(fn); sum != nil {
+			return []*Summary{sum}
+		}
+		return nil
+	}
+	var sums []*Summary
+	for _, impl := range p.Graph.implementers(fn) {
+		if impl.Sum != nil {
+			sums = append(sums, impl.Sum)
+		}
+	}
+	return sums
+}
+
+// BuildProgram constructs the call graph and computes summaries.
+func BuildProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	p := &Program{Fset: fset, Pkgs: pkgs, Graph: buildCallGraph(pkgs)}
+	for _, node := range p.Graph.Nodes {
+		node.Sum = directEffects(node)
+	}
+	propagate(p.Graph)
+	return p
+}
+
+// --- shared effect predicates (also used by the lexical rules) ---
+
+// IsRawSyncFunc matches the raw device syncs: (*os.File).Sync, a Sync
+// method on a Device interface, and syscall.Fsync/Fdatasync.
+func IsRawSyncFunc(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if recv := RecvOf(fn); recv != nil {
+		if fn.Name() != "Sync" {
+			return false
+		}
+		if TypeIs(recv, "os", "File") {
+			return true
+		}
+		if n := NamedOf(recv); n != nil && n.Obj().Name() == "Device" {
+			if _, ok := n.Underlying().(*types.Interface); ok {
+				return true
+			}
+		}
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "syscall" {
+		return fn.Name() == "Fsync" || fn.Name() == "Fdatasync"
+	}
+	return false
+}
+
+// IsForceMethod matches module methods named Force or Sync, which sync a
+// device transitively by contract.
+func IsForceMethod(fn *types.Func) bool {
+	return IsMethodNamed(fn, "Force", "Sync")
+}
+
+// FuncDesc names fn for diagnostics: "(*Log).Force", "syscall.Fsync".
+func FuncDesc(fn *types.Func) string {
+	if recv := RecvOf(fn); recv != nil {
+		if n := NamedOf(recv); n != nil {
+			return "(*" + n.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// LockKeyOf classifies the receiver of a Lock/Unlock selector ("e.mu",
+// "e.pipe.mu", package-level "reglk") into a lock class.
+func LockKeyOf(info *types.Info, recv ast.Expr) LockKey {
+	switch r := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		// base.field — the class is (type of base, field name).
+		if tv, ok := info.Types[r.X]; ok {
+			if n := NamedOf(tv.Type); n != nil && n.Obj().Pkg() != nil {
+				return LockKey{Pkg: n.Obj().Pkg().Path(), Type: n.Obj().Name(), Field: r.Sel.Name}
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[r].(*types.Var); ok && obj.Pkg() != nil {
+			// Package-level mutex variables form their own class; locals
+			// and parameters are unclassifiable.
+			if obj.Parent() == obj.Pkg().Scope() {
+				return LockKey{Pkg: obj.Pkg().Path(), Field: obj.Name()}
+			}
+		}
+	}
+	return LockKey{}
+}
+
+// MutexRef recognizes a call expression path.Lock()/RLock()/Unlock()/
+// RUnlock() on a mutex-typed receiver, returning the receiver expression
+// and the operation name ("" when e is not a mutex operation).
+func MutexRef(info *types.Info, e ast.Expr) (recv ast.Expr, op string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !IsMutexType(tv.Type) {
+		return nil, ""
+	}
+	return sel.X, sel.Sel.Name
+}
+
+// --- direct (intra-function) effect collection ---
+
+// FieldKeyOf resolves a selector to the struct field it denotes, or a
+// zero key.
+func FieldKeyOf(info *types.Info, sel *ast.SelectorExpr) FieldKey {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return FieldKey{}
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() || v.Pkg() == nil {
+		return FieldKey{}
+	}
+	// Name the field by the type that declares it (the last embedded
+	// step of the selection path).
+	owner := s.Recv()
+	if n := NamedOf(owner); n != nil {
+		return FieldKey{Pkg: v.Pkg().Path(), Type: n.Obj().Name(), Field: v.Name()}
+	}
+	return FieldKey{}
+}
+
+// isAtomicCall reports whether call is a sync/atomic package-level
+// function (Load*/Store*/Add*/Swap*/CompareAndSwap*), with fn resolved.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := Callee(info, call.Fun)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && RecvOf(fn) == nil
+}
+
+// isPoolPut reports whether fn is (*sync.Pool).Put.
+func isPoolPut(fn *types.Func) bool {
+	return fn != nil && fn.Name() == "Put" && TypeIs(RecvOf(fn), "sync", "Pool")
+}
+
+// IsPoolGet reports whether fn is (*sync.Pool).Get.
+func IsPoolGet(fn *types.Func) bool {
+	return fn != nil && fn.Name() == "Get" && TypeIs(RecvOf(fn), "sync", "Pool")
+}
+
+// paramIndex maps an identifier to the parameter (or receiver, -1) of
+// node it names, or -2.
+func paramIndex(node *Node, info *types.Info, e ast.Expr) int {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return -2
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return -2
+	}
+	if node.Func != nil {
+		sig := node.Func.Type().(*types.Signature)
+		if sig.Recv() != nil && obj == sig.Recv() {
+			return -1
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if obj == sig.Params().At(i) {
+				return i
+			}
+		}
+	}
+	return -2
+}
+
+// freshLocals finds local variables whose single initialization in this
+// function is a fresh allocation (composite literal, &composite, or
+// new(T)): plain access to atomic fields through them is the init path.
+func freshLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	isFresh := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+				return ok
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n, ok := n.(*ast.AssignStmt); ok && n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && isFresh(n.Rhs[i]) {
+					if obj := info.Defs[id]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// directEffects computes node's own effects, not yet including callees.
+func directEffects(node *Node) *Summary {
+	info := node.Pkg.TypesInfo
+	sum := &Summary{Acquires: map[LockKey]Effect{}, Puts: map[int]bool{}}
+	body := node.Body()
+	isInit := node.Func != nil && node.Func.Name() == "init" && RecvOf(node.Func) == nil
+	fresh := freshLocals(info, body)
+
+	// atomicArgs marks the &field operands of sync/atomic calls so the
+	// plain-access walk below skips them.
+	atomicArgs := map[ast.Expr]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if recv, op := MutexRef(info, n); op == "Lock" || op == "RLock" {
+				if key := LockKeyOf(info, recv); !key.IsZero() {
+					if _, ok := sum.Acquires[key]; !ok {
+						sum.Acquires[key] = Effect{Pos: n.Pos(), Path: key.String() + ".Lock"}
+					}
+				}
+				return true
+			}
+			fn := Callee(info, n.Fun)
+			if IsRawSyncFunc(fn) && sum.Syncs == nil {
+				sum.Syncs = &Effect{Pos: n.Pos(), Path: FuncDesc(fn)}
+			}
+			if IsForceMethod(fn) && sum.Forces == nil {
+				sum.Forces = &Effect{Pos: n.Pos(), Path: FuncDesc(fn)}
+			}
+			// Method values passed as arguments count as calls
+			// (e.retryIO(e.log.Force) forces right there).
+			for _, arg := range n.Args {
+				if afn := Callee(info, ast.Unparen(arg)); afn != nil && isFuncValued(info, ast.Unparen(arg)) {
+					if IsRawSyncFunc(afn) && sum.Syncs == nil {
+						sum.Syncs = &Effect{Pos: arg.Pos(), Path: FuncDesc(afn)}
+					}
+					if IsForceMethod(afn) && sum.Forces == nil {
+						sum.Forces = &Effect{Pos: arg.Pos(), Path: FuncDesc(afn)}
+					}
+				}
+			}
+			if isAtomicCall(info, n) && len(n.Args) > 0 {
+				if u, ok := ast.Unparen(n.Args[0]).(*ast.UnaryExpr); ok && u.Op == token.AND {
+					if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+						if key := FieldKeyOf(info, sel); key != (FieldKey{}) {
+							write := fn != nil && !strings.HasPrefix(fn.Name(), "Load")
+							sum.Atomic = append(sum.Atomic, FieldOp{Field: key, Pos: u.X.Pos(), Write: write})
+							atomicArgs[u.X] = true
+						}
+					}
+				}
+			}
+			if isPoolPut(fn) && len(n.Args) == 1 {
+				if i := paramIndex(node, info, n.Args[0]); i >= -1 {
+					sum.Puts[i] = true
+				}
+			} else if fn != nil && IsModuleFunc(fn) {
+				// Record parameter flows for transitive Put resolution.
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && RecvOf(fn) != nil {
+					if i := paramIndex(node, info, sel.X); i >= -1 {
+						sum.flows = append(sum.flows, putFlow{From: i, Callee: FuncKey(fn), To: -1})
+					}
+				}
+				for ai, arg := range n.Args {
+					if i := paramIndex(node, info, arg); i >= -1 {
+						sum.flows = append(sum.flows, putFlow{From: i, Callee: FuncKey(fn), To: ai})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Plain accesses to fields: every field selection that is not a
+	// sync/atomic operand.  Whether the field matters is decided later,
+	// by aggregating atomic ops over the whole program.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			if atomicArgs[n.X] {
+				return false
+			}
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+				if key := FieldKeyOf(info, sel); key != (FieldKey{}) {
+					sum.Plain = append(sum.Plain, FieldOp{
+						Field: key, Pos: n.Pos(), Alias: true,
+						Exempt: isInit || fresh[rootObj(info, sel)],
+					})
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if atomicArgs[ast.Expr(n)] {
+				return false
+			}
+			key := FieldKeyOf(info, n)
+			if key == (FieldKey{}) {
+				return true
+			}
+			sum.Plain = append(sum.Plain, FieldOp{
+				Field: key, Pos: n.Pos(), Write: isAssigned(body, n),
+				Exempt: isInit || fresh[rootObj(info, n)],
+			})
+		}
+		return true
+	})
+	return sum
+}
+
+// rootObj returns the object of the leftmost identifier of a selector
+// chain (the e of e.pipe.mu), or nil.
+func rootObj(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	e := ast.Expr(sel)
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return info.Uses[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// isAssigned reports whether sel appears as an assignment target or
+// IncDec operand anywhere in body.  (A coarse but cheap classification;
+// the analyzers only use it to word diagnostics.)
+func isAssigned(body *ast.BlockStmt, sel *ast.SelectorExpr) bool {
+	assigned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ast.Unparen(lhs) == ast.Expr(sel) {
+					assigned = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if ast.Unparen(n.X) == ast.Expr(sel) {
+				assigned = true
+			}
+		}
+		return !assigned
+	})
+	return assigned
+}
+
+// propagate runs the bottom-up fixpoint: callee effects flow to callers
+// until nothing changes.  Go edges are excluded throughout.
+func propagate(g *CallGraph) {
+	for changed := true; changed; {
+		changed = false
+		for _, node := range g.Nodes {
+			sum := node.Sum
+			for _, e := range node.Edges {
+				if e.Kind == EdgeGo {
+					continue
+				}
+				cs := e.Callee.Sum
+				if cs.Syncs != nil && sum.Syncs == nil {
+					sum.Syncs = &Effect{Pos: e.Pos, Path: e.Callee.Name() + " → " + cs.Syncs.Path}
+					changed = true
+				}
+				if cs.Forces != nil && sum.Forces == nil {
+					sum.Forces = &Effect{Pos: e.Pos, Path: e.Callee.Name() + " → " + cs.Forces.Path}
+					changed = true
+				}
+				for key, eff := range cs.Acquires {
+					if _, ok := sum.Acquires[key]; !ok {
+						sum.Acquires[key] = Effect{Pos: e.Pos, Path: e.Callee.Name() + " → " + eff.Path}
+						changed = true
+					}
+				}
+			}
+			// Transitive pool Puts: a parameter passed to a callee
+			// parameter the callee Puts is itself Put.
+			for _, f := range sum.flows {
+				callee := g.ByKey[f.Callee]
+				if callee == nil || !callee.Sum.Puts[f.To] || sum.Puts[f.From] {
+					continue
+				}
+				sum.Puts[f.From] = true
+				changed = true
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package lockorder verifies the engine's lock hierarchy (DESIGN.md
+// §12) against every interprocedural acquisition path.
+//
+// The hierarchy is encoded once, as the machine-readable table in
+// DefaultHierarchy — the single source of truth the design document
+// cross-references.  The rule is strict descent: with a class-A lock
+// held, only classes with a strictly greater level may be acquired.
+// Two kinds of edge are flagged:
+//
+//   - an inversion: acquiring a lower-or-equal-level class while a
+//     higher one is held (for Ordered classes, same-class nesting is
+//     allowed — Region locks nest in ascending index order, which the
+//     engine asserts dynamically in lockRegions);
+//   - an unknown edge: a mutex that belongs to one of the hierarchy's
+//     packages but is not in the table, interacting with a table lock
+//     in either direction.  New engine locks must be placed in the
+//     table deliberately, not discovered in a deadlock.
+//
+// Acquisitions are found both lexically (a Lock call under a held
+// table lock) and through the whole-program summaries: a call made
+// under a held lock is charged with every lock class the callee
+// transitively acquires, excluding goroutine boundaries.  Locks owned
+// by packages outside the table (applications wrapping the engine in
+// their own mutexes) are ignored; locksync's sync/force rules cover
+// those.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/rvm-go/rvm/internal/analysis/framework"
+)
+
+// Analyzer is the lockorder pass over the default (engine) hierarchy.
+var Analyzer = NewAnalyzer(DefaultHierarchy)
+
+// NewAnalyzer builds a lockorder pass over an explicit hierarchy table;
+// tests use it with a table scoped to their golden package.
+func NewAnalyzer(h *Hierarchy) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name: "lockorder",
+		Doc:  "lock acquisitions must descend the DESIGN.md §12 hierarchy; unknown engine locks must be added to the table",
+		Run: func(pass *framework.Pass) error {
+			return run(pass, h)
+		},
+	}
+}
+
+func run(pass *framework.Pass, h *Hierarchy) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, h: h}
+			w.stmtList(fd.Body.List, nil)
+		}
+	}
+	return nil
+}
+
+// held is one acquired lock with its classification.
+type held struct {
+	key   framework.LockKey
+	entry *Entry // nil when not in the table
+	path  string // lexical path for diagnostics ("e.pipe.mu")
+	pos   token.Pos
+}
+
+type walker struct {
+	pass *framework.Pass
+	h    *Hierarchy
+}
+
+// stmtList threads the held stack through a statement list; branches
+// get a copy, mirroring locksync's path-insensitive walk.
+func (w *walker) stmtList(list []ast.Stmt, hs []held) []held {
+	for _, s := range list {
+		hs = w.stmt(s, hs)
+	}
+	return hs
+}
+
+func clone(hs []held) []held {
+	return append([]held(nil), hs...)
+}
+
+func (w *walker) stmt(s ast.Stmt, hs []held) []held {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if recv, op := framework.MutexRef(w.pass.TypesInfo, s.X); op != "" {
+			return w.applyLock(hs, recv, op, s.X)
+		}
+		w.checkCalls(s.X, hs)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to function end; other
+		// deferred work runs with this frame's locks in an unknown state.
+		return hs
+	case *ast.GoStmt:
+		// The goroutine does not hold our locks; its own body is walked
+		// when its function declaration or literal is visited.
+	case *ast.AssignStmt, *ast.ReturnStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt:
+		w.checkCalls(s, hs)
+	case *ast.BlockStmt:
+		return w.stmtList(s.List, hs)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, hs)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			hs = w.stmt(s.Init, hs)
+		}
+		w.checkCalls(s.Cond, hs)
+		w.stmtList(s.Body.List, clone(hs))
+		if s.Else != nil {
+			w.stmt(s.Else, clone(hs))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			hs = w.stmt(s.Init, hs)
+		}
+		if s.Cond != nil {
+			w.checkCalls(s.Cond, hs)
+		}
+		w.stmtList(s.Body.List, clone(hs))
+	case *ast.RangeStmt:
+		w.checkCalls(s.X, hs)
+		w.stmtList(s.Body.List, clone(hs))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			hs = w.stmt(s.Init, hs)
+		}
+		if s.Tag != nil {
+			w.checkCalls(s.Tag, hs)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmtList(cc.Body, clone(hs))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmtList(cc.Body, clone(hs))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmtList(cc.Body, clone(hs))
+			}
+		}
+	}
+	return hs
+}
+
+// applyLock checks and records a lexical Lock, or drops on Unlock.
+func (w *walker) applyLock(hs []held, recv ast.Expr, op string, e ast.Expr) []held {
+	key := framework.LockKeyOf(w.pass.TypesInfo, recv)
+	path := framework.ExprPath(recv)
+	if path == "" {
+		path = key.String()
+	}
+	switch op {
+	case "Lock", "RLock":
+		entry := w.h.Lookup(key)
+		for _, hold := range hs {
+			w.checkEdge(hold, key, entry, path, "", e.Pos())
+		}
+		return append(hs, held{key: key, entry: entry, path: path, pos: e.Pos()})
+	case "Unlock", "RUnlock":
+		for i := len(hs) - 1; i >= 0; i-- {
+			if hs[i].path == path {
+				return append(clone(hs[:i]), hs[i+1:]...)
+			}
+		}
+	}
+	return hs
+}
+
+// checkCalls charges every call under the held locks with the lock
+// classes its callee transitively acquires.
+func (w *walker) checkCalls(n ast.Node, hs []held) {
+	if n == nil || len(hs) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			fn := framework.Callee(w.pass.TypesInfo, m.Fun)
+			for _, sum := range w.pass.Prog.SummariesOf(fn) {
+				for key, eff := range sum.Acquires {
+					entry := w.h.Lookup(key)
+					for _, hold := range hs {
+						w.checkEdge(hold, key, entry, key.String(), eff.Path, m.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkEdge validates acquiring (key, entry) while hold is held.  via
+// names the call chain for summary-derived acquisitions ("" for lexical
+// ones).
+func (w *walker) checkEdge(hold held, key framework.LockKey, entry *Entry, path, via string, pos token.Pos) {
+	if hold.key == key {
+		// Reacquiring the same class: legal only for Ordered classes
+		// (checked below); identical lexical paths would self-deadlock,
+		// but that is go vet's domain, not ordering's.
+		if entry != nil && entry.Ordered {
+			return
+		}
+	}
+	chain := ""
+	if via != "" {
+		chain = " (via " + via + ")"
+	}
+	switch {
+	case hold.entry != nil && entry != nil:
+		if entry.Level > hold.entry.Level {
+			return
+		}
+		if entry == hold.entry {
+			if entry.Ordered {
+				return
+			}
+			w.pass.Reportf(pos, "lock %s%s acquired while already holding %s-class lock %s (locked at %s); class %s is not ordered — same-class nesting deadlocks",
+				path, chain, hold.entry.Name, hold.path, w.pass.Fset.Position(hold.pos), entry.Name)
+			return
+		}
+		w.pass.Reportf(pos, "lock-order inversion: %s (level %d, %s)%s acquired while holding %s (level %d, %s, locked at %s); the §12 hierarchy descends %s",
+			path, entry.Level, entry.Name, chain, hold.path, hold.entry.Level, hold.entry.Name, w.pass.Fset.Position(hold.pos), w.h.Order())
+	case hold.entry != nil && entry == nil && w.h.Covers(key):
+		w.pass.Reportf(pos, "unknown lock edge: %s%s is not in the §12 hierarchy table but is acquired while holding %s (%s, locked at %s); add the new lock class to lockorder.DefaultHierarchy deliberately",
+			path, chain, hold.path, hold.entry.Name, w.pass.Fset.Position(hold.pos))
+	case hold.entry == nil && entry != nil && w.h.Covers(hold.key):
+		w.pass.Reportf(pos, "unknown lock edge: table lock %s (%s)%s acquired while holding %s, which belongs to an engine package but is not in the §12 hierarchy table; add it to lockorder.DefaultHierarchy deliberately",
+			path, entry.Name, chain, hold.path)
+	}
+}

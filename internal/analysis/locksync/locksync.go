@@ -9,7 +9,7 @@
 // l.mu around dev.Sync(), and the group-commit leader forces holding
 // neither gc.mu nor e.mu.
 //
-// Three rules, all lexical and function-local:
+// Three rules:
 //
 //   - Rule A: a raw device sync — (*os.File).Sync, a Sync method on a
 //     Device interface, or syscall.Fsync/Fdatasync — under ANY held
@@ -27,15 +27,22 @@
 //     locks in ascending index order, then pipeline.mu innermost; a
 //     commit holds its region locks across the pipeline section, so
 //     taking them in the other order is a lock-order inversion that can
-//     deadlock against every committer.
+//     deadlock against every committer.  (The generalized hierarchy
+//     check over every lock class is the lockorder analyzer.)
 //
-// Method values count as calls: `e.retryIO(e.log.Force)` invokes Force
-// right there for this analysis's purposes.
+// All three rules are interprocedural: each call site under a held
+// mutex is checked against the callee's whole-program effect summary
+// (framework.Summary), so a sync reached through any chain of helpers —
+// SetHead → setHeadLocked → persistStatusLocked → Device.Sync — is
+// flagged at the outermost call made under the lock, with the chain in
+// the message.  Method values count as calls: `e.retryIO(e.log.Force)`
+// invokes Force right there for this analysis's purposes.
 //
-// The walker is a path-insensitive under-approximation: branch and loop
-// bodies are explored with a copy of the held-set (their lock/unlock
-// effects don't leak out), closures are analyzed with an empty held-set,
-// and a deferred Unlock keeps the mutex held to the end of the function.
+// The held-set tracking itself remains a path-insensitive
+// under-approximation: branch and loop bodies are explored with a copy
+// of the held-set (their lock/unlock effects don't leak out), closures
+// are analyzed with an empty held-set, and a deferred Unlock keeps the
+// mutex held to the end of the function.
 package locksync
 
 import (
@@ -288,54 +295,59 @@ func (w *walker) checkCall(call *ast.CallExpr, held map[string]heldMutex) {
 }
 
 // checkFunc reports fn if it is a sync target forbidden under any of the
-// held mutexes.
+// held mutexes — directly, or transitively through its whole-program
+// effect summary.
 func (w *walker) checkFunc(fn *types.Func, pos token.Pos, held map[string]heldMutex) {
 	if fn == nil {
 		return
 	}
-	if isRawSync(fn) {
+	if framework.IsRawSyncFunc(fn) {
 		for _, h := range held {
 			w.pass.Reportf(pos, "%s called while holding %s (locked at %s); release the mutex around the device sync — fsync under a lock serializes group commit",
 				fn.Name(), h.path, w.pass.Fset.Position(h.pos))
 			return
 		}
 	}
-	if isModuleForce(fn) {
+	if framework.IsForceMethod(fn) {
 		for _, h := range held {
 			w.pass.Reportf(pos, "%s.%s called while holding %s (locked at %s); the engine forces the log holding no lock — release the mutex first or group commit re-serializes",
 				recvName(fn), fn.Name(), h.path, w.pass.Fset.Position(h.pos))
 			return
 		}
 	}
-}
-
-// isRawSync matches Rule A targets: (*os.File).Sync, Sync on a Device
-// interface, and syscall.Fsync/Fdatasync.
-func isRawSync(fn *types.Func) bool {
-	if recv := framework.RecvOf(fn); recv != nil {
-		if fn.Name() != "Sync" {
-			return false
-		}
-		if framework.TypeIs(recv, "os", "File") {
-			return true
-		}
-		if n := framework.NamedOf(recv); n != nil && n.Obj().Name() == "Device" {
-			if _, ok := n.Underlying().(*types.Interface); ok {
-				return true
+	// Interprocedural rules: consult the callee's effect summaries.  An
+	// interface method contributes the summary of every loaded
+	// implementer — dispatch is not a blind spot.
+	for _, sum := range w.pass.Prog.SummariesOf(fn) {
+		if sum.Syncs != nil {
+			for _, h := range held {
+				w.pass.Reportf(pos, "call to %s performs a device sync (via %s) while holding %s (locked at %s); release the mutex around the chain — fsync under a lock serializes group commit",
+					fn.Name(), sum.Syncs.Path, h.path, w.pass.Fset.Position(h.pos))
+				return
 			}
 		}
-		return false
+		if sum.Forces != nil {
+			for _, h := range held {
+				w.pass.Reportf(pos, "call to %s forces the log (via %s) while holding %s (locked at %s); the engine forces holding no lock — release the mutex first or group commit re-serializes",
+					fn.Name(), sum.Forces.Path, h.path, w.pass.Fset.Position(h.pos))
+				return
+			}
+		}
+		// Rule C through calls: a callee that acquires a Region lock while
+		// the caller holds the pipeline lock inverts the hierarchy.
+		for key, eff := range sum.Acquires {
+			if key.Type != "Region" {
+				continue
+			}
+			for _, h := range held {
+				if h.owner == "pipeline" {
+					w.pass.Reportf(pos, "call to %s acquires Region lock %s (via %s) while holding log-pipeline lock %s (locked at %s); the hierarchy is Engine, then Region locks, then the pipeline lock innermost",
+						fn.Name(), key, eff.Path, h.path, w.pass.Fset.Position(h.pos))
+					return
+				}
+			}
+		}
 	}
-	if fn.Pkg() != nil && fn.Pkg().Path() == "syscall" {
-		return fn.Name() == "Fsync" || fn.Name() == "Fdatasync"
-	}
-	return false
-}
-
-// isModuleForce matches Rule B targets: module methods named Force or
-// Sync (both sync a device transitively).
-func isModuleForce(fn *types.Func) bool {
-	return framework.IsMethodNamed(fn, "Force", "Sync")
 }
 
 func recvName(fn *types.Func) string {

@@ -150,3 +150,45 @@ func allowed(s *store) error {
 	//rvmcheck:allow locksync -- exercising the directive itself
 	return s.f.Sync()
 }
+
+// A sync reached through a chain of helpers is charged at the call site
+// via the whole-program summaries.
+func persistStatus(f *os.File) error {
+	return f.Sync()
+}
+
+func setHeadHelper(s *store) error {
+	return persistStatus(s.f)
+}
+
+func badTransitive(s *store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return setHeadHelper(s) // want `performs a device sync \(via`
+}
+
+func goodTransitive(s *store) error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return setHeadHelper(s)
+}
+
+// Interface dispatch: the call site is charged with the effects of
+// every loaded implementer.
+type syncer interface {
+	persist() error
+}
+
+type fileSyncer struct {
+	f *os.File
+}
+
+func (fs *fileSyncer) persist() error {
+	return fs.f.Sync()
+}
+
+func badDispatch(s *store, sy syncer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sy.persist() // want `performs a device sync \(via`
+}

@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"github.com/rvm-go/rvm/internal/analysis/analysistest"
+	"github.com/rvm-go/rvm/internal/analysis/poolescape"
+)
+
+func TestPoolEscape(t *testing.T) {
+	analysistest.Run(t, poolescape.Analyzer, "a")
+}

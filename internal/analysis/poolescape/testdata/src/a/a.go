@@ -1,0 +1,107 @@
+// Golden cases for the poolescape analyzer: pooled buffers must not be
+// used after Put or escape past a deferred Put, and ring-slot pointers
+// must stay function-local.
+package a
+
+import "sync"
+
+type encBuf struct {
+	b []byte
+}
+
+var bufPool = sync.Pool{New: func() interface{} { return new(encBuf) }}
+
+// release is the module's Put helper; its summary records that it Puts
+// the receiver, so a deferred release counts as a deferred Put.
+func (e *encBuf) release() {
+	e.b = e.b[:0]
+	bufPool.Put(e)
+}
+
+type sink struct {
+	held []byte
+}
+
+// Any appearance after a direct Put is a use-after-free against the
+// pool.
+func badUseAfterPut() int {
+	eb := bufPool.Get().(*encBuf)
+	bufPool.Put(eb)
+	return len(eb.b) // want `used after it was Put back`
+}
+
+// Returning an alias into the buffer outlives the deferred Put.
+func badReturn() []byte {
+	eb := bufPool.Get().(*encBuf)
+	defer bufPool.Put(eb)
+	return eb.b // want `returned past its deferred Put`
+}
+
+// The transitive Put through release() is found via the summary.
+func badReturnViaRelease() []byte {
+	eb := bufPool.Get().(*encBuf)
+	defer eb.release()
+	return eb.b[1:3] // want `returned past its deferred Put`
+}
+
+// Storing into longer-lived state escapes the alias.
+func badStore(s *sink) {
+	eb := bufPool.Get().(*encBuf)
+	defer eb.release()
+	s.held = eb.b // want `stored past its deferred Put`
+}
+
+// Sending hands the alias to a receiver that outlives the frame.
+func badSend(ch chan []byte) {
+	eb := bufPool.Get().(*encBuf)
+	defer eb.release()
+	ch <- eb.b // want `sent on a channel past its deferred Put`
+}
+
+// A goroutine outlives the frame's deferred Put.
+func badGo() {
+	eb := bufPool.Get().(*encBuf)
+	defer eb.release()
+	go func() { // want `captured by a goroutine`
+		_ = eb.b
+	}()
+}
+
+// Copying the bytes out is the discipline.
+func goodCopy() []byte {
+	eb := bufPool.Get().(*encBuf)
+	defer eb.release()
+	out := append([]byte(nil), eb.b...)
+	return out
+}
+
+// Using then releasing without a defer is fine; nothing outlives the
+// frame.
+func goodUseBeforePut() int {
+	eb := bufPool.Get().(*encBuf)
+	n := len(eb.b)
+	bufPool.Put(eb)
+	return n
+}
+
+// Ring slots: a *slot points into the ring and is recycled on wrap, so
+// the pointer is treated as if its Put were always pending.
+type slot struct {
+	payload [16]byte
+}
+
+type ring struct {
+	slots [8]slot
+}
+
+func badRingSlot(r *ring) *slot {
+	s := &r.slots[0]
+	return s // want `ring-slot pointer s returned`
+}
+
+// Copying the payload out keeps the pointer function-local.
+func goodRingCopy(r *ring) [16]byte {
+	s := &r.slots[1]
+	p := s.payload
+	return p
+}

@@ -6,9 +6,12 @@
 package analysis
 
 import (
+	"github.com/rvm-go/rvm/internal/analysis/atomicfield"
 	"github.com/rvm-go/rvm/internal/analysis/framework"
+	"github.com/rvm-go/rvm/internal/analysis/lockorder"
 	"github.com/rvm-go/rvm/internal/analysis/locksync"
 	"github.com/rvm-go/rvm/internal/analysis/obsleak"
+	"github.com/rvm-go/rvm/internal/analysis/poolescape"
 	"github.com/rvm-go/rvm/internal/analysis/txlifecycle"
 	"github.com/rvm-go/rvm/internal/analysis/uncheckedcommit"
 	"github.com/rvm-go/rvm/internal/analysis/unloggedstore"
@@ -22,5 +25,8 @@ func All() []*framework.Analyzer {
 		uncheckedcommit.Analyzer,
 		locksync.Analyzer,
 		obsleak.Analyzer,
+		lockorder.Analyzer,
+		atomicfield.Analyzer,
+		poolescape.Analyzer,
 	}
 }

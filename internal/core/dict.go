@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // dict is the persistent segment dictionary: it maps the segment IDs that
@@ -19,8 +20,19 @@ import (
 // The dictionary is written atomically (temp file + fsync + rename) and is
 // always persisted *before* the first log record referencing a new segment,
 // so a crash can never leave the log mentioning an unknown ID.
+//
+// The durable write runs with no mutex held (fsync under a lock is the
+// discipline violation the locksync analyzer exists for); a claim (busy)
+// serializes writers, and a new entry becomes visible to lookup — and to
+// other set callers' already-recorded checks — only after it is durable,
+// so a concurrent set of the same ID can never skip the persist and
+// return before the entry is on disk.
 type dict struct {
-	path    string
+	path string
+
+	mu      sync.Mutex
+	cond    *sync.Cond // lazily created; signalled when a persist finishes
+	busy    bool       // persist claim
 	entries map[uint64]string
 }
 
@@ -69,35 +81,64 @@ func loadDict(path string) (*dict, error) {
 
 // lookup returns the path recorded for a segment ID.
 func (d *dict) lookup(id uint64) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	p, ok := d.entries[id]
 	return p, ok
 }
 
 // set records id -> path and persists the dictionary if anything changed.
+// It returns only after the entry is durable (or already was).
 func (d *dict) set(id uint64, path string) error {
+	d.mu.Lock()
+	if d.cond == nil {
+		d.cond = sync.NewCond(&d.mu)
+	}
+	for d.busy {
+		d.cond.Wait()
+	}
 	if cur, ok := d.entries[id]; ok && cur == path {
+		d.mu.Unlock()
 		return nil
 	}
-	d.entries[id] = path
-	return d.persist()
+	d.busy = true
+	snap := make(map[uint64]string, len(d.entries)+1)
+	for k, v := range d.entries {
+		snap[k] = v
+	}
+	snap[id] = path
+	d.mu.Unlock()
+
+	err := persistEntries(d.path, snap)
+
+	d.mu.Lock()
+	if err == nil {
+		d.entries[id] = path
+	}
+	d.busy = false
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return err
 }
 
-// persist writes the dictionary durably and atomically.
-func (d *dict) persist() error {
-	tmp := d.path + ".tmp"
+// persistEntries writes one version of the dictionary durably and
+// atomically.  It takes a private snapshot rather than the dict so no
+// lock is needed across the fsyncs.
+func persistEntries(path string, entries map[uint64]string) error {
+	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("core: write segment dictionary: %w", err)
 	}
 	w := bufio.NewWriter(f)
 	fmt.Fprintln(w, dictHeader)
-	ids := make([]uint64, 0, len(d.entries))
-	for id := range d.entries {
+	ids := make([]uint64, 0, len(entries))
+	for id := range entries {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		fmt.Fprintf(w, "%d\t%s\n", id, d.entries[id])
+		fmt.Fprintf(w, "%d\t%s\n", id, entries[id])
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
@@ -110,13 +151,13 @@ func (d *dict) persist() error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("core: close segment dictionary: %w", err)
 	}
-	if err := os.Rename(tmp, d.path); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("core: install segment dictionary: %w", err)
 	}
 	// The rename is only durable once the directory entry is; without this
 	// a crash can revert the dictionary to its previous version even
 	// though the log already references the new segment.
-	if err := syncDir(filepath.Dir(d.path)); err != nil {
+	if err := syncDir(filepath.Dir(path)); err != nil {
 		return fmt.Errorf("core: sync segment dictionary directory: %w", err)
 	}
 	return nil

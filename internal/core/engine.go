@@ -426,18 +426,29 @@ func (e *Engine) lookupSegment(id uint64) (*segment.Segment, error) {
 // the range must lie inside the segment, and it must not overlap any
 // currently mapped region of the same segment (paper §4.1 restrictions).
 // The returned region's memory holds the committed image of the range.
+//
+// The durable and bulk work — persisting the segment dictionary (which
+// fsyncs) and copying the committed image in — runs with e.mu released,
+// so a Map of a large region does not stall every Begin/Commit behind a
+// disk flush.  Holding the truncation slot across the whole operation
+// keeps the unlocked window sound: truncation, Unmap, Close, and other
+// Maps are serialized against it (none of them can touch the segment
+// range being copied), while the commit path never takes the slot and
+// runs unimpeded.
 func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.check(); err != nil {
+	if err := e.claimTruncation(); err != nil {
 		return nil, err
 	}
-	e.waitTruncationLocked()
+	defer e.releaseTruncation()
+
+	e.mu.Lock()
 	if !mapping.IsAligned(segOff) || !mapping.IsAligned(length) || length <= 0 {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("%w: off=%d len=%d", ErrBadAlignment, segOff, length)
 	}
 	abs, err := filepath.Abs(segPath)
 	if err != nil {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("rvm: resolve %s: %w", segPath, err)
 	}
 	var seg *segment.Segment
@@ -446,9 +457,11 @@ func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 	} else {
 		seg, err = segment.OpenWith(abs, e.opts.SegmentDevice)
 		if err != nil {
+			e.mu.Unlock()
 			return nil, err
 		}
 		if other, ok := e.segs[seg.ID()]; ok && other != seg {
+			e.mu.Unlock()
 			seg.Close()
 			return nil, fmt.Errorf("rvm: segment id %d already open from %s", other.ID(), other.Path())
 		}
@@ -456,18 +469,21 @@ func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 		e.byPath[abs] = seg.ID()
 	}
 	if segOff+length > seg.Length() {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("%w: [%d,+%d) exceeds segment length %d", ErrBounds, segOff, length, seg.Length())
 	}
-	for _, r := range e.regions {
-		if r != nil && r.seg.ID() == seg.ID() &&
-			segOff < r.segOff+r.length && r.segOff < segOff+length {
-			return nil, fmt.Errorf("%w: [%d,+%d) vs existing [%d,+%d)", ErrOverlap, segOff, length, r.segOff, r.length)
-		}
+	if r := e.overlapLocked(seg.ID(), segOff, length); r != nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: [%d,+%d) vs existing [%d,+%d)", ErrOverlap, segOff, length, r.segOff, r.length)
 	}
+	e.mu.Unlock()
+
 	// Persist the dictionary entry before any log record can reference
-	// this segment.  A failure here poisons the engine: the in-memory
-	// dictionary and its durable copy could otherwise diverge, leaving
-	// future log records referencing a segment recovery cannot find.
+	// this segment — that is, before the region exists, not before the
+	// engine lock drops.  A failure here poisons the engine: the
+	// in-memory dictionary and its durable copy could otherwise diverge,
+	// leaving future log records referencing a segment recovery cannot
+	// find.
 	if err := e.dict.set(seg.ID(), abs); err != nil {
 		return nil, e.maybePoison(err)
 	}
@@ -496,6 +512,16 @@ func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 			return nil, err
 		}
 	}
+
+	// Publish the region.  The truncation slot excludes Unmap, Close,
+	// and other Maps, so the regions slice cannot have changed; a commit
+	// can still poison the engine mid-window, so poisoning is rechecked.
+	e.mu.Lock()
+	if err := e.check(); err != nil {
+		e.mu.Unlock()
+		buf.Free()
+		return nil, err
+	}
 	r := &Region{
 		eng:    e,
 		idx:    len(e.regions),
@@ -512,7 +538,20 @@ func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 	e.pipe.mu.Lock()
 	e.regions = append(e.regions, r)
 	e.pipe.mu.Unlock()
+	e.mu.Unlock()
 	return r, nil
+}
+
+// overlapLocked returns a mapped region of segment id overlapping
+// [off, off+length), or nil.  Caller holds e.mu.
+func (e *Engine) overlapLocked(id uint64, off, length int64) *Region {
+	for _, r := range e.regions {
+		if r != nil && r.seg.ID() == id &&
+			off < r.segOff+r.length && r.segOff < off+length {
+			return r
+		}
+	}
+	return nil
 }
 
 // Unmap unmaps a quiescent region: no uncommitted transaction may have
@@ -615,8 +654,9 @@ func (e *Engine) writeDirtyPages(r *Region) error {
 }
 
 // claimTruncation blocks until it owns the truncation slot.  The slot
-// serializes truncations, Unmap, and Close against each other, and gives
-// its holder stable reads of the regions slice and region mapped-state.
+// serializes truncations, Map, Unmap, and Close against each other, and
+// gives its holder stable reads of the regions slice and region
+// mapped-state.  The commit path never takes it.
 func (e *Engine) claimTruncation() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()

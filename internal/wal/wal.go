@@ -144,6 +144,12 @@ type Log struct {
 	noSync      bool
 	skippedSync bool // a Force skipped its fsync while noSync was set
 
+	// Head-move claim: SetHead persists the status block with l.mu
+	// released (fsync under the log mutex would stall the append path),
+	// and the claim serializes concurrent head moves instead.
+	headBusy bool
+	headCond *sync.Cond // lazily created; signalled when a head move finishes
+
 	stats Stats
 
 	// Observability sinks (nil-safe).  Set once via SetObs before the log
@@ -934,22 +940,74 @@ func (l *Log) ReadRecord(ref RecordRef) (*Record, error) {
 // SetHead advances the head of the live region to pos, expecting seq there,
 // and persists the new status block.  pos must be the start of a live
 // record or the tail.  Freed space becomes available to Append immediately.
+//
+// The status write and its fsync run with l.mu released: an fsync under
+// the log mutex would stall every concurrent Append and Force for a full
+// disk flush, re-serializing the commit path behind truncation.  A head
+// claim (headBusy) keeps concurrent head moves serialized — status-block
+// generations must advance one at a time — without a mutex held across
+// the sync.  Appends that interleave with the unlocked window only grow
+// the live region at the tail, which a head move never touches, so the
+// freed byte count computed under the lock stays exact and is applied as
+// a delta when the lock is retaken.
 func (l *Log) SetHead(pos int64, seq uint64) error {
 	l.mu.Lock()
-	err := l.setHeadLocked(pos, seq)
+	if l.headCond == nil {
+		l.headCond = sync.NewCond(&l.mu)
+	}
+	for l.headBusy {
+		l.headCond.Wait()
+	}
+	if l.dev == nil {
+		l.mu.Unlock()
+		return ErrLogClosed
+	}
+	freed, err := l.headFreedLocked(pos, seq)
+	if err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.headBusy = true
+	dev, noSync := l.dev, l.noSync
+	gen := l.gen + 1
+	st := statusBlock{gen: gen, areaSize: l.areaSize, head: pos, headSeq: seq}
+	l.mu.Unlock()
+
+	werr := writeStatus(dev, int(gen%2), st)
+	if werr == nil && !noSync {
+		if err := dev.Sync(); err != nil {
+			werr = fmt.Errorf("wal: sync status: %w", err)
+		}
+	}
+
+	l.mu.Lock()
+	l.headBusy = false
+	l.headCond.Broadcast()
+	if werr != nil {
+		l.mu.Unlock()
+		return werr
+	}
+	if l.dev == nil {
+		// Closed while the status write was in flight; the durable state
+		// is fine (head moves are always safe to persist), but there is
+		// no live log to apply it to.
+		l.mu.Unlock()
+		return ErrLogClosed
+	}
+	l.gen = gen
+	l.stats.Forces++
+	l.head, l.headSeq = pos, seq
+	l.used -= freed
 	used := l.used
 	met := l.met
 	l.mu.Unlock()
-	if err == nil {
-		met.SetLogLiveBytes(used)
-	}
-	return err
+	met.SetLogLiveBytes(used)
+	return nil
 }
 
-func (l *Log) setHeadLocked(pos int64, seq uint64) error {
-	if l.dev == nil {
-		return ErrLogClosed
-	}
+// headFreedLocked validates a head move to (pos, seq) and returns the
+// byte count it frees.  Caller holds l.mu.
+func (l *Log) headFreedLocked(pos int64, seq uint64) (int64, error) {
 	freed := pos - l.head
 	if freed < 0 {
 		freed += l.areaSize
@@ -961,36 +1019,13 @@ func (l *Log) setHeadLocked(pos int64, seq uint64) error {
 		if seq == l.nextSeq && l.used == l.areaSize {
 			freed = l.used
 		} else {
-			return fmt.Errorf("wal: SetHead(%d, seq %d) does not match a live record", pos, seq)
+			return 0, fmt.Errorf("wal: SetHead(%d, seq %d) does not match a live record", pos, seq)
 		}
 	}
 	if freed > l.used {
-		return fmt.Errorf("wal: SetHead(%d) beyond tail", pos)
+		return 0, fmt.Errorf("wal: SetHead(%d) beyond tail", pos)
 	}
-	newUsed := l.used - freed
-	if err := l.persistStatusLocked(pos, seq); err != nil {
-		return err
-	}
-	l.head, l.headSeq, l.used = pos, seq, newUsed
-	return nil
-}
-
-// persistStatusLocked writes the next-generation status block to the
-// alternate slot and syncs.
-func (l *Log) persistStatusLocked(head int64, headSeq uint64) error {
-	gen := l.gen + 1
-	st := statusBlock{gen: gen, areaSize: l.areaSize, head: head, headSeq: headSeq}
-	if err := writeStatus(l.dev, int(gen%2), st); err != nil {
-		return err
-	}
-	if !l.noSync {
-		if err := l.dev.Sync(); err != nil {
-			return fmt.Errorf("wal: sync status: %w", err)
-		}
-	}
-	l.gen = gen
-	l.stats.Forces++
-	return nil
+	return freed, nil
 }
 
 // Head returns the area offset and expected sequence number of the oldest

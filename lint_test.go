@@ -1,18 +1,26 @@
 package rvm_test
 
 import (
+	"bufio"
+	"io/fs"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
+	"sort"
+	"strings"
 	"testing"
+
+	"github.com/rvm-go/rvm/internal/analysis"
 )
 
-// TestRvmcheckClean gates the tree on its own static-analysis suite: the
-// four rvmcheck analyzers (unloggedstore, txlifecycle, uncheckedcommit,
-// locksync) must report nothing.  A finding either reveals a real
-// discipline violation — fix the code — or, for the rare intentional
-// exception, demands an explicit `//rvmcheck:allow <analyzer> -- reason`
-// at the site, so every waiver is visible in review.
+// TestRvmcheckClean gates the tree on its own static-analysis suite: all
+// eight rvmcheck analyzers (unloggedstore, txlifecycle, uncheckedcommit,
+// locksync, obsleak, lockorder, atomicfield, poolescape) must report
+// nothing.  A finding either reveals a real discipline violation — fix
+// the code — or, for the rare intentional exception, demands an explicit
+// `//rvmcheck:allow <analyzer> -- reason` at the site, so every waiver
+// is visible in review.
 func TestRvmcheckClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("rvmcheck builds export data for the whole tree; skipped in -short")
@@ -23,6 +31,110 @@ func TestRvmcheckClean(t *testing.T) {
 	}
 	if len(out) != 0 {
 		t.Fatalf("rvmcheck produced unexpected output:\n%s", out)
+	}
+}
+
+// TestWaiverBudget pins the number of `//rvmcheck:allow` waivers in
+// shipping code (test files and analyzer testdata excluded) and demands
+// a reason on every one.  The 2026-08 audit of the standing waivers:
+//
+//   - birrell/birrell.go (2, locksync): the single-writer baseline
+//     fsyncs under its coarse DB lock by design — per-update in Update,
+//     full-image in Checkpoint; both are the documented costs the
+//     ablation benchmarks exist to measure.  Still required.
+//   - examples/quickstart/main.go (1, txlifecycle): the example's final
+//     commit intentionally leaves the transaction variable live for the
+//     closing println of its stats.  Still required.
+//   - rvmnest/rvmnest.go (1, unloggedstore): the nested-transaction
+//     demo pokes a byte outside any SetRange to show the checker
+//     catching it at runtime.  Still required.
+//   - rvmdist/rvmdist.go (10, locksync): two-phase commit flushes
+//     decision and vote records while holding the coordinator/
+//     subordinate mutex — the durable write must be atomic with the
+//     in-memory protocol state, and each site serializes rounds by
+//     design; in-process transports run the peer's flush inline under
+//     the same round.
+//
+// Raising this number is a design decision, not a convenience: a new
+// waiver means a new place where an fsync-under-lock (or worse) is
+// declared intentional.  Lower it freely.
+func TestWaiverBudget(t *testing.T) {
+	const budget = 14
+	allowLine := regexp.MustCompile(`^\s*//rvmcheck:allow\s`)
+	withReason := regexp.MustCompile(`^\s*//rvmcheck:allow\s+[a-z,]+\s+--\s+\S`)
+	var waivers []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" || d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			if !allowLine.MatchString(text) {
+				continue
+			}
+			waivers = append(waivers, path)
+			if !withReason.MatchString(text) {
+				t.Errorf("%s:%d: waiver without a `-- reason`", path, line)
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(waivers) != budget {
+		sort.Strings(waivers)
+		t.Errorf("waiver count = %d, budget = %d; sites:\n\t%s\nre-audit before moving the budget",
+			len(waivers), budget, strings.Join(waivers, "\n\t"))
+	}
+}
+
+// TestAnalyzerRegistryComplete keeps analysis.All() in sync with the
+// analyzer subpackages on disk: adding a new analyzer package without
+// registering it would silently drop it from rvmcheck, CI, and the vet
+// tool.
+func TestAnalyzerRegistryComplete(t *testing.T) {
+	registered := map[string]bool{}
+	for _, a := range analysis.All() {
+		if registered[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		registered[a.Name] = true
+	}
+	entries, err := os.ReadDir("internal/analysis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if name == "framework" || name == "analysistest" {
+			continue // infrastructure, not analyzers
+		}
+		if !registered[name] {
+			t.Errorf("internal/analysis/%s is not registered in analysis.All()", name)
+		}
+		delete(registered, name)
+	}
+	for name := range registered {
+		t.Errorf("analysis.All() registers %q but internal/analysis/%s does not exist", name, name)
 	}
 }
 

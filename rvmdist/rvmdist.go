@@ -272,6 +272,7 @@ func (s *Subordinate) Prepare(gtid string, work func(*PrepTx) error) (bool, erro
 		tx.Abort()
 		return false, err
 	}
+	//rvmcheck:allow locksync -- 2PC: the durable vote must be published atomically with the pending map under s.mu; the subordinate handles one message at a time by design
 	if err := tx.Commit(rvm.Flush); err != nil {
 		return false, err
 	}
@@ -296,6 +297,7 @@ func (s *Subordinate) Commit(gtid string) error {
 		tx.Abort()
 		return err
 	}
+	//rvmcheck:allow locksync -- 2PC: discarding the undo record must be atomic with the pending map under s.mu; the subordinate handles one message at a time by design
 	if err := tx.Commit(rvm.Flush); err != nil {
 		return err
 	}
@@ -357,6 +359,7 @@ func (s *Subordinate) Abort(gtid string) error {
 		tx.Abort()
 		return err
 	}
+	//rvmcheck:allow locksync -- 2PC: the compensating commit must be atomic with the pending map under s.mu; the subordinate handles one message at a time by design
 	if err := tx.Commit(rvm.Flush); err != nil {
 		return err
 	}
@@ -508,13 +511,16 @@ func (c *Coordinator) Run(gtid string, sites []string) error {
 	// Phase 1: prepare everywhere.
 	prepared := make([]string, 0, len(sites))
 	for _, site := range sites {
+		//rvmcheck:allow locksync -- in-process transports run the subordinate's durable prepare inline; the coordinator serializes rounds under c.mu by design
 		vote, err := c.transport.Prepare(site, gtid)
 		if err != nil || !vote {
 			// Presumed abort: roll back every site that prepared; sites
 			// that never heard of gtid treat Abort as a no-op.
 			for _, p := range prepared {
+				//rvmcheck:allow locksync -- presumed-abort cleanup; in-process transports run the subordinate's compensating flush inline, still inside the serialized round
 				_ = c.transport.Abort(p, gtid) // best effort; retries are the app's policy
 			}
+			//rvmcheck:allow locksync -- presumed-abort cleanup; in-process transports run the subordinate's compensating flush inline, still inside the serialized round
 			_ = c.transport.Abort(site, gtid)
 			if err != nil {
 				return fmt.Errorf("%w: prepare at %s: %v", ErrAborted, site, err)
@@ -524,14 +530,17 @@ func (c *Coordinator) Run(gtid string, sites []string) error {
 		prepared = append(prepared, site)
 	}
 	// Decision point: log commit durably before telling anyone.
+	//rvmcheck:allow locksync -- the commit decision must be durable before any site learns it; the coordinator serializes rounds under c.mu by design
 	if err := c.logDecision(gtid, sites); err != nil {
 		for _, p := range prepared {
+			//rvmcheck:allow locksync -- presumed-abort cleanup; in-process transports run the subordinate's compensating flush inline, still inside the serialized round
 			_ = c.transport.Abort(p, gtid)
 		}
 		return fmt.Errorf("%w: decision log: %v", ErrAborted, err)
 	}
 	c.decided[gtid] = append([]string(nil), sites...)
 	// Phase 2: deliver the commit.
+	//rvmcheck:allow locksync -- delivery (and its decision-record cleanup flush) must see the decided entry just published; the coordinator serializes rounds under c.mu by design
 	return c.deliverLocked(gtid)
 }
 
@@ -583,6 +592,7 @@ func (c *Coordinator) RetryPending() error {
 	defer c.mu.Unlock()
 	var firstErr error
 	for _, g := range c.pendingLocked() {
+		//rvmcheck:allow locksync -- re-delivery (and its decision-record cleanup flush) runs under c.mu so it sees a consistent decided map; the coordinator serializes rounds by design
 		if err := c.deliverLocked(g); err != nil && firstErr == nil {
 			firstErr = err
 		}
