@@ -8,8 +8,13 @@
 //	rvmstat -url http://localhost:6060/debug/rvm            one-shot view
 //	rvmstat -url ... -interval 2s                           live view
 //	rvmstat -url ... -trace trace.json -format chrome       dump the trace
+//	rvmstat -url ... -prom                                  dump /metrics (Prometheus text)
 //	rvmstat -snapshot snap.json                             render a saved snapshot
 //	rvmstat -snapshot snap.json -json                       parse + re-emit (round-trip)
+//
+// The live view survives transient fetch failures (an instance mid-restart,
+// a dropped connection): it keeps showing the last good snapshot with a
+// STALE banner and retries on the next tick, exiting only on demand.
 //
 // -json re-marshals the parsed snapshot with the same layout Snapshot
 // itself marshals to, so saved snapshots round-trip byte-for-byte; the
@@ -36,6 +41,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the parsed snapshot as JSON instead of rendering it")
 	traceOut := flag.String("trace", "", "fetch the event trace into this file and exit (requires -url)")
 	format := flag.String("format", rvm.TraceFormatJSON, "trace format: json or chrome")
+	prom := flag.Bool("prom", false, "fetch /metrics (Prometheus text format) to stdout and exit (requires -url)")
 	flag.Parse()
 
 	if (*url == "") == (*snapFile == "") {
@@ -52,25 +58,52 @@ func main() {
 		}
 		return
 	}
+	if *prom {
+		if *url == "" {
+			fatal(fmt.Errorf("-prom requires -url"))
+		}
+		if err := dumpProm(*url); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
+	live := *interval > 0 && *snapFile == ""
+	var last rvm.Snapshot
+	haveLast := false
 	for {
 		sn, err := fetch(*url, *snapFile)
 		if err != nil {
-			fatal(err)
+			if !live || !haveLast {
+				// One-shot mode, or a live view that never saw a snapshot:
+				// nothing useful to keep showing.
+				fatal(err)
+			}
+			// Transient fetch failure mid-watch: keep the last good
+			// snapshot, marked stale, and retry next tick.
+			sn = last
+		} else {
+			last, haveLast = sn, true
 		}
 		if *jsonOut {
-			data, err := json.MarshalIndent(sn, "", "  ")
 			if err != nil {
-				fatal(err)
+				fmt.Fprintf(os.Stderr, "rvmstat: stale — last fetch failed: %v\n", err)
+			}
+			data, merr := json.MarshalIndent(sn, "", "  ")
+			if merr != nil {
+				fatal(merr)
 			}
 			fmt.Println(string(data))
 		} else {
-			if *interval > 0 {
+			if live {
 				fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+			}
+			if err != nil {
+				fmt.Printf("STALE — last fetch failed: %v\n", err)
 			}
 			render(os.Stdout, sn)
 		}
-		if *interval <= 0 || *snapFile != "" {
+		if !live {
 			return
 		}
 		time.Sleep(*interval)
@@ -136,6 +169,21 @@ func dumpTrace(url, out, format string) error {
 	return nil
 }
 
+// dumpProm streams GET /metrics to stdout.
+func dumpProm(url string) error {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("GET /metrics: %s: %s", resp.Status, body)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
 // render prints the top-style view.
 func render(w io.Writer, sn rvm.Snapshot) {
 	s := sn.Stats
@@ -194,6 +242,85 @@ func render(w io.Writer, sn rvm.Snapshot) {
 			fmt.Fprintf(w, "%-16s %10d %10.1f %10d %10d %10d\n", row.name, row.h.Count,
 				row.h.Mean, row.h.P50, row.h.P99, row.h.Max)
 		}
+	}
+
+	// Where did my commit go: the flush-commit critical path, phase by
+	// phase, with each phase's share of the summed p50s.
+	phases := []struct {
+		name string
+		h    rvm.HistStat
+	}{
+		{"lock-wait", m.PhaseLockWaitNs},
+		{"encode", m.PhaseEncodeNs},
+		{"pipe-wait", m.PhasePipeWaitNs},
+		{"append", m.PhaseAppendNs},
+		{"force-wait", m.PhaseForceWaitNs},
+	}
+	var p50Sum int64
+	any := false
+	for _, ph := range phases {
+		if ph.h.Count > 0 {
+			p50Sum += ph.h.P50
+			any = true
+		}
+	}
+	if any {
+		fmt.Fprintf(w, "\n%-16s %10s %10s %10s %10s %7s\n", "commit phase", "count", "p50", "p99", "max", "share")
+		for _, ph := range phases {
+			if ph.h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-16s %10d %10s %10s %10s %6.1f%%\n", ph.name, ph.h.Count,
+				fmtDur(float64(ph.h.P50)), fmtDur(float64(ph.h.P99)), fmtDur(float64(ph.h.Max)),
+				100*float64(ph.h.P50)/float64(p50Sum))
+		}
+		for _, ph := range []struct {
+			name string
+			h    rvm.HistStat
+		}{
+			{"  gc-leader", m.PhaseGCLeaderNs},
+			{"  gc-follower", m.PhaseGCFollowerNs},
+			{"  fsync", m.PhaseFsyncNs},
+		} {
+			if ph.h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-16s %10d %10s %10s %10s\n", ph.name, ph.h.Count,
+				fmtDur(float64(ph.h.P50)), fmtDur(float64(ph.h.P99)), fmtDur(float64(ph.h.Max)))
+		}
+	}
+
+	// Lock-class contention, quietest classes omitted.
+	shown := false
+	for _, l := range m.Locks {
+		if l.Slow == 0 && l.Acquires == 0 {
+			continue
+		}
+		if !shown {
+			fmt.Fprintf(w, "\n%-16s %12s %12s %12s\n", "lock class", "acquires", "contended", "waited")
+			shown = true
+		}
+		fmt.Fprintf(w, "%-16s %12d %12d %12s\n", l.Class, l.Acquires, l.Slow, fmtDur(float64(l.WaitNs)))
+	}
+
+	// Stalls the watchdog flagged.
+	shown = false
+	for _, st := range m.Stalls {
+		if st.Count == 0 {
+			continue
+		}
+		if !shown {
+			fmt.Fprint(w, "\nstalls  ")
+			shown = true
+		}
+		fmt.Fprintf(w, " %s %d", st.Class, st.Count)
+	}
+	if shown {
+		fmt.Fprintln(w)
+	}
+	if ls := m.LastStall; ls != nil {
+		fmt.Fprintf(w, "last stall %s — in flight %s when detected, %s ago\n",
+			ls.Class, fmtDur(float64(ls.DurNs)), fmtDur(float64(ls.AgoNs)))
 	}
 }
 

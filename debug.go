@@ -3,13 +3,18 @@ package rvm
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net/http"
+	"sync"
+
+	"github.com/rvm-go/rvm/internal/core"
 )
 
 // DebugHandler returns an opt-in HTTP handler exposing live
 // introspection for this instance:
 //
 //	GET /snapshot            Snapshot as JSON (same bytes rvmstat reads)
+//	GET /metrics             Snapshot in Prometheus text format
 //	GET /trace?format=json   event trace as a JSON array
 //	GET /trace?format=chrome event trace in Chrome trace_event format
 //
@@ -36,6 +41,17 @@ func (r *RVM) DebugHandler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		sn, err := r.Snapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", core.PromContentType)
+		if err := sn.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
 		format := req.URL.Query().Get("format")
 		if format == "" {
@@ -52,17 +68,38 @@ func (r *RVM) DebugHandler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("rvm debug endpoints:\n  /snapshot\n  /trace?format=json|chrome\n"))
+		_, _ = w.Write([]byte("rvm debug endpoints:\n  /snapshot\n  /metrics\n  /trace?format=json|chrome\n"))
 	})
 	return mux
 }
 
+// expvarOwners remembers which instance published each expvar name.
+// expvar.Publish panics on a duplicate name and offers no unpublish, so
+// the registry is the only way to make re-publishing safe.
+var (
+	expvarMu     sync.Mutex
+	expvarOwners = map[string]*RVM{}
+)
+
 // PublishExpvar publishes the instance's Snapshot under name in the
 // process-wide expvar registry, making it visible at /debug/vars when
 // the application serves expvar.Handler().  Opt-in, and never called by
-// the library itself.  expvar panics if the same name is published
-// twice, so call this once per instance with distinct names.
-func (r *RVM) PublishExpvar(name string) {
+// the library itself.  Publishing the same name from the same instance
+// again is a no-op; a name already used by another instance (or by any
+// other expvar publisher — expvar has no unpublish) returns an error
+// instead of the panic expvar.Publish would raise.
+func (r *RVM) PublishExpvar(name string) error {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if owner, ok := expvarOwners[name]; ok {
+		if owner == r {
+			return nil
+		}
+		return fmt.Errorf("rvm: expvar name %q is already published by another RVM instance", name)
+	}
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("rvm: expvar name %q is already in use", name)
+	}
 	expvar.Publish(name, expvar.Func(func() any {
 		sn, err := r.Snapshot()
 		if err != nil {
@@ -70,4 +107,6 @@ func (r *RVM) PublishExpvar(name string) {
 		}
 		return sn
 	}))
+	expvarOwners[name] = r
+	return nil
 }

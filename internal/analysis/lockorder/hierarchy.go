@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"github.com/rvm-go/rvm/internal/analysis/framework"
+	"github.com/rvm-go/rvm/internal/obs"
 )
 
 // An Entry places one lock class in the hierarchy.  Levels strictly
@@ -33,6 +34,11 @@ type Entry struct {
 	Ordered bool
 	// Name is the human name used in diagnostics and DESIGN.md.
 	Name string
+	// Class is the runtime contention-counter class for this entry
+	// (obs.LockClass).  DefaultHierarchy derives Level from it, so the
+	// static order and the live contention profile can never disagree
+	// about which lock is which; test tables may leave it zero.
+	Class obs.LockClass
 }
 
 // Hierarchy is an ordered set of lock classes plus the set of packages
@@ -59,13 +65,13 @@ type Hierarchy struct {
 // Injector's inner device may itself be an Injector, and same-class
 // nesting then follows the wrap order fixed at construction.
 var DefaultHierarchy = &Hierarchy{Entries: []Entry{
-	{Pkg: "internal/core", Type: "Engine", Field: "mu", Level: 10, Name: "engine structural lock"},
-	{Pkg: "internal/core", Type: "dict", Field: "mu", Level: 15, Name: "segment-dictionary lock"},
-	{Pkg: "internal/core", Type: "Region", Field: "mu", Level: 20, Ordered: true, Name: "region lock"},
-	{Pkg: "internal/core", Type: "pipeline", Field: "mu", Level: 30, Name: "log-pipeline lock"},
-	{Pkg: "internal/core", Type: "groupCommit", Field: "mu", Level: 40, Name: "group-commit window lock"},
-	{Pkg: "internal/wal", Type: "Log", Field: "mu", Level: 50, Name: "WAL mutex"},
-	{Pkg: "internal/iofault", Type: "Injector", Field: "mu", Level: 60, Ordered: true, Name: "fault-injector lock"},
+	{Pkg: "internal/core", Type: "Engine", Field: "mu", Level: obs.LockEngine.Level(), Class: obs.LockEngine, Name: "engine structural lock"},
+	{Pkg: "internal/core", Type: "dict", Field: "mu", Level: obs.LockDict.Level(), Class: obs.LockDict, Name: "segment-dictionary lock"},
+	{Pkg: "internal/core", Type: "Region", Field: "mu", Level: obs.LockRegion.Level(), Class: obs.LockRegion, Ordered: true, Name: "region lock"},
+	{Pkg: "internal/core", Type: "pipeline", Field: "mu", Level: obs.LockPipeline.Level(), Class: obs.LockPipeline, Name: "log-pipeline lock"},
+	{Pkg: "internal/core", Type: "groupCommit", Field: "mu", Level: obs.LockGroupCommit.Level(), Class: obs.LockGroupCommit, Name: "group-commit window lock"},
+	{Pkg: "internal/wal", Type: "Log", Field: "mu", Level: obs.LockWAL.Level(), Class: obs.LockWAL, Name: "WAL mutex"},
+	{Pkg: "internal/iofault", Type: "Injector", Field: "mu", Level: obs.LockInjector.Level(), Ordered: true, Class: obs.LockInjector, Name: "fault-injector lock"},
 }}
 
 // Lookup resolves a lock class to its table entry, or nil.

@@ -6,6 +6,7 @@ import (
 	"github.com/rvm-go/rvm/internal/analysis/analysistest"
 	"github.com/rvm-go/rvm/internal/analysis/framework"
 	"github.com/rvm-go/rvm/internal/analysis/lockorder"
+	"github.com/rvm-go/rvm/internal/obs"
 )
 
 // testHierarchy mirrors the engine's table, scoped to the golden
@@ -36,6 +37,35 @@ func TestDefaultHierarchyShape(t *testing.T) {
 			t.Errorf("duplicate class name %q", e.Name)
 		}
 		names[e.Name] = true
+	}
+}
+
+// TestHierarchyMatchesLockClasses pins the 1:1 correspondence between
+// the static table and the runtime contention classes: every
+// obs.LockClass appears exactly once in DefaultHierarchy, and each
+// entry's Level is the class's.  The contention profile
+// (Metrics.LockAcquired/LockContended) and the lockorder analyzer
+// share one source of truth or this test fails.
+func TestHierarchyMatchesLockClasses(t *testing.T) {
+	seen := map[obs.LockClass]int{}
+	for _, e := range lockorder.DefaultHierarchy.Entries {
+		seen[e.Class]++
+		if e.Level != e.Class.Level() {
+			t.Errorf("entry %s.%s.%s: level %d != class %q level %d",
+				e.Pkg, e.Type, e.Field, e.Level, e.Class, e.Class.Level())
+		}
+	}
+	if len(lockorder.DefaultHierarchy.Entries) != int(obs.NumLockClasses) {
+		t.Errorf("table has %d entries, obs declares %d lock classes",
+			len(lockorder.DefaultHierarchy.Entries), obs.NumLockClasses)
+	}
+	for c := obs.LockClass(0); c < obs.NumLockClasses; c++ {
+		if seen[c] != 1 {
+			t.Errorf("lock class %q appears %d times in DefaultHierarchy, want exactly once", c, seen[c])
+		}
+		if c.String() == "unknown" || c.Level() == 0 {
+			t.Errorf("lock class %d has no name/level registered", c)
+		}
 	}
 }
 

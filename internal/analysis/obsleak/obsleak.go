@@ -17,6 +17,9 @@
 //     capture the handle and the values under the lock, emit after
 //     unlocking.  Reading the tracer clock (Now) and the gauge /
 //     histogram read accessors are exempt: they are single atomic loads.
+//     The per-lock-class contention counters (LockAcquired,
+//     LockContended) are exempt by design: they record the acquisition
+//     of the very lock they run under and cost only atomic adds.
 //   - Rule B: an argument to an emission call that allocates — a fmt or
 //     strconv call, string concatenation, a string/[]byte conversion, a
 //     composite literal, make/new/append, or a closure.  Event payloads
@@ -260,6 +263,15 @@ func (w *walker) checkCall(call *ast.CallExpr, held map[string]heldMutex) {
 			w.pass.Reportf(pos, "argument to %s.%s allocates (%s); obs emission is hot-path code and must stay allocation-free — precompute integers outside the instrumentation call",
 				recvName(fn), fn.Name(), what)
 		}
+	}
+	// The lock-contention counters are the one sanctioned exception to
+	// Rule A: they record the acquisition of the lock that is being
+	// held, so by construction they run under it.  Both are single
+	// atomic adds on the registry (no histogram, no ring write), which
+	// is exactly the footprint the rule tolerates inside a critical
+	// section.  Rule B still applies to their arguments.
+	if fn.Name() == "LockAcquired" || fn.Name() == "LockContended" {
+		return
 	}
 	// Rule A: emission under any held mutex.
 	for _, h := range held {

@@ -110,6 +110,22 @@ func goodConst(tr *obs.Tracer) {
 	tr.Record(obs.EvTxBegin, uint64(len("literal")), 0, 0)
 }
 
+// The lock-contention counters run under the lock they just acquired —
+// that is their whole point — so Rule A exempts them.
+func contentionOK(l *log) {
+	l.mu.Lock()
+	l.met.LockAcquired(obs.LockWAL)
+	l.met.LockContended(obs.LockWAL, 12)
+	l.mu.Unlock()
+}
+
+// Rule B still applies to their arguments.
+func contentionAlloc(l *log, name string) {
+	l.mu.Lock()
+	l.met.LockContended(obs.LockWAL, int64(len(fmt.Sprintf("x-%s", name)))) // want `allocates \(fmt.Sprintf\)`
+	l.mu.Unlock()
+}
+
 // The suppression directive waives the analyzer on the next line.
 func allowed(l *log) {
 	l.mu.Lock()

@@ -37,7 +37,9 @@ func (e *Engine) Checkpoint() error {
 	if err := e.claimTruncation(); err != nil {
 		return err
 	}
+	e.met.OpEnter(obs.StallCheckpoint)
 	pages, stable, err := e.checkpointClaimed()
+	e.met.OpExit(obs.StallCheckpoint)
 	err = e.maybePoison(err)
 	e.releaseTruncation()
 	if err != nil {

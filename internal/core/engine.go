@@ -145,6 +145,13 @@ type Options struct {
 	// Metrics aggregates latency/size histograms and live gauges.  nil
 	// disables metrics at zero cost.
 	Metrics *obs.Metrics
+	// StallBudget is how long a watched operation (force, group-commit
+	// wait, truncation, checkpoint, recovery) may stay in flight before
+	// the stall watchdog counts it as a stall, records an EvStall trace
+	// event, and updates LastStall in the metrics snapshot.  Zero
+	// selects a 1s default; negative disables the watchdog.  Only
+	// meaningful with Metrics set (the gates live in the registry).
+	StallBudget time.Duration
 }
 
 // Statistics are cumulative counters since Open, in the spirit of the real
@@ -276,6 +283,11 @@ type Engine struct {
 	lastCkptStable uint64 // stable seq the newest checkpoint record carries
 	lastCkptSeq    uint64 // seq of that checkpoint record itself
 
+	// Stall-watchdog loop (stall.go; nil channels when disabled).
+	stallStop chan struct{}
+	stallDone chan struct{}
+	stallOnce sync.Once
+
 	// Observability sinks, copied from Options at Open.  Both are
 	// nil-safe.  Emission never runs under a mutex: call sites capture
 	// values under their lock and emit after unlocking (rvmcheck obsleak).
@@ -379,6 +391,9 @@ func Open(opts Options) (*Engine, error) {
 	}
 	if opts.CheckpointInterval > 0 {
 		e.startCheckpointer(opts.CheckpointInterval)
+	}
+	if e.met != nil && opts.StallBudget >= 0 {
+		e.startStallWatchdog(opts.StallBudget)
 	}
 	return e, nil
 }
@@ -869,6 +884,9 @@ func (e *Engine) Close() error {
 	// slot, and no claim is held here yet, so waiting for it cannot
 	// deadlock.  It stays stopped even if this Close fails (active
 	// transactions); only explicit Checkpoint calls run after that.
+	// The stall watchdog goes too — it only reads atomics, but letting
+	// it outlive the engine's files would be sloppy.
+	e.stopStallWatchdog()
 	e.stopCheckpointer()
 	e.mu.Lock()
 	e.waitTruncationLocked()

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"github.com/rvm-go/rvm/internal/obs"
 )
 
 // Group commit (Options.GroupCommit) batches the log forces of concurrent
@@ -67,18 +69,32 @@ func (e *Engine) joinWindow() {
 
 // waitForced blocks until the log is durably forced through seq, electing
 // this committer as the force leader when no force is in flight.  Callers
-// must hold no engine lock.  A nil return means a successful force covered
-// seq;
-// a non-nil return is the sticky group-force failure (wrapped ErrPoisoned).
-func (e *Engine) waitForced(seq uint64) error {
+// must hold no engine lock.  A nil error means a successful force covered
+// seq; a non-nil error is the sticky group-force failure (wrapped
+// ErrPoisoned).  led reports whether this committer ran a force itself
+// (phase attribution splits the force wait by role), and fsyncNs is the
+// device-sync duration of a force it led (0 for followers).  The whole
+// wait runs under the group-wait stall gate so the watchdog can flag a
+// window nobody closes.
+func (e *Engine) waitForced(seq uint64) (led bool, fsyncNs int64, err error) {
 	gc := &e.gc
-	led := false
-	gc.mu.Lock()
+	timed := e.met != nil
+	e.met.OpEnter(obs.StallGroupWait)
+	defer e.met.OpExit(obs.StallGroupWait)
+	if !timed {
+		gc.mu.Lock()
+	} else if gc.mu.TryLock() {
+		e.met.LockAcquired(obs.LockGroupCommit)
+	} else {
+		wt := time.Now()
+		gc.mu.Lock()
+		e.met.LockContended(obs.LockGroupCommit, time.Since(wt).Nanoseconds())
+	}
 	for {
 		if gc.err != nil {
 			err := gc.err
 			gc.mu.Unlock()
-			return err
+			return led, fsyncNs, err
 		}
 		if e.log.ForcedThrough() >= seq {
 			gc.batch++
@@ -89,7 +105,7 @@ func (e *Engine) waitForced(seq uint64) error {
 				gc.saved++
 			}
 			gc.mu.Unlock()
-			return nil
+			return led, fsyncNs, nil
 		}
 		if gc.forcing {
 			gc.cond.Wait()
@@ -99,7 +115,14 @@ func (e *Engine) waitForced(seq uint64) error {
 		gc.forcing = true
 		gc.mu.Unlock()
 		e.joinWindow()
+		var fst time.Time
+		if timed {
+			fst = time.Now()
+		}
 		err := e.retryIO(e.log.Force)
+		if timed {
+			fsyncNs += time.Since(fst).Nanoseconds()
+		}
 		if err != nil {
 			err = e.maybePoison(err)
 		}

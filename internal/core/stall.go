@@ -1,0 +1,86 @@
+package core
+
+import (
+	"time"
+
+	"github.com/rvm-go/rvm/internal/obs"
+)
+
+// The stall watchdog (DESIGN.md §14) watches the engine's long-running
+// operations — log forces, group-commit waits, truncations, checkpoints,
+// recovery — and flags any instance that stays in flight past the
+// configured budget.  The watched code paths bracket themselves with
+// Metrics.OpEnter/OpExit (two atomic ops each); the watchdog goroutine
+// polls the resulting gates a few times per budget and, when a gate has
+// been busy past the budget, bumps the per-class stall counter, updates
+// LastStall, and drops a typed EvStall event into the trace ring.  The
+// stalled operation itself never does any of this — a goroutine stuck
+// inside an fsync cannot be relied on to report its own hang.
+//
+// Each busy episode is reported once: the watchdog remembers the gate
+// start it last reported per class and stays quiet until the gate turns
+// over.  The counters are detection events, not durations — LastStall
+// and the trace carry the observed in-flight time at detection.
+
+// defaultStallBudget is used when Options.StallBudget is zero: long
+// enough that a healthy fsync or truncation never trips it, short
+// enough that a wedged device is flagged promptly.
+const defaultStallBudget = time.Second
+
+// startStallWatchdog launches the watchdog loop.  Only called when the
+// engine has a metrics registry (the gates live in it).
+func (e *Engine) startStallWatchdog(budget time.Duration) {
+	if budget == 0 {
+		budget = defaultStallBudget
+	}
+	// Poll several times per budget so detection lags the budget by a
+	// fraction, clamped to keep the idle engine's wakeup rate sane.
+	tick := budget / 8
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	e.stallStop = make(chan struct{})
+	e.stallDone = make(chan struct{})
+	go func() {
+		defer close(e.stallDone)
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		var reported [obs.NumStallClasses]int64 // gate start last reported per class
+		for {
+			select {
+			case <-e.stallStop:
+				return
+			case <-t.C:
+				now := time.Now().UnixNano()
+				for c := obs.StallClass(0); c < obs.NumStallClasses; c++ {
+					start := e.met.OpActiveSince(c)
+					if start == 0 || now-start < budget.Nanoseconds() {
+						continue
+					}
+					if reported[c] == start {
+						continue // this episode was already reported
+					}
+					reported[c] = start
+					dur := now - start
+					e.met.RecordStall(c, dur)
+					e.tr.Record(obs.EvStall, 0, uint64(c), uint64(dur))
+				}
+			}
+		}
+	}()
+}
+
+// stopStallWatchdog stops the loop and waits for it to exit.
+// Idempotent; a no-op when no watchdog was started.
+func (e *Engine) stopStallWatchdog() {
+	if e.stallStop == nil {
+		return
+	}
+	e.stallOnce.Do(func() {
+		close(e.stallStop)
+		<-e.stallDone
+	})
+}

@@ -104,6 +104,8 @@ func (e *Engine) Truncate() error {
 // completion (paper §5.1.2, Figure 6).  Callers must hold no engine lock.
 func (e *Engine) epochTruncate() error {
 	t0 := time.Now()
+	e.met.OpEnter(obs.StallTruncation)
+	defer e.met.OpExit(obs.StallTruncation)
 	if err := e.claimTruncation(); err != nil {
 		return err
 	}
@@ -407,6 +409,8 @@ func (e *Engine) TruncateIncremental(targetFraction float64) error {
 	// Like Commit, the operation span starts at the call so traces show
 	// truncation overlapping the commits it contended with.
 	t0 := time.Now()
+	e.met.OpEnter(obs.StallTruncation)
+	defer e.met.OpExit(obs.StallTruncation)
 	if err := e.claimTruncation(); err != nil {
 		return err
 	}

@@ -239,11 +239,25 @@ func (t *Tx) sortedRegions() []int {
 
 // lockRegions acquires the lock of every region the transaction touched,
 // in ascending index order (the hierarchy's rule for multi-region
-// transactions), and returns the sorted indices.
+// transactions), and returns the sorted indices.  With metrics on, each
+// acquisition feeds the region-class contention counters; the TryLock
+// fast path keeps the uncontended case at one extra atomic add.  The
+// Lock calls stay literal in each branch so the lockorder/locksync/
+// obsleak walkers keep seeing them.
 func (t *Tx) lockRegions() []int {
 	idxs := t.sortedRegions()
+	met := t.eng.met
 	for _, idx := range idxs {
-		t.regions[idx].region.mu.Lock()
+		r := t.regions[idx].region
+		if met == nil {
+			r.mu.Lock()
+		} else if r.mu.TryLock() {
+			met.LockAcquired(obs.LockRegion)
+		} else {
+			wt := time.Now()
+			r.mu.Lock()
+			met.LockContended(obs.LockRegion, time.Since(wt).Nanoseconds())
+		}
 	}
 	return idxs
 }
@@ -414,13 +428,49 @@ func (t *Tx) commitFlush(flags uint8, t0 time.Time) error {
 	var nbytes int64
 	var saved int64
 	var need int64
+	// Phase attribution (DESIGN.md §14): with metrics on, the commit's
+	// critical path is carved into lock-wait / encode / pipeline-wait /
+	// append / force-wait, accumulated across ErrLogFull retries so the
+	// phases still partition the commit's total latency.  Taking a
+	// timestamp under a lock is fine (it is not an emission); the
+	// histograms are fed only after every lock is released.
+	timed := e.met != nil
+	var lockNs, encodeNs, pipeNs, appendNs int64
+	var pt time.Time
 	for attempt := 0; ; attempt++ {
 		// Ranges are rebuilt per attempt: they alias region memory, which
 		// is only stable while the region locks are held.
+		if timed {
+			pt = time.Now()
+		}
 		idxs := t.lockRegions()
+		if timed {
+			now := time.Now()
+			lockNs += now.Sub(pt).Nanoseconds()
+			pt = now
+		}
 		ranges, pages, sv := t.buildRanges(idxs, false)
+		if timed {
+			now := time.Now()
+			encodeNs += now.Sub(pt).Nanoseconds()
+			pt = now
+		}
 		p := &e.pipe
-		p.mu.Lock()
+		if !timed {
+			p.mu.Lock()
+		} else if p.mu.TryLock() {
+			e.met.LockAcquired(obs.LockPipeline)
+			now := time.Now()
+			pipeNs += now.Sub(pt).Nanoseconds()
+			pt = now
+		} else {
+			p.mu.Lock()
+			now := time.Now()
+			w := now.Sub(pt).Nanoseconds()
+			e.met.LockContended(obs.LockPipeline, w)
+			pipeNs += w
+			pt = now
+		}
 		// Older spooled transactions must reach the log first to keep
 		// commit order intact.
 		err := e.drainSpoolPipeLocked()
@@ -438,6 +488,9 @@ func (t *Tx) commitFlush(flags uint8, t0 time.Time) error {
 		}
 		p.mu.Unlock()
 		t.unlockRegions(idxs)
+		if timed {
+			appendNs += time.Since(pt).Nanoseconds()
+		}
 		if err == nil {
 			saved = sv
 			break
@@ -468,8 +521,15 @@ func (t *Tx) commitFlush(flags uint8, t0 time.Time) error {
 	// lock held.  A force that fails past the transient retries leaves
 	// the device state unknowable, so the engine poisons itself rather
 	// than risk acknowledging on a log it cannot trust.
+	var fsyncNs int64
+	led := true // the direct path always runs its own force
+	if timed {
+		pt = time.Now()
+	}
 	if e.opts.GroupCommit {
-		if err := e.waitForced(seq); err != nil {
+		var err error
+		led, fsyncNs, err = e.waitForced(seq)
+		if err != nil {
 			t.abandonIfPoisoned(err)
 			return err
 		}
@@ -480,10 +540,20 @@ func (t *Tx) commitFlush(flags uint8, t0 time.Time) error {
 			return err
 		}
 	}
+	var forceNs int64
+	if timed {
+		forceNs = time.Since(pt).Nanoseconds()
+		if !e.opts.GroupCommit {
+			// Direct path: the force wait is the fsync (plus retryIO's
+			// negligible bookkeeping).
+			fsyncNs = forceNs
+		}
+	}
 	t.finish()
 	e.stats.flushCommits.Add(1)
 	e.stats.intraSavedBytes.Add(uint64(saved))
 	trigger := e.shouldAutoTruncate()
+	e.met.ObserveCommitPhases(lockNs, encodeNs, pipeNs, appendNs, forceNs, fsyncNs, e.opts.GroupCommit, led)
 	e.met.ObserveCommitFlush(time.Since(t0).Nanoseconds())
 	e.tr.SpanSince(obs.EvCommitFlush, t0, t.id, uint64(nbytes), seq)
 	if trigger {

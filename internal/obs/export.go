@@ -64,6 +64,8 @@ func chromeCat(t EventType) string {
 		return "recovery"
 	case EvRetry, EvFault, EvPoisoned:
 		return "fault"
+	case EvStall:
+		return "stall"
 	default:
 		return "other"
 	}

@@ -91,8 +91,12 @@ func (h *Hist) Snapshot() HistStat {
 	return st
 }
 
-// quantile returns the estimated q-quantile: the geometric midpoint of
-// the bucket containing the q*total'th observation.
+// quantile returns the estimated q-quantile: a point inside the bucket
+// containing the q*total'th observation, linearly interpolated by the
+// rank's position within the bucket.  Interpolation tightens the
+// factor-of-two bucket granularity when many observations share a
+// bucket — important for the phase-attribution check that per-phase
+// p50s sum to roughly the total commit p50 (DESIGN.md §14).
 func quantile(counts *[65]uint64, total uint64, q float64) int64 {
 	rank := uint64(math.Ceil(q * float64(total)))
 	if rank == 0 {
@@ -100,17 +104,20 @@ func quantile(counts *[65]uint64, total uint64, q float64) int64 {
 	}
 	var seen uint64
 	for i, c := range counts {
-		seen += c
-		if seen >= rank {
-			return bucketMid(i)
+		if seen+c >= rank {
+			return bucketAt(i, float64(rank-seen)/float64(c))
 		}
+		seen += c
 	}
-	return bucketMid(64)
+	return bucketAt(64, 1)
 }
 
-// bucketMid returns the geometric midpoint of bucket i, whose range is
-// [2^(i-1), 2^i).  Bucket 0 holds only the value 0.
-func bucketMid(i int) int64 {
+// bucketAt returns the point a fraction frac (in (0, 1]) of the way
+// through bucket i, whose range is [2^(i-1), 2^i).  Bucket 0 holds only
+// the value 0, and the overflow buckets (>= 63) have no finite upper
+// edge, so both return a fixed point; Snapshot's clamp against the
+// observed maximum keeps overflow quantiles honest.
+func bucketAt(i int, frac float64) int64 {
 	if i == 0 {
 		return 0
 	}
@@ -118,5 +125,5 @@ func bucketMid(i int) int64 {
 		return math.MaxInt64
 	}
 	lo := int64(1) << (i - 1)
-	return lo + lo/2
+	return lo + int64(float64(lo)*frac)
 }

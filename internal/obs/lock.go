@@ -1,0 +1,129 @@
+package obs
+
+import "sync/atomic"
+
+// LockClass identifies one class in the engine's lock hierarchy.  The
+// classes — and their levels — mirror lockorder.DefaultHierarchy
+// (DESIGN.md §12) exactly: the static table derives its levels from
+// LockClass.Level, and a drift test in lockorder pins the 1:1
+// correspondence, so the contention profile and the statically enforced
+// order can never name different locks.
+//
+// The numeric values are dense indexes into the registry's per-class
+// contention counters, which is why the profile costs one array index
+// plus atomic adds and never a lookup.
+type LockClass int
+
+// Lock classes, outermost first.  NumLockClasses bounds the counter
+// arrays.
+const (
+	LockEngine LockClass = iota
+	LockDict
+	LockRegion
+	LockPipeline
+	LockGroupCommit
+	LockWAL
+	LockInjector
+	NumLockClasses
+)
+
+var lockNames = [NumLockClasses]string{
+	LockEngine:      "engine",
+	LockDict:        "dict",
+	LockRegion:      "region",
+	LockPipeline:    "pipeline",
+	LockGroupCommit: "group_commit",
+	LockWAL:         "wal",
+	LockInjector:    "injector",
+}
+
+var lockLevels = [NumLockClasses]int{
+	LockEngine:      10,
+	LockDict:        15,
+	LockRegion:      20,
+	LockPipeline:    30,
+	LockGroupCommit: 40,
+	LockWAL:         50,
+	LockInjector:    60,
+}
+
+// String returns the class's stable short name, used as the `class`
+// label in the Prometheus exposition and in rvmstat's lock table.
+func (c LockClass) String() string {
+	if c < 0 || c >= NumLockClasses {
+		return "unknown"
+	}
+	return lockNames[c]
+}
+
+// Level returns the class's position in the §12 hierarchy (strictly
+// increasing inward).  lockorder.DefaultHierarchy builds its table from
+// these values.
+func (c LockClass) Level() int {
+	if c < 0 || c >= NumLockClasses {
+		return 0
+	}
+	return lockLevels[c]
+}
+
+// lockCounters is one class's contention tally.  acquires counts every
+// instrumented acquisition; slow counts the ones that found the lock
+// held (TryLock failed) and had to block; waitNs accumulates the
+// blocked time of those slow acquisitions.
+type lockCounters struct {
+	acquires atomic.Uint64
+	slow     atomic.Uint64
+	waitNs   atomic.Uint64
+}
+
+// LockAcquired records an uncontended (fast-path) acquisition of class
+// c.  It is called with the lock just taken still held — the counters
+// are plain atomics, so the critical section grows by one atomic add,
+// and obsleak exempts it from the no-emission-under-mutex rule for
+// exactly that reason.
+func (m *Metrics) LockAcquired(c LockClass) {
+	if m == nil || c < 0 || c >= NumLockClasses {
+		return
+	}
+	m.locks[c].acquires.Add(1)
+}
+
+// LockContended records a slow-path acquisition of class c that blocked
+// for waitNs before succeeding.  Like LockAcquired it runs under the
+// just-acquired lock.
+func (m *Metrics) LockContended(c LockClass, waitNs int64) {
+	if m == nil || c < 0 || c >= NumLockClasses {
+		return
+	}
+	lc := &m.locks[c]
+	lc.acquires.Add(1)
+	lc.slow.Add(1)
+	if waitNs > 0 {
+		lc.waitNs.Add(uint64(waitNs))
+	}
+}
+
+// LockStat is the JSON-marshalable contention summary of one lock
+// class.
+type LockStat struct {
+	Class    string `json:"class"`
+	Level    int    `json:"level"`
+	Acquires uint64 `json:"acquires"`
+	Slow     uint64 `json:"slow"`
+	WaitNs   uint64 `json:"wait_ns"`
+}
+
+// lockStats summarizes every class, in hierarchy order.
+func (m *Metrics) lockStats() []LockStat {
+	out := make([]LockStat, NumLockClasses)
+	for c := LockClass(0); c < NumLockClasses; c++ {
+		out[c] = LockStat{
+			Class:    c.String(),
+			Level:    c.Level(),
+			Acquires: m.locks[c].acquires.Load(),
+			Slow:     m.locks[c].slow.Load(),
+			WaitNs:   m.locks[c].waitNs.Load(),
+		}
+	}
+	return out
+}

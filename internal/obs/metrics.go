@@ -34,12 +34,53 @@ type Metrics struct {
 	RecoveryScan  Hist // recovery analysis + tree build duration
 	RecoveryApply Hist // recovery segment replay duration
 
+	// Commit-phase histograms: where one flush-mode commit's latency
+	// went (DESIGN.md §14).  The first five partition the commit
+	// critical path, so their per-commit values sum to roughly the
+	// CommitFlush observation; GCLeader/GCFollower split PhaseForceWait
+	// by role under group commit, and PhaseFsync isolates the device
+	// sync inside a led (or direct) force.
+	PhaseLockWait   Hist // waiting for the transaction's region locks
+	PhaseEncode     Hist // building the WAL record (range copy + header)
+	PhasePipeWait   Hist // waiting for the log-pipeline lock
+	PhaseAppend     Hist // wal.Append: encode-to-device staging under the WAL lock
+	PhaseForceWait  Hist // waiting for durability (own force or a leader's)
+	PhaseGCLeader   Hist // PhaseForceWait of commits that led a group force
+	PhaseGCFollower Hist // PhaseForceWait of commits covered by someone else's force
+	PhaseFsync      Hist // device sync duration inside a force this commit ran
+
 	// Gauges (live levels, updated by the engine and WAL).
 	LogLiveBytes Gauge // live bytes in the log record area
 	SpoolBytes   Gauge // committed no-flush bytes awaiting a flush
 	ActiveTx     Gauge // transactions begun and not yet resolved
 	DirtyPages   Gauge // pages with committed changes not yet in their segments
+
+	// Recovery-progress gauges: live levels while a restart replays the
+	// log, so a multi-GB recovery is observable as it runs.
+	RecoveryScanBytes  Gauge // log bytes scanned by backward analysis
+	RecoveryApplyBytes Gauge // modification bytes applied to segments so far
+	RecoveryReplayed   Gauge // log records replayed so far
+
+	// Per-lock-class contention counters (lock.go) and stall-watchdog
+	// state (stall.go).
+	locks  [NumLockClasses]lockCounters
+	gates  [NumStallClasses]opGate
+	stalls [NumStallClasses]Counter
+
+	lastStallClass atomic.Int64 // StallClass+1 of the last stall; 0 = never
+	lastStallDur   atomic.Int64
+	lastStallAt    atomic.Int64 // wall ns (UnixNano) when it was detected
 }
+
+// Counter is a monotonically increasing atomic tally.  The zero Counter
+// is ready to use.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by one.
+func (c *Counter) Add(d uint64) { c.v.Add(d) }
+
+// Load returns the counter's current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics { return &Metrics{} }
@@ -102,6 +143,54 @@ func (m *Metrics) ObserveRecoveryApply(ns int64) {
 	}
 }
 
+// ObserveCommitPhases records one flush-mode commit's phase breakdown
+// (DESIGN.md §14).  lockNs, encodeNs, pipeNs, appendNs, and forceNs
+// partition the commit's critical path; group says whether the force
+// wait went through the group-commit window, and led whether this
+// commit ran the force itself.  fsyncNs is the device-sync portion of a
+// force this commit ran (0 when it was covered by someone else's).
+func (m *Metrics) ObserveCommitPhases(lockNs, encodeNs, pipeNs, appendNs, forceNs, fsyncNs int64, group, led bool) {
+	if m == nil {
+		return
+	}
+	m.PhaseLockWait.Observe(lockNs)
+	m.PhaseEncode.Observe(encodeNs)
+	m.PhasePipeWait.Observe(pipeNs)
+	m.PhaseAppend.Observe(appendNs)
+	m.PhaseForceWait.Observe(forceNs)
+	if group {
+		if led {
+			m.PhaseGCLeader.Observe(forceNs)
+		} else {
+			m.PhaseGCFollower.Observe(forceNs)
+		}
+	}
+	if fsyncNs > 0 {
+		m.PhaseFsync.Observe(fsyncNs)
+	}
+}
+
+// SetRecoveryScanBytes updates the recovery scanned-bytes gauge.
+func (m *Metrics) SetRecoveryScanBytes(v int64) {
+	if m != nil {
+		m.RecoveryScanBytes.Set(v)
+	}
+}
+
+// AddRecoveryApplyBytes adjusts the recovery applied-bytes gauge.
+func (m *Metrics) AddRecoveryApplyBytes(d int64) {
+	if m != nil {
+		m.RecoveryApplyBytes.Add(d)
+	}
+}
+
+// AddRecoveryReplayed adjusts the recovery replayed-records gauge.
+func (m *Metrics) AddRecoveryReplayed(d int64) {
+	if m != nil {
+		m.RecoveryReplayed.Add(d)
+	}
+}
+
 // SetLogLiveBytes updates the live-log gauge.
 func (m *Metrics) SetLogLiveBytes(v int64) {
 	if m != nil {
@@ -142,10 +231,27 @@ type MetricsSnapshot struct {
 	RecoveryScanNs  HistStat `json:"recovery_scan_ns"`
 	RecoveryApplyNs HistStat `json:"recovery_apply_ns"`
 
+	PhaseLockWaitNs   HistStat `json:"phase_lock_wait_ns"`
+	PhaseEncodeNs     HistStat `json:"phase_encode_ns"`
+	PhasePipeWaitNs   HistStat `json:"phase_pipe_wait_ns"`
+	PhaseAppendNs     HistStat `json:"phase_append_ns"`
+	PhaseForceWaitNs  HistStat `json:"phase_force_wait_ns"`
+	PhaseGCLeaderNs   HistStat `json:"phase_gc_leader_ns"`
+	PhaseGCFollowerNs HistStat `json:"phase_gc_follower_ns"`
+	PhaseFsyncNs      HistStat `json:"phase_fsync_ns"`
+
 	LogLiveBytes int64 `json:"log_live_bytes"`
 	SpoolBytes   int64 `json:"spool_bytes"`
 	ActiveTx     int64 `json:"active_tx"`
 	DirtyPages   int64 `json:"dirty_pages"`
+
+	RecoveryScanBytes  int64 `json:"recovery_scan_bytes"`
+	RecoveryApplyBytes int64 `json:"recovery_apply_bytes"`
+	RecoveryReplayed   int64 `json:"recovery_replayed"`
+
+	Locks     []LockStat  `json:"locks,omitempty"`
+	Stalls    []StallStat `json:"stalls,omitempty"`
+	LastStall *LastStall  `json:"last_stall,omitempty"`
 }
 
 // Snapshot summarizes every histogram and gauge.  A nil registry
@@ -164,9 +270,27 @@ func (m *Metrics) Snapshot() *MetricsSnapshot {
 		CheckpointNs:    m.Checkpoint.Snapshot(),
 		RecoveryScanNs:  m.RecoveryScan.Snapshot(),
 		RecoveryApplyNs: m.RecoveryApply.Snapshot(),
-		LogLiveBytes:    m.LogLiveBytes.Load(),
-		SpoolBytes:      m.SpoolBytes.Load(),
-		ActiveTx:        m.ActiveTx.Load(),
-		DirtyPages:      m.DirtyPages.Load(),
+
+		PhaseLockWaitNs:   m.PhaseLockWait.Snapshot(),
+		PhaseEncodeNs:     m.PhaseEncode.Snapshot(),
+		PhasePipeWaitNs:   m.PhasePipeWait.Snapshot(),
+		PhaseAppendNs:     m.PhaseAppend.Snapshot(),
+		PhaseForceWaitNs:  m.PhaseForceWait.Snapshot(),
+		PhaseGCLeaderNs:   m.PhaseGCLeader.Snapshot(),
+		PhaseGCFollowerNs: m.PhaseGCFollower.Snapshot(),
+		PhaseFsyncNs:      m.PhaseFsync.Snapshot(),
+
+		LogLiveBytes: m.LogLiveBytes.Load(),
+		SpoolBytes:   m.SpoolBytes.Load(),
+		ActiveTx:     m.ActiveTx.Load(),
+		DirtyPages:   m.DirtyPages.Load(),
+
+		RecoveryScanBytes:  m.RecoveryScanBytes.Load(),
+		RecoveryApplyBytes: m.RecoveryApplyBytes.Load(),
+		RecoveryReplayed:   m.RecoveryReplayed.Load(),
+
+		Locks:     m.lockStats(),
+		Stalls:    m.stallStats(),
+		LastStall: m.lastStall(),
 	}
 }

@@ -54,6 +54,7 @@ const (
 	EvFault                   // instant: fault injected (A = op class)
 	EvPoisoned                // instant: engine fail-stopped
 	EvCheckpoint              // span: fuzzy checkpoint (A = pages written, B = stable seq)
+	EvStall                   // instant: watchdog-detected stall (A = StallClass, B = ns in flight)
 )
 
 var eventNames = [...]string{
@@ -74,6 +75,7 @@ var eventNames = [...]string{
 	EvFault:         "fault-injected",
 	EvPoisoned:      "poisoned",
 	EvCheckpoint:    "checkpoint",
+	EvStall:         "stall",
 }
 
 // String returns the event type's stable name (used in JSON exports).

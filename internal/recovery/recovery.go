@@ -184,6 +184,11 @@ func RecoverParallel(l *wal.Log, lookup SegmentLookup, retry Retry, cfg Config) 
 	var st Stats
 	tr := l.Tracer()
 	met := l.Metrics()
+	// The whole replay runs under the recovery stall gate: restart hangs
+	// (a dead segment device, a wedged read) surface through the watchdog
+	// like any other stalled operation.
+	met.OpEnter(obs.StallRecovery)
+	defer met.OpExit(obs.StallRecovery)
 
 	scanStart := tr.Now()
 	t0 := time.Now()
@@ -192,6 +197,7 @@ func RecoverParallel(l *wal.Log, lookup SegmentLookup, retry Retry, cfg Config) 
 		return st, err
 	}
 	st.ScannedBytes = uint64(scanned)
+	met.SetRecoveryScanBytes(scanned)
 	st.CheckpointSeq = stable
 	st.Records = len(refs)
 
@@ -230,6 +236,9 @@ func RecoverParallel(l *wal.Log, lookup SegmentLookup, retry Retry, cfg Config) 
 				st.RecordBytes += uint64(len(r.Data))
 			}
 		}
+		// Live progress: a scraper watching a long restart sees the
+		// replayed-record gauge climb batch by batch.
+		met.AddRecoveryReplayed(int64(hi - lo))
 		err = runWorkers(par, func(w int) error {
 			for _, rec := range recs {
 				for _, r := range rec.Ranges {
@@ -302,6 +311,7 @@ func RecoverParallel(l *wal.Log, lookup SegmentLookup, retry Retry, cfg Config) 
 				}
 				writesMerged.Add(1)
 				treeBytes.Add(uint64(len(iv.Data)))
+				met.AddRecoveryApplyBytes(int64(len(iv.Data)))
 				return nil
 			})
 			if err != nil {

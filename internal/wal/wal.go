@@ -457,7 +457,18 @@ func (l *Log) tailPos() int64 { return (l.head + l.used) % l.areaSize }
 // It returns the record's area position, its sequence number, and the total
 // bytes consumed (including any wrap record).
 func (l *Log) Append(tid uint64, flags uint8, ranges []Range) (pos int64, seq uint64, nbytes int64, err error) {
-	l.mu.Lock()
+	// The pre-lock read of l.met is safe under the SetObs contract (set
+	// once before the log is shared).  The uncontended path costs one
+	// TryLock instead of one Lock; the contended path adds two clock reads.
+	if m := l.met; m == nil {
+		l.mu.Lock()
+	} else if l.mu.TryLock() {
+		m.LockAcquired(obs.LockWAL)
+	} else {
+		wt := time.Now()
+		l.mu.Lock()
+		m.LockContended(obs.LockWAL, time.Since(wt).Nanoseconds())
+	}
 	pos, seq, nbytes, err = l.appendLocked(recTx, tid, flags, ranges)
 	used := l.used
 	tr, met := l.tr, l.met
@@ -703,7 +714,13 @@ func (l *Log) Force() error {
 	start := tr.Now()
 	t0 := time.Now()
 	if sync {
-		if err := dev.Sync(); err != nil {
+		// Bracket the fsync with the force stall gate: a device that
+		// wedges here is exactly what the engine's watchdog exists to
+		// flag, and the hung goroutine cannot report itself.
+		met.OpEnter(obs.StallForce)
+		err := dev.Sync()
+		met.OpExit(obs.StallForce)
+		if err != nil {
 			return fmt.Errorf("wal: force: %w", err)
 		}
 	}

@@ -211,6 +211,12 @@ type Options struct {
 	// reported by Snapshot.  Observation is a handful of atomic adds per
 	// operation; false disables the registry entirely.
 	Metrics bool
+	// StallBudget is how long a log force, group-commit wait, truncation,
+	// checkpoint, or recovery may stay in flight before the stall watchdog
+	// counts it as stalled (Snapshot's stalls/last_stall, trace "stall"
+	// events).  Zero selects the 1s default; negative disables the
+	// watchdog.  Only meaningful with Metrics.
+	StallBudget time.Duration
 }
 
 // RVM is an open recoverable-virtual-memory instance: one write-ahead log
@@ -269,6 +275,7 @@ func Open(o Options) (*RVM, error) {
 		RetryBackoff:        o.RetryBackoff,
 		Tracer:              tracer,
 		Metrics:             metrics,
+		StallBudget:         o.StallBudget,
 	})
 	if err != nil {
 		return nil, err
