@@ -28,11 +28,13 @@ lint:
 bench:
 	go test -bench 'Table1|ConcurrentCommit|ConcurrentSetRange' -benchtime 1x -run '^$$' .
 
-# bench-gates runs the four checked-in regression gates the way CI does:
-# fsyncs/commit + p99, observability overhead, commit scaling, and
-# recovery (parallel-redo speedup + checkpoint-bounded restart scan).
+# bench-gates runs the five checked-in regression gates the way CI does:
+# fsyncs/commit + p99, observability overhead, commit scaling, sharded-WAL
+# scaling, and recovery (parallel-redo speedup + checkpoint-bounded
+# restart scan).
 bench-gates:
 	go run ./cmd/rvmbench -experiment concurrent -json BENCH_ci.json -thresholds bench_thresholds.json
 	go run ./cmd/rvmbench -experiment obs -thresholds bench_thresholds.json
 	go run ./cmd/rvmbench -experiment scaling -json BENCH_ci.json -thresholds bench_thresholds.json
+	go run ./cmd/rvmbench -experiment sharding -json BENCH_ci.json -thresholds bench_thresholds.json
 	go run ./cmd/rvmbench -experiment recovery -json BENCH_ci.json -thresholds bench_thresholds.json

@@ -210,6 +210,20 @@ func render(w io.Writer, sn rvm.Snapshot) {
 		s.Recoveries, fmtBytes(int64(s.RecoveredBytes)), fmtBytes(int64(s.RecoveryScanned)), s.Retries)
 	fmt.Fprintf(w, "ckpt     runs %d   pages %d\n", s.Checkpoints, s.CheckpointPages)
 
+	// Per-shard WAL breakdown; a single shard would just repeat the log
+	// line above, so the table appears only for sharded engines.
+	if len(sn.Shards) > 1 {
+		fmt.Fprintf(w, "cross-shard commits %d   discarded prepares %d\n",
+			s.CrossShardCommits, s.DiscardedPrepares)
+		fmt.Fprintf(w, "\n%-6s %12s %12s %12s %12s %12s\n",
+			"shard", "commits", "log used", "log size", "forces", "spool")
+		for _, sh := range sn.Shards {
+			fmt.Fprintf(w, "%-6d %12d %12s %12s %12d %12s\n",
+				sh.Shard, sh.Commits, fmtBytes(sh.LogUsed), fmtBytes(sh.LogSize),
+				sh.LogForces, fmtBytes(sh.SpoolBytes))
+		}
+	}
+
 	if sn.Metrics == nil {
 		fmt.Fprintln(w, "latency  (metrics disabled — open with Options.Metrics to collect)")
 		return

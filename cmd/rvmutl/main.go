@@ -10,6 +10,14 @@
 //	rvmutl truncate    <log>             # recover + truncate the log
 //	rvmutl verify      <log>             # offline consistency check
 //	rvmutl copy-log    <src> <dst> <n>   # resize or archive a log
+//
+// Sharded stores are handled transparently: status and verify read the
+// shard count from the dictionary superblock and walk every shard log
+// (<log>, <log>.shard1, …), verify additionally cross-checks that every
+// prepare record of a cross-shard transaction has a confirming commit
+// mark, and truncate preserves the recorded shard count.  copy-log
+// operates on one WAL file; archive a sharded store by copying each
+// shard file in turn.
 package main
 
 import (
@@ -46,6 +54,30 @@ func parseInt(s string) int64 {
 		die(fmt.Errorf("bad number %q", s))
 	}
 	return n
+}
+
+// recordedShards reads the shard count from the dictionary superblock
+// next to the log; 1 when absent (pre-sharding or single-shard store).
+func recordedShards(logPath string) int {
+	data, err := os.ReadFile(logPath + ".segs")
+	if err != nil {
+		return 1
+	}
+	for _, line := range splitLines(string(data)) {
+		var n int
+		if c, _ := fmt.Sscanf(line, "#shards\t%d", &n); c == 1 && n > 1 {
+			return n
+		}
+	}
+	return 1
+}
+
+// shardPath names shard k's WAL file: shard 0 is the base log itself.
+func shardPath(logPath string, k int) string {
+	if k == 0 {
+		return logPath
+	}
+	return fmt.Sprintf("%s.shard%d", logPath, k)
 }
 
 func main() {
@@ -158,15 +190,13 @@ func copyLog(srcPath, dstPath string, size int64) {
 	}
 }
 
-// verify checks a store offline: both log scan directions agree, every
-// segment the log references resolves through the dictionary, and each
-// referenced range lies inside its segment.
+// verify checks a store offline: on every shard both log scan directions
+// agree, every segment the log references resolves through the
+// dictionary, and each referenced range lies inside its segment.  For
+// sharded stores it additionally pairs cross-shard prepares with commit
+// marks: a prepare whose id has a mark nowhere is an orphan — legal (it
+// is a crash remnant recovery will discard) but reported.
 func verify(logPath string) {
-	l, err := wal.Open(logPath)
-	if err != nil {
-		die(err)
-	}
-	defer l.Close()
 	dict := map[uint64]string{}
 	if data, err := os.ReadFile(logPath + ".segs"); err == nil && len(data) > 0 {
 		lines := splitLines(string(data))
@@ -187,37 +217,75 @@ func verify(logPath string) {
 			s.Close()
 		}
 	}()
+	shards := recordedShards(logPath)
+	problems, records := 0, 0
+	prepShards := map[uint64][]int{} // prepare tid -> shards holding one
+	marked := map[uint64]bool{}      // commit-mark ids (union of shards)
+	for k := 0; k < shards; k++ {
+		problems += verifyShard(shardPath(logPath, k), k, dict, segs, &records, prepShards, marked)
+	}
+	orphans := 0
+	for tid, on := range prepShards {
+		if !marked[tid] {
+			fmt.Printf("note: tid %d prepared on shard(s) %v with no commit mark on any shard (recovery discards it)\n", tid, on)
+			orphans++
+		}
+	}
+	if problems == 0 {
+		fmt.Printf("ok: %d live record(s), %d segment(s) verified\n", records, len(segs))
+		if orphans > 0 {
+			fmt.Printf("%d orphaned prepare(s) pending discard\n", orphans)
+		}
+		return
+	}
+	fmt.Printf("%d problem(s) found\n", problems)
+	os.Exit(1)
+}
+
+func verifyShard(path string, shard int, dict map[uint64]string, segs map[uint64]*segment.Segment,
+	records *int, prepShards map[uint64][]int, marked map[uint64]bool) int {
+	l, err := wal.Open(path)
+	if err != nil {
+		die(err)
+	}
+	defer l.Close()
 	problems := 0
 	var fwd []uint64
 	err = l.ScanForward(func(r *wal.Record) error {
 		fwd = append(fwd, r.Seq)
+		switch r.Type {
+		case wal.RecPrepare:
+			prepShards[r.TID] = append(prepShards[r.TID], shard)
+		case wal.RecCommit:
+			marked[r.TID] = true
+		}
 		for _, rg := range r.Ranges {
 			s, ok := segs[rg.Seg]
 			if !ok {
-				path, found := dict[rg.Seg]
+				segPath, found := dict[rg.Seg]
 				if !found {
-					fmt.Printf("PROBLEM: record seq %d references segment %d not in dictionary\n", r.Seq, rg.Seg)
+					fmt.Printf("PROBLEM: shard %d record seq %d references segment %d not in dictionary\n", shard, r.Seq, rg.Seg)
 					problems++
 					continue
 				}
-				s, err = segment.Open(path)
+				s, err = segment.Open(segPath)
 				if err != nil {
-					fmt.Printf("PROBLEM: segment %d (%s): %v\n", rg.Seg, path, err)
+					fmt.Printf("PROBLEM: segment %d (%s): %v\n", rg.Seg, segPath, err)
 					problems++
 					continue
 				}
 				segs[rg.Seg] = s
 			}
 			if int64(rg.Off)+int64(len(rg.Data)) > s.Length() {
-				fmt.Printf("PROBLEM: record seq %d range [%d,+%d) exceeds segment %d length %d\n",
-					r.Seq, rg.Off, len(rg.Data), rg.Seg, s.Length())
+				fmt.Printf("PROBLEM: shard %d record seq %d range [%d,+%d) exceeds segment %d length %d\n",
+					shard, r.Seq, rg.Off, len(rg.Data), rg.Seg, s.Length())
 				problems++
 			}
 		}
 		return nil
 	})
 	if err != nil {
-		fmt.Printf("PROBLEM: forward scan: %v\n", err)
+		fmt.Printf("PROBLEM: shard %d forward scan: %v\n", shard, err)
 		problems++
 	}
 	i := len(fwd)
@@ -229,15 +297,11 @@ func verify(logPath string) {
 		return nil
 	})
 	if err != nil || i != 0 {
-		fmt.Printf("PROBLEM: backward scan: %v (remaining %d)\n", err, i)
+		fmt.Printf("PROBLEM: shard %d backward scan: %v (remaining %d)\n", shard, err, i)
 		problems++
 	}
-	if problems == 0 {
-		fmt.Printf("ok: %d live record(s), %d segment(s) verified\n", len(fwd), len(segs))
-		return
-	}
-	fmt.Printf("%d problem(s) found\n", problems)
-	os.Exit(1)
+	*records += len(fwd)
+	return problems
 }
 
 func splitLines(s string) []string {
@@ -255,8 +319,22 @@ func splitLines(s string) []string {
 	return out
 }
 
-// status prints the log status block and a summary of live records.
+// status prints each shard's log status block and a summary of its live
+// records; single-shard stores print exactly the pre-sharding layout.
 func status(path string) {
+	shards := recordedShards(path)
+	for k := 0; k < shards; k++ {
+		if shards > 1 {
+			if k > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("shard %d of %d:\n", k, shards)
+		}
+		statusOne(shardPath(path, k))
+	}
+}
+
+func statusOne(path string) {
 	l, err := wal.Open(path)
 	if err != nil {
 		die(err)
@@ -269,17 +347,25 @@ func status(path string) {
 	fmt.Printf("live bytes:   %d (%.1f%%)\n", l.Used(), 100*float64(l.Used())/float64(l.AreaSize()))
 	fmt.Printf("head:         offset %d, seq %d\n", head, headSeq)
 	fmt.Printf("tail:         offset %d, next seq %d\n", tail, nextSeq)
-	var recs, ranges, ckpts int
+	fmt.Printf("forced LSN:   %d\n", l.ForcedThrough())
+	var recs, ranges, ckpts, preps, marks int
 	var bytes uint64
 	var stable uint64
 	segs := map[uint64]bool{}
 	err = l.ScanForward(func(r *wal.Record) error {
-		if r.Type == wal.RecCheckpoint {
+		switch r.Type {
+		case wal.RecCheckpoint:
 			ckpts++
 			stable = r.CkptSeq // forward scan: the last one seen is newest
 			return nil
+		case wal.RecPrepare:
+			preps++
+		case wal.RecCommit:
+			marks++
+			return nil
+		default:
+			recs++
 		}
-		recs++
 		for _, rg := range r.Ranges {
 			ranges++
 			bytes += uint64(len(rg.Data))
@@ -292,6 +378,9 @@ func status(path string) {
 	}
 	fmt.Printf("live records: %d transactions, %d ranges, %d data bytes, %d segment(s)\n",
 		recs, ranges, bytes, len(segs))
+	if preps > 0 || marks > 0 {
+		fmt.Printf("cross-shard:  %d prepare(s), %d commit mark(s)\n", preps, marks)
+	}
 	if ckpts > 0 {
 		fmt.Printf("checkpoints:  %d record(s), newest stable seq %d (recovery scans from there)\n",
 			ckpts, stable)
@@ -323,9 +412,14 @@ func segInfo(path string) {
 	fmt.Printf("length:  %d bytes\n", s.Length())
 }
 
-// truncate opens the store (running recovery) and truncates the log.
+// truncate opens the store (running recovery) and truncates the log,
+// preserving the shard count the dictionary records.
 func truncate(logPath string) {
-	db, err := rvm.Open(rvm.Options{LogPath: logPath, TruncateThreshold: -1})
+	db, err := rvm.Open(rvm.Options{
+		LogPath:           logPath,
+		LogShards:         recordedShards(logPath),
+		TruncateThreshold: -1,
+	})
 	if err != nil {
 		die(err)
 	}

@@ -1,6 +1,7 @@
 // Golden cases for the lockorder analyzer, checked against a test
 // hierarchy mirroring the engine's: Engine.mu (level 10) → Region.mu
-// (20, ordered) → pipeline.mu (30) → Log.mu (50).
+// (20, ordered) → pipeline.mu (30, ordered: one per WAL shard) →
+// Log.mu (50).
 package a
 
 import "sync"
@@ -49,6 +50,15 @@ func goodOrderedNesting(a, b *Region) {
 	b.mu.Lock()
 	b.mu.Unlock()
 	a.mu.Unlock()
+}
+
+// pipeline is Ordered too: one pipeline lock exists per WAL shard, and
+// cross-shard commits take them in ascending shard index.
+func goodShardPipeNesting(a, b *Engine) {
+	a.pipe.mu.Lock()
+	b.pipe.mu.Lock()
+	b.pipe.mu.Unlock()
+	a.pipe.mu.Unlock()
 }
 
 // Releasing before acquiring outward is legal; only held locks order.

@@ -11,12 +11,13 @@ import (
 	"github.com/rvm-go/rvm/internal/wal"
 )
 
-// Checkpoint runs one fuzzy checkpoint: it drains the spool, writes the
-// queued dirty pages to their segments, syncs them, and appends a
-// checkpoint record carrying the stable LSN — the sequence number below
-// which every log record is fully reflected.  A later recovery ends its
-// backward scan there, so restart time is bounded by the log written
-// since the last checkpoint, not the whole live log.
+// Checkpoint runs one fuzzy checkpoint per shard: for each shard it drains
+// the spool, writes the queued dirty pages to their segments, syncs them,
+// and appends a checkpoint record carrying that shard's stable LSN — the
+// sequence number below which every record in that shard's log is fully
+// reflected.  A later recovery ends each shard's backward scan at its own
+// checkpoint, so restart time is bounded by the log written since the last
+// checkpoint on the busiest shard, not the whole live log.
 //
 // The checkpoint is fuzzy in the paper-adjacent sense: committers are
 // never stalled.  Page write-outs use the same per-page locking as
@@ -27,8 +28,14 @@ import (
 // of blocking anyone.  No quiescence is needed because the stable LSN is
 // computed from what was actually written, not from a frozen world.
 //
-// Unlike truncation the log head does not move: checkpoints bound
-// recovery even when truncation is disabled or behind.
+// Cross-shard transactions need no coordination here: a prepare's pages
+// stay pinned until the transaction finishes, so a shard's stable LSN can
+// never separate an in-flight prepare from its commit mark — and once the
+// transaction is complete, every participating shard carries its own copy
+// of the commit mark, keeping each shard's scan self-sufficient.
+//
+// Unlike truncation the log heads do not move: checkpoints bound recovery
+// even when truncation is disabled or behind.
 func (e *Engine) Checkpoint() error {
 	if err := e.check(); err != nil {
 		return err
@@ -38,7 +45,16 @@ func (e *Engine) Checkpoint() error {
 		return err
 	}
 	e.met.OpEnter(obs.StallCheckpoint)
-	pages, stable, err := e.checkpointClaimed()
+	var pages, stable uint64
+	var err error
+	for _, sh := range e.shards {
+		var p uint64
+		p, stable, err = e.checkpointShardClaimed(sh)
+		pages += p
+		if err != nil {
+			break
+		}
+	}
 	e.met.OpExit(obs.StallCheckpoint)
 	err = e.maybePoison(err)
 	e.releaseTruncation()
@@ -52,20 +68,20 @@ func (e *Engine) Checkpoint() error {
 	return nil
 }
 
-// checkpointClaimed is the checkpoint body; the caller holds the
-// truncation claim.
-func (e *Engine) checkpointClaimed() (pages, stable uint64, err error) {
+// checkpointShardClaimed is one shard's checkpoint body; the caller holds
+// the truncation claim.
+func (e *Engine) checkpointShardClaimed(sh *shard) (pages, stable uint64, err error) {
 	// Spooled commits become log records first: a dirty page written
 	// below may hold committed no-flush bytes, and a page must never
 	// reach its segment ahead of the log records covering it.
-	if err := e.flushSpool(true); err != nil {
+	if err := e.flushSpool(sh, true); err != nil {
 		return 0, 0, err
 	}
-	pages, stable, err = e.writeCheckpointPages()
+	pages, stable, err = e.writeCheckpointPages(sh)
 	if err != nil {
 		return pages, stable, err
 	}
-	if e.log.Used() == 0 || stable <= e.lastCkptStable || stable == e.lastCkptSeq+1 {
+	if sh.log.Used() == 0 || stable <= sh.lastCkptStable || stable == sh.lastCkptSeq+1 {
 		// No progress to record: the log is empty, the stable seq did not
 		// advance, or the only record since the last checkpoint is that
 		// checkpoint itself (a drained queue reports the next append seq,
@@ -74,7 +90,7 @@ func (e *Engine) checkpointClaimed() (pages, stable uint64, err error) {
 	}
 	var ckSeq uint64
 	err = e.retryIO(func() error {
-		_, seq, err := e.log.AppendCheckpoint(stable)
+		_, seq, err := sh.log.AppendCheckpoint(stable)
 		ckSeq = seq
 		return err
 	})
@@ -86,25 +102,25 @@ func (e *Engine) checkpointClaimed() (pages, stable uint64, err error) {
 	if err != nil {
 		return pages, stable, err
 	}
-	if err := e.retryIO(e.log.Force); err != nil {
+	if err := e.retryIO(sh.log.Force); err != nil {
 		return pages, stable, err
 	}
-	e.lastCkptStable = stable
-	e.lastCkptSeq = ckSeq
+	sh.lastCkptStable = stable
+	sh.lastCkptSeq = ckSeq
 	return pages, stable, nil
 }
 
-// writeCheckpointPages writes queued dirty pages to their segments,
-// oldest log reference first, and syncs the touched segments.  It
-// returns the stable LSN: the first remaining descriptor's sequence
-// number when a page stayed pinned, or the next append sequence when the
-// queue drained completely.  Locking follows incrementalSteps: the
-// region lock covers the copy, the dirty clear, and the queue pop, so no
-// commit can re-enqueue a descriptor mid-retirement; syncs run with no
+// writeCheckpointPages writes one shard's queued dirty pages to their
+// segments, oldest log reference first, and syncs the touched segments.
+// It returns the shard's stable LSN: the first remaining descriptor's
+// sequence number when a page stayed pinned, or the next append sequence
+// when the queue drained completely.  Locking follows incrementalSteps:
+// the region lock covers the copy, the dirty clear, and the queue pop, so
+// no commit can re-enqueue a descriptor mid-retirement; syncs run with no
 // lock held.
-func (e *Engine) writeCheckpointPages() (pages, stable uint64, err error) {
+func (e *Engine) writeCheckpointPages(sh *shard) (pages, stable uint64, err error) {
 	ps := int64(mapping.PageSize)
-	p := &e.pipe
+	p := &sh.pipe
 	wrote := make(map[*segment.Segment]bool)
 	// Pages pinned by an in-flight commit usually unpin within
 	// milliseconds (the committer holds them across its log force); wait
@@ -114,11 +130,11 @@ func (e *Engine) writeCheckpointPages() (pages, stable uint64, err error) {
 		p.mu.Lock()
 		d, ok := p.queue.First()
 		if !ok {
-			// Queue empty: every record in the log is reflected.  Read
-			// the next append sequence while still holding the pipeline
-			// lock — appends hold it too, so no commit can slip a record
-			// between the empty-queue observation and this read.
-			_, stable = e.log.Tail()
+			// Queue empty: every record in the shard's log is reflected.
+			// Read the next append sequence while still holding the
+			// pipeline lock — appends hold it too, so no commit can slip a
+			// record between the empty-queue observation and this read.
+			_, stable = sh.log.Tail()
 			p.mu.Unlock()
 			break
 		}
@@ -146,7 +162,7 @@ func (e *Engine) writeCheckpointPages() (pages, stable uint64, err error) {
 			// no-undo/redo invariant (the region lock holds the spool
 			// state for this region steady across the check and copy).
 			p.mu.Lock()
-			blocked = e.spoolRefsPagePipeLocked(d.ID)
+			blocked = spoolRefsPagePipeLocked(p, d.ID)
 			p.mu.Unlock()
 		}
 		if blocked {
@@ -183,12 +199,12 @@ func (e *Engine) writeCheckpointPages() (pages, stable uint64, err error) {
 }
 
 // spoolRefsPagePipeLocked reports whether a spooled (committed no-flush,
-// not yet logged) transaction references the page.  Writing such a page
-// to its segment would persist committed-but-unlogged bytes: a crash
-// then leaves that transaction partially applied with no log record to
-// finish it, breaking atomicity.  Caller holds pipe.mu.
-func (e *Engine) spoolRefsPagePipeLocked(id pagevec.PageID) bool {
-	for _, sp := range e.pipe.spool {
+// not yet logged) transaction on this pipeline references the page.
+// Writing such a page to its segment would persist committed-but-unlogged
+// bytes: a crash then leaves that transaction partially applied with no
+// log record to finish it, breaking atomicity.  Caller holds p.mu.
+func spoolRefsPagePipeLocked(p *pipeline, id pagevec.PageID) bool {
+	for _, sp := range p.spool {
 		for _, pg := range sp.pages {
 			if pg == id {
 				return true

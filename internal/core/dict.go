@@ -34,9 +34,18 @@ type dict struct {
 	cond    *sync.Cond // lazily created; signalled when a persist finishes
 	busy    bool       // persist claim
 	entries map[uint64]string
+	shards  int // shard-map superblock: number of WAL shards recorded on disk (0 = absent, meaning 1)
 }
 
 const dictHeader = "# RVM segment dictionary v1"
+
+// shardsPrefix introduces the shard-map superblock line ("#shards\t<N>").
+// The line records how many WAL shard logs exist, so recovery after a
+// crash opens and replays every shard even if the caller reopens with a
+// different LogShards setting.  It is written before any shard log file
+// beyond shard 0 is created, and omitted entirely for single-shard
+// instances so their dictionaries stay byte-identical to prior versions.
+const shardsPrefix = "#shards\t"
 
 // loadDict reads the dictionary at path; a missing file is an empty dict.
 func loadDict(path string) (*dict, error) {
@@ -63,6 +72,14 @@ func loadDict(path string) (*dict, error) {
 		if line == "" {
 			continue
 		}
+		if rest, ok := strings.CutPrefix(line, shardsPrefix); ok {
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("core: %s: bad shard count %q", path, rest)
+			}
+			d.shards = n
+			continue
+		}
 		id, p, ok := strings.Cut(line, "\t")
 		if !ok {
 			return nil, fmt.Errorf("core: %s: malformed line %q", path, line)
@@ -87,6 +104,52 @@ func (d *dict) lookup(id uint64) (string, bool) {
 	return p, ok
 }
 
+// shardCount returns the number of WAL shards the dictionary records; a
+// dictionary without the superblock line (all pre-sharding instances)
+// implies one.
+func (d *dict) shardCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.shards < 1 {
+		return 1
+	}
+	return d.shards
+}
+
+// setShards records the shard count durably.  Callers invoke it before
+// creating any new shard log file, so a crash can never leave shard logs
+// the dictionary does not know about.
+func (d *dict) setShards(n int) error {
+	d.mu.Lock()
+	if d.cond == nil {
+		d.cond = sync.NewCond(&d.mu)
+	}
+	for d.busy {
+		d.cond.Wait()
+	}
+	if d.shards == n || (n == 1 && d.shards == 0) {
+		d.mu.Unlock()
+		return nil
+	}
+	d.busy = true
+	snap := make(map[uint64]string, len(d.entries))
+	for k, v := range d.entries {
+		snap[k] = v
+	}
+	d.mu.Unlock()
+
+	err := persistEntries(d.path, snap, n)
+
+	d.mu.Lock()
+	if err == nil {
+		d.shards = n
+	}
+	d.busy = false
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return err
+}
+
 // set records id -> path and persists the dictionary if anything changed.
 // It returns only after the entry is durable (or already was).
 func (d *dict) set(id uint64, path string) error {
@@ -107,9 +170,10 @@ func (d *dict) set(id uint64, path string) error {
 		snap[k] = v
 	}
 	snap[id] = path
+	shards := d.shards
 	d.mu.Unlock()
 
-	err := persistEntries(d.path, snap)
+	err := persistEntries(d.path, snap, shards)
 
 	d.mu.Lock()
 	if err == nil {
@@ -124,7 +188,7 @@ func (d *dict) set(id uint64, path string) error {
 // persistEntries writes one version of the dictionary durably and
 // atomically.  It takes a private snapshot rather than the dict so no
 // lock is needed across the fsyncs.
-func persistEntries(path string, entries map[uint64]string) error {
+func persistEntries(path string, entries map[uint64]string, shards int) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -132,6 +196,9 @@ func persistEntries(path string, entries map[uint64]string) error {
 	}
 	w := bufio.NewWriter(f)
 	fmt.Fprintln(w, dictHeader)
+	if shards > 1 {
+		fmt.Fprintf(w, "%s%d\n", shardsPrefix, shards)
+	}
 	ids := make([]uint64, 0, len(entries))
 	for id := range entries {
 		ids = append(ids, id)

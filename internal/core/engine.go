@@ -11,9 +11,9 @@
 //
 // The engine scales across CPUs by never taking a global lock on the
 // transaction hot path.  Three lock levels exist, acquired strictly in
-// this order (DESIGN.md §12):
+// this order (DESIGN.md §12, §15):
 //
-//		e.mu (Engine)  >  r.mu (Region, ascending index)  >  e.pipe.mu (pipeline)
+//		e.mu (Engine)  >  r.mu (Region, ascending index)  >  sh.pipe.mu (shard pipeline, ascending shard)
 //
 //	  - e.mu is structural: Map/Unmap/Close/Query/Snapshot, the segment and
 //	    dictionary tables, the regions slice, and the truncation claim
@@ -21,21 +21,25 @@
 //	  - r.mu is per-region: it guards r.data stability, r.nTx, r.mapped,
 //	    and orders pvec reference-count checks against the page writes they
 //	    gate.  Transactions on disjoint regions share no lock.
-//	  - e.pipe.mu is the log pipeline: it serializes buildRanges-to-append
-//	    ordering, the spool, and the truncation queue.  It is the innermost
-//	    lock; holding it while acquiring a region lock is a lock-order
-//	    inversion (flagged by the rvmcheck locksync analyzer).
+//	  - sh.pipe.mu is a shard's log pipeline: it serializes buildRanges-to-
+//	    append ordering, the shard's spool, and its truncation queue.  It
+//	    is the innermost engine lock; holding it while acquiring a region
+//	    lock is a lock-order inversion (flagged by the rvmcheck locksync
+//	    analyzer).  When several shard pipelines must be held at once
+//	    (Map/Unmap mutating the regions slice), they are taken in
+//	    ascending shard order.
 //
-// wal.Log's and groupCommit's mutexes are leaves below all three.  No
-// fsync runs under any engine lock (locksync Rule A/B).  Engine-wide
-// counters, the active-transaction count, the transaction-ID source, and
-// the poisoned/closed flags are atomics.
+// wal.Log's and groupCommit's mutexes are leaves below all three (one of
+// each per shard).  No fsync runs under any engine lock (locksync Rule
+// A/B).  Engine-wide counters, the active-transaction count, the
+// transaction-ID source, and the poisoned/closed flags are atomics.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -75,6 +79,26 @@ type Options struct {
 	// opens, mirroring LogDevice for the segment side of the seam; tests
 	// inject fault devices.  nil uses the bare file.
 	SegmentDevice segment.DeviceWrap
+	// LogShards is the number of independent write-ahead logs the engine
+	// commits through.  Each shard owns its own pipeline lock, group-
+	// commit leader, forced-through LSN, and truncation, so commits on
+	// regions placed on different shards never contend on a lock or an
+	// fsync device.  Zero or one selects the classic single log, byte-
+	// compatible with pre-sharding instances.  Shard 0 lives at LogPath;
+	// shard k at LogPath+".shard<k>" (created on first open, sized like
+	// shard 0).  The shard count is recorded in the segment dictionary
+	// so recovery replays every shard even when the count changes
+	// between runs.
+	LogShards int
+	// ShardOf optionally places regions on shards explicitly: it is
+	// called at Map time with the segment ID and region offset and
+	// returns the shard index (reduced modulo LogShards).  nil hashes
+	// (segID, segOff), which spreads independent regions evenly.
+	ShardOf func(segID uint64, segOff int64) int
+	// ShardLogDevice overrides the log storage of shards beyond shard 0
+	// (shard 0 uses LogDevice); tests inject per-shard fault devices.
+	// nil opens — creating if missing — the file at the shard's path.
+	ShardLogDevice func(shard int) (wal.Device, error)
 	// MaxRetries bounds the retry attempts (beyond the first try) for
 	// transient storage faults on the log-force and segment-write paths.
 	// Zero selects the default of 3; negative disables retries.
@@ -157,46 +181,52 @@ type Options struct {
 // Statistics are cumulative counters since Open, in the spirit of the real
 // RVM's rvm_statistics call.
 type Statistics struct {
-	Begins          uint64 `json:"begins"`            // transactions begun
-	FlushCommits    uint64 `json:"flush_commits"`     // commits in flush mode
-	NoFlushCommits  uint64 `json:"noflush_commits"`   // commits in no-flush (lazy) mode
-	Aborts          uint64 `json:"aborts"`            // explicit aborts
-	SetRanges       uint64 `json:"set_ranges"`        // set-range calls
-	EmptyCommits    uint64 `json:"empty_commits"`     // commits that logged nothing
-	LogBytes        uint64 `json:"log_bytes"`         // record bytes appended to the log
-	LogForces       uint64 `json:"log_forces"`        // fsyncs of the log on the commit/flush path
-	IntraSavedBytes uint64 `json:"intra_saved_bytes"` // log bytes avoided by intra-transaction optimization
-	InterSavedBytes uint64 `json:"inter_saved_bytes"` // log bytes avoided by inter-transaction optimization
-	Flushes         uint64 `json:"flushes"`           // explicit or implicit spool flushes
-	EpochTruncs     uint64 `json:"epoch_truncs"`      // epoch truncations completed
-	IncrSteps       uint64 `json:"incr_steps"`        // incremental truncation page write-outs
-	PagesWritten    uint64 `json:"pages_written"`     // pages written to segments by truncation/unmap
-	Recoveries      uint64 `json:"recoveries"`        // recoveries performed at Open (0 or 1)
-	RecoveredBytes  uint64 `json:"recovered_bytes"`   // bytes applied to segments during recovery
-	RecoveryScanned uint64 `json:"recovery_scanned"`  // log bytes visited by recovery's analysis pass
-	Retries         uint64 `json:"retries"`           // transient storage faults retried on log/segment paths
-	TruncFailures   uint64 `json:"trunc_failures"`    // background truncations that failed
-	ForcesSaved     uint64 `json:"forces_saved"`      // flush commits acknowledged by another committer's force
-	GroupCommitSize uint64 `json:"group_commit_size"` // largest number of flush commits covered by one force
-	Checkpoints     uint64 `json:"checkpoints"`       // fuzzy checkpoints completed
-	CheckpointPages uint64 `json:"checkpoint_pages"`  // pages written to segments by checkpoints
+	Begins            uint64 `json:"begins"`              // transactions begun
+	FlushCommits      uint64 `json:"flush_commits"`       // commits in flush mode
+	NoFlushCommits    uint64 `json:"noflush_commits"`     // commits in no-flush (lazy) mode
+	Aborts            uint64 `json:"aborts"`              // explicit aborts
+	SetRanges         uint64 `json:"set_ranges"`          // set-range calls
+	EmptyCommits      uint64 `json:"empty_commits"`       // commits that logged nothing
+	LogBytes          uint64 `json:"log_bytes"`           // record bytes appended to the log
+	LogForces         uint64 `json:"log_forces"`          // fsyncs of the log on the commit/flush path
+	IntraSavedBytes   uint64 `json:"intra_saved_bytes"`   // log bytes avoided by intra-transaction optimization
+	InterSavedBytes   uint64 `json:"inter_saved_bytes"`   // log bytes avoided by inter-transaction optimization
+	Flushes           uint64 `json:"flushes"`             // explicit or implicit spool flushes
+	EpochTruncs       uint64 `json:"epoch_truncs"`        // epoch truncations completed
+	IncrSteps         uint64 `json:"incr_steps"`          // incremental truncation page write-outs
+	PagesWritten      uint64 `json:"pages_written"`       // pages written to segments by truncation/unmap
+	Recoveries        uint64 `json:"recoveries"`          // recoveries performed at Open (0 or 1)
+	RecoveredBytes    uint64 `json:"recovered_bytes"`     // bytes applied to segments during recovery
+	RecoveryScanned   uint64 `json:"recovery_scanned"`    // log bytes visited by recovery's analysis pass
+	Retries           uint64 `json:"retries"`             // transient storage faults retried on log/segment paths
+	TruncFailures     uint64 `json:"trunc_failures"`      // background truncations that failed
+	ForcesSaved       uint64 `json:"forces_saved"`        // flush commits acknowledged by another committer's force
+	GroupCommitSize   uint64 `json:"group_commit_size"`   // largest number of flush commits covered by one force
+	Checkpoints       uint64 `json:"checkpoints"`         // fuzzy checkpoints completed
+	CheckpointPages   uint64 `json:"checkpoint_pages"`    // pages written to segments by checkpoints
+	CrossShardCommits uint64 `json:"cross_shard_commits"` // commits that spanned WAL shards (two-phase)
+	// DiscardedPrepares counts cross-shard prepare records recovery found
+	// with no confirming commit mark on any shard: the crash (or an abort)
+	// struck between the prepares and the commit record, and the
+	// transaction was correctly discarded everywhere.
+	DiscardedPrepares uint64 `json:"discarded_prepares"`
 }
 
 // String renders the counters as a compact multi-line summary, so tools
 // stop hand-formatting the struct.
 func (s Statistics) String() string {
 	return fmt.Sprintf(
-		"tx: begins=%d flush=%d noflush=%d aborts=%d empty=%d setranges=%d\n"+
+		"tx: begins=%d flush=%d noflush=%d aborts=%d empty=%d setranges=%d cross-shard=%d\n"+
 			"log: bytes=%d forces=%d flushes=%d intra-saved=%d inter-saved=%d\n"+
 			"truncation: epochs=%d incr-steps=%d pages=%d failures=%d\n"+
-			"recovery: runs=%d bytes=%d scanned=%d\n"+
+			"recovery: runs=%d bytes=%d scanned=%d discarded-prepares=%d\n"+
 			"checkpoint: runs=%d pages=%d\n"+
 			"faults: retries=%d\n"+
 			"group-commit: saved=%d max-batch=%d",
-		s.Begins, s.FlushCommits, s.NoFlushCommits, s.Aborts, s.EmptyCommits, s.SetRanges,
+		s.Begins, s.FlushCommits, s.NoFlushCommits, s.Aborts, s.EmptyCommits, s.SetRanges, s.CrossShardCommits,
 		s.LogBytes, s.LogForces, s.Flushes, s.IntraSavedBytes, s.InterSavedBytes,
 		s.EpochTruncs, s.IncrSteps, s.PagesWritten, s.TruncFailures,
-		s.Recoveries, s.RecoveredBytes, s.RecoveryScanned,
+		s.Recoveries, s.RecoveredBytes, s.RecoveryScanned, s.DiscardedPrepares,
 		s.Checkpoints, s.CheckpointPages,
 		s.Retries,
 		s.ForcesSaved, s.GroupCommitSize)
@@ -206,39 +236,75 @@ func (s Statistics) String() string {
 // transaction hot path and background truncation bump them without any
 // lock.  Stats() assembles the public Statistics from a load of each.
 type counters struct {
-	begins          atomic.Uint64
-	flushCommits    atomic.Uint64
-	noFlushCommits  atomic.Uint64
-	aborts          atomic.Uint64
-	setRanges       atomic.Uint64
-	emptyCommits    atomic.Uint64
-	intraSavedBytes atomic.Uint64
-	interSavedBytes atomic.Uint64
-	flushes         atomic.Uint64
-	epochTruncs     atomic.Uint64
-	incrSteps       atomic.Uint64
-	pagesWritten    atomic.Uint64
-	recoveries      atomic.Uint64
-	recoveredBytes  atomic.Uint64
-	recoveryScanned atomic.Uint64
-	retries         atomic.Uint64
-	truncFailures   atomic.Uint64
-	checkpoints     atomic.Uint64
-	checkpointPages atomic.Uint64
+	begins            atomic.Uint64
+	flushCommits      atomic.Uint64
+	noFlushCommits    atomic.Uint64
+	aborts            atomic.Uint64
+	setRanges         atomic.Uint64
+	emptyCommits      atomic.Uint64
+	intraSavedBytes   atomic.Uint64
+	interSavedBytes   atomic.Uint64
+	flushes           atomic.Uint64
+	epochTruncs       atomic.Uint64
+	incrSteps         atomic.Uint64
+	pagesWritten      atomic.Uint64
+	recoveries        atomic.Uint64
+	recoveredBytes    atomic.Uint64
+	recoveryScanned   atomic.Uint64
+	retries           atomic.Uint64
+	truncFailures     atomic.Uint64
+	checkpoints       atomic.Uint64
+	checkpointPages   atomic.Uint64
+	crossShardCommits atomic.Uint64
+	discardedPrepares atomic.Uint64
 }
 
-// pipeline is the engine's log-pipeline stage: the one serialization
-// point a commit passes through.  Its mutex orders record appends (and
-// with them the truncation-queue pushes and spool drains that must keep
-// log order), and guards the spool and the incremental-truncation queue.
-// It is the innermost engine lock: code holding pipe.mu must not acquire
-// e.mu or any Region lock, and must never fsync.
+// pipeline is one shard's log-pipeline stage: the serialization point a
+// commit on that shard passes through.  Its mutex orders record appends
+// (and with them the truncation-queue pushes and spool drains that must
+// keep log order), and guards the spool and the incremental-truncation
+// queue.  It is the innermost engine lock: code holding pipe.mu must not
+// acquire e.mu or any Region lock, and must never fsync.  Pipelines of
+// different shards are independent; the few paths that hold several at
+// once (regions-slice mutation) take them in ascending shard order.
 type pipeline struct {
 	mu          sync.Mutex
 	spool       []*spooled // committed no-flush transactions not yet in the log
 	spoolBytes  int64
 	queue       pagevec.Queue
 	epochEndSeq uint64 // while an epoch truncation is in flight: its EndSeq
+	// inDoubt tracks cross-shard transactions with a prepare record in
+	// this shard's log whose truncation fate is not yet settled, keyed by
+	// global commit-ID.  Epoch truncation uses it to bound the epoch so a
+	// prepare and its commit mark are never separated (truncate.go,
+	// epochBoundPipeLocked); completed entries are dropped once an epoch
+	// truncates past their commit mark.
+	inDoubt map[uint64]*inDoubtTx
+}
+
+// inDoubtTx is one cross-shard transaction's footprint in a shard's log.
+type inDoubtTx struct {
+	prepSeq uint64 // seq of the first prepare record on this shard
+	cmtSeq  uint64 // seq of the commit mark; 0 while the outcome is undecided
+}
+
+// shard owns one write-ahead log and the full commit machinery in front
+// of it: the pipeline lock and spool, the group-commit ticket state, and
+// the fuzzy-checkpoint cursor.  Commits on regions placed on different
+// shards share no locks and fsync different devices.  Shard 0 always
+// exists; with LogShards <= 1 it is the whole engine and behaves exactly
+// like the pre-sharding single-log build.
+type shard struct {
+	idx  int
+	log  *wal.Log
+	pipe pipeline
+	gc   groupCommit // group-commit ticket state (own mutex; see groupcommit.go)
+
+	// Fuzzy-checkpoint cursor, touched only under the truncation claim.
+	lastCkptStable uint64 // stable seq the shard's newest checkpoint record carries
+	lastCkptSeq    uint64 // seq of that checkpoint record itself
+
+	commits atomic.Uint64 // commits that logged through this shard (observability)
 }
 
 // Engine is an open RVM instance: one log plus any number of mapped
@@ -252,7 +318,6 @@ type Engine struct {
 	// stable reads of the slice with neither.
 	mu         sync.Mutex
 	cond       *sync.Cond // signalled when a truncation finishes
-	log        *wal.Log
 	dict       *dict
 	segs       map[uint64]*segment.Segment // open segments by ID
 	byPath     map[string]uint64           // canonical path -> segment ID
@@ -260,9 +325,9 @@ type Engine struct {
 	truncating atomic.Bool                 // truncation claim; written under mu
 	truncErr   error                       // most recent background-truncation failure
 
-	pipe pipeline
-
-	gc groupCommit // group-commit ticket state (own mutex; see groupcommit.go)
+	// shards is immutable after Open: one entry per WAL shard, never
+	// nil, never resized.  Reading it needs no lock.
+	shards []*shard
 
 	nextTID  atomic.Uint64
 	active   atomic.Int64 // transactions begun and not yet resolved
@@ -275,13 +340,10 @@ type Engine struct {
 	incremental    atomic.Bool
 
 	// Background fuzzy-checkpoint loop (nil channels when disabled).
-	// lastCkptStable/lastCkptSeq are only touched under the truncation
-	// claim.
-	ckptStop       chan struct{}
-	ckptDone       chan struct{}
-	ckptOnce       sync.Once
-	lastCkptStable uint64 // stable seq the newest checkpoint record carries
-	lastCkptSeq    uint64 // seq of that checkpoint record itself
+	// Per-shard checkpoint cursors live on the shards.
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+	ckptOnce sync.Once
 
 	// Stall-watchdog loop (stall.go; nil channels when disabled).
 	stallStop chan struct{}
@@ -320,6 +382,7 @@ type spooled struct {
 type Region struct {
 	eng    *Engine
 	idx    int
+	sh     *shard // the WAL shard this region's commits log through; immutable
 	seg    *segment.Segment
 	segOff int64 // region start within the segment's data space
 	length int64
@@ -334,7 +397,12 @@ type Region struct {
 
 // Open opens (or re-opens) an RVM instance on an existing log, performing
 // crash recovery before returning.  The log must have been created with
-// CreateLog.
+// CreateLog.  With LogShards > 1 the extra shard logs are created on
+// first open (after the count is durably recorded in the dictionary) and
+// every shard the dictionary knows about is recovered, even when the
+// requested count differs from the recorded one — recovery empties all
+// logs, so the shard count and region placement may change freely
+// between runs.
 func Open(opts Options) (*Engine, error) {
 	var l *wal.Log
 	var err error
@@ -351,9 +419,43 @@ func Open(opts Options) (*Engine, error) {
 		l.Close()
 		return nil, err
 	}
+	requested := opts.LogShards
+	if requested < 1 {
+		requested = 1
+	}
+	recorded := d.shardCount()
+	if requested > recorded {
+		// Record the grown count before creating any new shard log, so a
+		// crash mid-open can never leave shard logs the dictionary does
+		// not know about.  (The reverse — a recorded count with missing
+		// files — is benign: the files are recreated empty below.)
+		if err := d.setShards(requested); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
+	numOpen := requested
+	if recorded > numOpen {
+		numOpen = recorded
+	}
+	logs := []*wal.Log{l}
+	devs := []wal.Device{opts.LogDevice}
+	closeAll := func() {
+		for _, lg := range logs {
+			lg.Close()
+		}
+	}
+	for k := 1; k < numOpen; k++ {
+		lk, dev, err := openShardLog(opts, k, l.AreaSize())
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("rvm: open log shard %d: %w", k, err)
+		}
+		logs = append(logs, lk)
+		devs = append(devs, dev)
+	}
 	e := &Engine{
 		opts:   opts,
-		log:    l,
 		dict:   d,
 		segs:   make(map[uint64]*segment.Segment),
 		byPath: make(map[string]uint64),
@@ -364,20 +466,26 @@ func Open(opts Options) (*Engine, error) {
 	e.truncThreshold.Store(math.Float64bits(opts.TruncateThreshold))
 	e.incremental.Store(opts.Incremental)
 	e.cond = sync.NewCond(&e.mu)
-	e.gc.cond = sync.NewCond(&e.gc.mu)
-	l.SetObs(e.tr, e.met)
-	if inj, ok := opts.LogDevice.(*iofault.Injector); ok {
-		inj.SetTracer(e.tr)
+	used := int64(0)
+	for k, lg := range logs {
+		sh := &shard{idx: k, log: lg}
+		sh.gc.cond = sync.NewCond(&sh.gc.mu)
+		lg.SetObs(e.tr, e.met)
+		if opts.NoSync {
+			lg.SetNoSync(true)
+		}
+		if inj, ok := devs[k].(*iofault.Injector); ok {
+			inj.SetTracer(e.tr)
+		}
+		used += lg.Used()
+		e.shards = append(e.shards, sh)
 	}
-	if opts.NoSync {
-		l.SetNoSync(true)
-	}
-	if l.Used() > 0 {
+	if used > 0 {
 		par := opts.RecoveryParallelism
 		if par == 0 {
 			par = runtime.GOMAXPROCS(0)
 		}
-		st, err := recovery.RecoverParallel(l, e.lookupSegment, e.retryIO,
+		st, err := recovery.RecoverShards(logs, e.lookupSegment, e.retryIO,
 			recovery.Config{Parallelism: par})
 		if err != nil {
 			e.closeFiles()
@@ -388,6 +496,23 @@ func Open(opts Options) (*Engine, error) {
 		e.stats.recoveries.Store(1)
 		e.stats.recoveredBytes.Store(st.TreeBytes)
 		e.stats.recoveryScanned.Store(st.ScannedBytes)
+		e.stats.discardedPrepares.Store(uint64(st.DiscardedPrepares))
+	}
+	if requested < len(e.shards) {
+		// Recovery emptied every log; drop the shards beyond the
+		// requested count and record the shrunken map.  The now-empty
+		// log files linger on disk, harmless.
+		for _, sh := range e.shards[requested:] {
+			if err := sh.log.Close(); err != nil {
+				e.closeFiles()
+				return nil, err
+			}
+		}
+		e.shards = e.shards[:requested]
+		if err := d.setShards(requested); err != nil {
+			e.closeFiles()
+			return nil, err
+		}
 	}
 	if opts.CheckpointInterval > 0 {
 		e.startCheckpointer(opts.CheckpointInterval)
@@ -396,6 +521,77 @@ func Open(opts Options) (*Engine, error) {
 		e.startStallWatchdog(opts.StallBudget)
 	}
 	return e, nil
+}
+
+// shardLogPath names shard k's log file: shard 0 is the log itself (the
+// pre-sharding layout), shard k > 0 a sibling with a ".shard<k>" suffix.
+func shardLogPath(logPath string, k int) string {
+	if k == 0 {
+		return logPath
+	}
+	return fmt.Sprintf("%s.shard%d", logPath, k)
+}
+
+// openShardLog opens shard k's log (k >= 1), creating it with the given
+// record-area size when it does not exist yet.
+func openShardLog(opts Options, k int, size int64) (*wal.Log, wal.Device, error) {
+	if opts.ShardLogDevice != nil {
+		dev, err := opts.ShardLogDevice(k)
+		if err != nil {
+			return nil, nil, err
+		}
+		l, err := wal.OpenDevice(dev)
+		return l, dev, err
+	}
+	path := shardLogPath(opts.LogPath, k)
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		if err := wal.Create(path, size); err != nil {
+			return nil, nil, err
+		}
+	} else if err != nil {
+		return nil, nil, err
+	}
+	l, err := wal.Open(path)
+	return l, nil, err
+}
+
+// shardFor places a region on a shard: the explicit ShardOf policy when
+// set, else a hash of (segment ID, region offset).  The placement is
+// only a performance decision — recovery and cross-shard commits are
+// correct under any placement, including one that changes across runs
+// (recovery always drains every log).
+func (e *Engine) shardFor(segID uint64, segOff int64) *shard {
+	n := len(e.shards)
+	if n == 1 {
+		return e.shards[0]
+	}
+	if f := e.opts.ShardOf; f != nil {
+		i := f(segID, segOff) % n
+		if i < 0 {
+			i += n
+		}
+		return e.shards[i]
+	}
+	x := segID ^ uint64(segOff)*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return e.shards[int(x%uint64(n))]
+}
+
+// lockAllPipes acquires every shard's pipeline lock in ascending shard
+// order; unlockAllPipes releases them.  Only the regions-slice mutators
+// (Map/Unmap) need all pipelines at once.
+func (e *Engine) lockAllPipes() {
+	for _, sh := range e.shards {
+		sh.pipe.mu.Lock()
+	}
+}
+
+func (e *Engine) unlockAllPipes() {
+	for i := len(e.shards) - 1; i >= 0; i-- {
+		e.shards[i].pipe.mu.Unlock()
+	}
 }
 
 // CreateLog creates a new write-ahead log of the given record-area size.
@@ -540,6 +736,7 @@ func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 	r := &Region{
 		eng:    e,
 		idx:    len(e.regions),
+		sh:     e.shardFor(seg.ID(), segOff),
 		seg:    seg,
 		segOff: segOff,
 		length: length,
@@ -548,11 +745,11 @@ func (e *Engine) Map(segPath string, segOff, length int64) (*Region, error) {
 		pvec:   pagevec.New(int(length / int64(mapping.PageSize))),
 		mapped: true,
 	}
-	// The regions slice is read under pipe.mu by the spool drain and
-	// epoch completion, so mutations hold both locks.
-	e.pipe.mu.Lock()
+	// The regions slice is read under each shard's pipe.mu by the spool
+	// drain and epoch completion, so mutations hold every pipeline lock.
+	e.lockAllPipes()
 	e.regions = append(e.regions, r)
-	e.pipe.mu.Unlock()
+	e.unlockAllPipes()
 	e.mu.Unlock()
 	return r, nil
 }
@@ -607,18 +804,19 @@ func (e *Engine) Unmap(r *Region) error {
 	}
 	// Spooled commits may reference this region's memory state; make them
 	// durable first so the page write-out below cannot expose committed-
-	// but-unlogged bytes (no-undo/redo invariant).
-	if err := e.flushSpool(true); err != nil {
+	// but-unlogged bytes (no-undo/redo invariant).  Only this region's
+	// shard can hold such spool entries.
+	if err := e.flushSpool(r.sh, true); err != nil {
 		return fail(err)
 	}
 	if err := e.writeDirtyPages(r); err != nil {
 		return fail(err)
 	}
 	e.mu.Lock()
-	e.pipe.mu.Lock()
-	e.pipe.queue.RemoveRegion(r.idx)
+	e.lockAllPipes()
+	r.sh.pipe.queue.RemoveRegion(r.idx)
 	e.regions[r.idx] = nil
-	e.pipe.mu.Unlock()
+	e.unlockAllPipes()
 	e.mu.Unlock()
 	r.mu.Lock()
 	r.data = nil
@@ -736,26 +934,30 @@ func (e *Engine) Query(r *Region) (QueryInfo, error) {
 		return QueryInfo{}, ErrClosed
 	}
 	qi := QueryInfo{
-		LogUsed:       e.log.Used(),
-		LogSize:       e.log.AreaSize(),
 		ActiveTxs:     int(e.active.Load()),
 		Poisoned:      e.poisonCause() != nil,
 		TruncFailures: e.stats.truncFailures.Load(),
 	}
+	for _, sh := range e.shards {
+		qi.LogUsed += sh.log.Used()
+		qi.LogSize += sh.log.AreaSize()
+	}
 	e.mu.Lock()
 	qi.LastFault = e.lastFaultLocked()
 	e.mu.Unlock()
-	p := &e.pipe
-	p.mu.Lock()
-	qi.SpoolBytes = p.spoolBytes
-	if r != nil {
-		p.queue.Walk(func(d pagevec.Descriptor) {
-			if d.ID.Region == r.idx {
-				qi.QueuedPages++
-			}
-		})
+	for _, sh := range e.shards {
+		p := &sh.pipe
+		p.mu.Lock()
+		qi.SpoolBytes += p.spoolBytes
+		if r != nil && r.sh == sh {
+			p.queue.Walk(func(d pagevec.Descriptor) {
+				if d.ID.Region == r.idx {
+					qi.QueuedPages++
+				}
+			})
+		}
+		p.mu.Unlock()
 	}
-	p.mu.Unlock()
 	if r != nil {
 		r.mu.Lock()
 		if !r.mapped {
@@ -804,13 +1006,19 @@ func (e *Engine) Stats() Statistics {
 		CheckpointPages: c.checkpointPages.Load(),
 	}
 	st.Begins = c.begins.Load()
-	ls := e.log.Stats()
-	st.LogBytes = ls.BytesAppended
-	st.LogForces = ls.Forces
-	e.gc.mu.Lock()
-	st.ForcesSaved = e.gc.saved
-	st.GroupCommitSize = e.gc.maxBatch
-	e.gc.mu.Unlock()
+	st.CrossShardCommits = c.crossShardCommits.Load()
+	st.DiscardedPrepares = c.discardedPrepares.Load()
+	for _, sh := range e.shards {
+		ls := sh.log.Stats()
+		st.LogBytes += ls.BytesAppended
+		st.LogForces += ls.Forces
+		sh.gc.mu.Lock()
+		st.ForcesSaved += sh.gc.saved
+		if sh.gc.maxBatch > st.GroupCommitSize {
+			st.GroupCommitSize = sh.gc.maxBatch
+		}
+		sh.gc.mu.Unlock()
+	}
 	return st
 }
 
@@ -830,6 +1038,18 @@ type Snapshot struct {
 	TraceEvents uint64               `json:"trace_events,omitempty"` // events ever recorded
 	Truncating  bool                 `json:"truncating"`
 	Poisoned    bool                 `json:"poisoned"`
+	Shards      []ShardSnapshot      `json:"shards"` // one entry per WAL shard
+}
+
+// ShardSnapshot is one WAL shard's live state inside a Snapshot: which
+// shard, how many commits it has logged, and where its log stands.
+type ShardSnapshot struct {
+	Shard      int    `json:"shard"`
+	Commits    uint64 `json:"commits"`     // commits that logged through this shard
+	LogUsed    int64  `json:"log_used"`    // live log bytes
+	LogSize    int64  `json:"log_size"`    // record-area capacity
+	LogForces  uint64 `json:"log_forces"`  // fsyncs of this shard's log
+	SpoolBytes int64  `json:"spool_bytes"` // committed no-flush bytes awaiting this shard's log
 }
 
 // Snapshot assembles the counters, metric summaries, and live gauges.
@@ -848,18 +1068,30 @@ func (e *Engine) Snapshot() (Snapshot, error) {
 		}
 	}
 	e.mu.Unlock()
-	p := &e.pipe
-	p.mu.Lock()
-	spoolBytes := p.spoolBytes
-	p.mu.Unlock()
 	sn := Snapshot{
-		LogUsed:    e.log.Used(),
-		LogSize:    e.log.AreaSize(),
-		SpoolBytes: spoolBytes,
 		ActiveTxs:  int(e.active.Load()),
 		DirtyPages: dirty,
 		Truncating: e.truncating.Load(),
 		Poisoned:   e.poisonCause() != nil,
+		Shards:     make([]ShardSnapshot, len(e.shards)),
+	}
+	for i, sh := range e.shards {
+		p := &sh.pipe
+		p.mu.Lock()
+		spoolBytes := p.spoolBytes
+		p.mu.Unlock()
+		ls := sh.log.Stats()
+		sn.Shards[i] = ShardSnapshot{
+			Shard:      i,
+			Commits:    sh.commits.Load(),
+			LogUsed:    sh.log.Used(),
+			LogSize:    sh.log.AreaSize(),
+			LogForces:  ls.Forces,
+			SpoolBytes: spoolBytes,
+		}
+		sn.LogUsed += sn.Shards[i].LogUsed
+		sn.LogSize += sn.Shards[i].LogSize
+		sn.SpoolBytes += spoolBytes
 	}
 	e.met.SetDirtyPages(int64(dirty))
 	sn.Stats = e.Stats()
@@ -921,8 +1153,10 @@ func (e *Engine) Close() error {
 	if cause := e.poisonCause(); cause != nil {
 		poisonErr = fmt.Errorf("%w: %w", ErrPoisoned, cause)
 	} else {
-		if err := e.flushSpool(true); err != nil {
-			return fail(err)
+		for _, sh := range e.shards {
+			if err := e.flushSpool(sh, true); err != nil {
+				return fail(err)
+			}
 		}
 		if err := e.inlineEpochTruncate(); err != nil {
 			return fail(err)
@@ -957,8 +1191,10 @@ func (e *Engine) Close() error {
 
 func (e *Engine) closeFiles() error {
 	var first error
-	if err := e.log.Close(); err != nil && first == nil {
-		first = err
+	for _, sh := range e.shards {
+		if err := sh.log.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
 	for _, s := range e.segs {
 		if err := s.Close(); err != nil && first == nil {

@@ -52,11 +52,11 @@ type groupCommit struct {
 // oversleeps past the cost of the fsync it was meant to amortize).  A
 // nonzero MaxForceDelay then lingers the given duration on top, catching
 // committers that are slow to arrive.
-func (e *Engine) joinWindow() {
-	last := e.log.LastSeq()
+func (e *Engine) joinWindow(sh *shard) {
+	last := sh.log.LastSeq()
 	for idle := 0; idle < 2; {
 		runtime.Gosched()
-		if cur := e.log.LastSeq(); cur != last {
+		if cur := sh.log.LastSeq(); cur != last {
 			last, idle = cur, 0
 		} else {
 			idle++
@@ -67,8 +67,10 @@ func (e *Engine) joinWindow() {
 	}
 }
 
-// waitForced blocks until the log is durably forced through seq, electing
-// this committer as the force leader when no force is in flight.  Callers
+// waitForced blocks until the shard's log is durably forced through seq,
+// electing this committer as the shard's force leader when no force is in
+// flight.  Each shard runs its own independent ticket protocol — leaders
+// on different shards fsync different devices concurrently.  Callers
 // must hold no engine lock.  A nil error means a successful force covered
 // seq; a non-nil error is the sticky group-force failure (wrapped
 // ErrPoisoned).  led reports whether this committer ran a force itself
@@ -76,8 +78,8 @@ func (e *Engine) joinWindow() {
 // device-sync duration of a force it led (0 for followers).  The whole
 // wait runs under the group-wait stall gate so the watchdog can flag a
 // window nobody closes.
-func (e *Engine) waitForced(seq uint64) (led bool, fsyncNs int64, err error) {
-	gc := &e.gc
+func (e *Engine) waitForced(sh *shard, seq uint64) (led bool, fsyncNs int64, err error) {
+	gc := &sh.gc
 	timed := e.met != nil
 	e.met.OpEnter(obs.StallGroupWait)
 	defer e.met.OpExit(obs.StallGroupWait)
@@ -96,7 +98,7 @@ func (e *Engine) waitForced(seq uint64) (led bool, fsyncNs int64, err error) {
 			gc.mu.Unlock()
 			return led, fsyncNs, err
 		}
-		if e.log.ForcedThrough() >= seq {
+		if sh.log.ForcedThrough() >= seq {
 			gc.batch++
 			if gc.batch > gc.maxBatch {
 				gc.maxBatch = gc.batch
@@ -114,12 +116,12 @@ func (e *Engine) waitForced(seq uint64) (led bool, fsyncNs int64, err error) {
 		// Lead: force on behalf of every record appended so far.
 		gc.forcing = true
 		gc.mu.Unlock()
-		e.joinWindow()
+		e.joinWindow(sh)
 		var fst time.Time
 		if timed {
 			fst = time.Now()
 		}
-		err := e.retryIO(e.log.Force)
+		err := e.retryIO(sh.log.Force)
 		if timed {
 			fsyncNs += time.Since(fst).Nanoseconds()
 		}

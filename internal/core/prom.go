@@ -91,6 +91,7 @@ func (sn Snapshot) WritePrometheus(w io.Writer) error {
 	p.counter("rvm_tx_aborts_total", "Explicit aborts.", s.Aborts)
 	p.counter("rvm_tx_set_ranges_total", "Set-range calls.", s.SetRanges)
 	p.counter("rvm_tx_empty_commits_total", "Commits that logged nothing.", s.EmptyCommits)
+	p.counter("rvm_tx_cross_shard_commits_total", "Commits that spanned WAL shards (two-phase).", s.CrossShardCommits)
 	p.counter("rvm_log_appended_bytes_total", "Record bytes appended to the log.", s.LogBytes)
 	p.counter("rvm_log_forces_total", "Log fsyncs on the commit/flush path.", s.LogForces)
 	p.counter("rvm_log_intra_saved_bytes_total", "Log bytes avoided by intra-transaction optimization.", s.IntraSavedBytes)
@@ -103,6 +104,7 @@ func (sn Snapshot) WritePrometheus(w io.Writer) error {
 	p.counter("rvm_recoveries_total", "Recoveries performed at open.", s.Recoveries)
 	p.counter("rvm_recovery_applied_bytes_total", "Bytes applied to segments during recovery.", s.RecoveredBytes)
 	p.counter("rvm_recovery_scanned_bytes_total", "Log bytes visited by recovery analysis.", s.RecoveryScanned)
+	p.counter("rvm_recovery_discarded_prepares_total", "Orphaned cross-shard prepares discarded by recovery.", s.DiscardedPrepares)
 	p.counter("rvm_io_retries_total", "Transient storage faults retried.", s.Retries)
 	p.counter("rvm_checkpoints_total", "Fuzzy checkpoints completed.", s.Checkpoints)
 	p.counter("rvm_checkpoint_pages_total", "Pages written to segments by checkpoints.", s.CheckpointPages)
@@ -118,6 +120,24 @@ func (sn Snapshot) WritePrometheus(w io.Writer) error {
 	p.gauge("rvm_dirty_pages", "Mapped pages with unreflected changes.", int64(sn.DirtyPages))
 	p.gauge("rvm_truncating", "1 while a truncation holds the slot.", b2i(sn.Truncating))
 	p.gauge("rvm_poisoned", "1 after a fail-stop storage fault.", b2i(sn.Poisoned))
+
+	// Per-shard WAL families, labelled by shard index.  A single-shard
+	// engine exposes them with one shard="0" sample, so dashboards keyed
+	// on the label work unchanged at any shard count.
+	if len(sn.Shards) > 0 {
+		p.header("rvm_shard_commits_total", "counter", "Commits logged through each WAL shard.")
+		for _, sh := range sn.Shards {
+			p.printf("rvm_shard_commits_total{shard=\"%d\"} %d\n", sh.Shard, sh.Commits)
+		}
+		p.header("rvm_shard_log_bytes", "gauge", "Live log bytes per WAL shard.")
+		for _, sh := range sn.Shards {
+			p.printf("rvm_shard_log_bytes{shard=\"%d\"} %d\n", sh.Shard, sh.LogUsed)
+		}
+		p.header("rvm_shard_log_forces_total", "counter", "Log fsyncs per WAL shard.")
+		for _, sh := range sn.Shards {
+			p.printf("rvm_shard_log_forces_total{shard=\"%d\"} %d\n", sh.Shard, sh.LogForces)
+		}
+	}
 
 	m := sn.Metrics
 	if m == nil {

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// byOffset places regions on shards by page-pair offset, giving tests
+// deterministic cross-shard layouts.
+func byOffset(segID uint64, segOff int64) int {
+	return int(segOff / pageBytes(2))
+}
+
+// TestShardedEngineModel reruns the random model sequences on a 4-shard
+// engine; a single region lives on one shard, so this exercises the
+// sharded plumbing (superblock, per-shard truncation and recovery) under
+// the exact single-shard semantics the model encodes.
+func TestShardedEngineModel(t *testing.T) {
+	seeds := []int64{1, 2}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runEngineModelWithOpts(t, seed, Options{LogShards: 4, Incremental: seed%2 == 0})
+		})
+	}
+}
+
+// TestCrossShardCommitAtomicAcrossCrash commits one transaction spanning
+// regions on two different WAL shards and crashes; recovery must surface
+// both halves (the commit marks confirm the prepares on each shard).
+func TestCrossShardCommitAtomicAcrossCrash(t *testing.T) {
+	opts := Options{LogShards: 2, ShardOf: byOffset, TruncateThreshold: -1}
+	v := newEnv(t, 1<<16, pageBytes(4), opts)
+	r1, err := v.eng.Map(v.segPath, 0, pageBytes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := v.eng.Map(v.segPath, pageBytes(2), pageBytes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.sh == r2.sh {
+		t.Fatal("placement did not split the regions across shards")
+	}
+	tx, _ := v.eng.Begin(Restore)
+	tx.Modify(r1, 0, []byte("left"))
+	tx.Modify(r2, 0, []byte("right"))
+	if err := tx.Commit(Flush); err != nil {
+		t.Fatal(err)
+	}
+	if st := v.eng.Stats(); st.CrossShardCommits != 1 {
+		t.Fatalf("cross-shard commits = %d, want 1", st.CrossShardCommits)
+	}
+	v.reopen(opts)
+	ra, _ := v.eng.Map(v.segPath, 0, pageBytes(2))
+	rb, _ := v.eng.Map(v.segPath, pageBytes(2), pageBytes(2))
+	if !bytes.Equal(ra.Data()[:4], []byte("left")) || !bytes.Equal(rb.Data()[:5], []byte("right")) {
+		t.Fatal("cross-shard transaction not atomic across crash")
+	}
+}
+
+// TestCrossShardNoFlushIsDurable: a NoFlush commit spanning shards is
+// silently upgraded to a durable two-phase commit — spooling half of an
+// atomic commit would let a crash split it.
+func TestCrossShardNoFlushIsDurable(t *testing.T) {
+	opts := Options{LogShards: 2, ShardOf: byOffset, TruncateThreshold: -1}
+	v := newEnv(t, 1<<16, pageBytes(4), opts)
+	r1, _ := v.eng.Map(v.segPath, 0, pageBytes(2))
+	r2, _ := v.eng.Map(v.segPath, pageBytes(2), pageBytes(2))
+	tx, _ := v.eng.Begin(Restore)
+	tx.Modify(r1, 0, []byte("both"))
+	tx.Modify(r2, 0, []byte("halves"))
+	if err := tx.Commit(NoFlush); err != nil {
+		t.Fatal(err)
+	}
+	v.reopen(opts)
+	ra, _ := v.eng.Map(v.segPath, 0, pageBytes(2))
+	rb, _ := v.eng.Map(v.segPath, pageBytes(2), pageBytes(2))
+	if !bytes.Equal(ra.Data()[:4], []byte("both")) || !bytes.Equal(rb.Data()[:6], []byte("halves")) {
+		t.Fatal("upgraded cross-shard no-flush commit lost on crash")
+	}
+}
+
+// TestCrossShardTruncationKeepsAtomicity runs cross-shard commits through
+// both truncation kinds and a checkpoint, then crashes: the prepares and
+// marks must survive epoch collection (or be correctly reflected) on
+// every shard.
+func TestCrossShardTruncationKeepsAtomicity(t *testing.T) {
+	for _, kind := range []string{"epoch", "incremental", "checkpoint"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			opts := Options{LogShards: 2, ShardOf: byOffset, TruncateThreshold: -1}
+			v := newEnv(t, 1<<17, pageBytes(4), opts)
+			r1, _ := v.eng.Map(v.segPath, 0, pageBytes(2))
+			r2, _ := v.eng.Map(v.segPath, pageBytes(2), pageBytes(2))
+			want1 := make([]byte, 32)
+			want2 := make([]byte, 32)
+			for i := 0; i < 8; i++ {
+				tx, _ := v.eng.Begin(Restore)
+				d := []byte(fmt.Sprintf("pair-%02d", i))
+				tx.Modify(r1, int64(i), d)
+				tx.Modify(r2, int64(i), d)
+				if err := tx.Commit(Flush); err != nil {
+					t.Fatal(err)
+				}
+				copy(want1[i:], d)
+				copy(want2[i:], d)
+				if i == 4 {
+					var err error
+					switch kind {
+					case "epoch":
+						err = v.eng.Truncate()
+					case "incremental":
+						err = v.eng.TruncateIncremental(0)
+					case "checkpoint":
+						err = v.eng.Checkpoint()
+					}
+					if err != nil {
+						t.Fatalf("%s: %v", kind, err)
+					}
+				}
+			}
+			v.reopen(opts)
+			ra, _ := v.eng.Map(v.segPath, 0, pageBytes(2))
+			rb, _ := v.eng.Map(v.segPath, pageBytes(2), pageBytes(2))
+			if !bytes.Equal(ra.Data()[:32], want1) || !bytes.Equal(rb.Data()[:32], want2) {
+				t.Fatalf("%s: recovered state diverged", kind)
+			}
+		})
+	}
+}
+
+// TestShardCountChangeBetweenRuns: recovery empties every shard log, so
+// the shard count may grow or shrink across restarts — including a crash
+// restart, where the dictionary's recorded count (the maximum of old and
+// requested) governs which logs recovery must replay.
+func TestShardCountChangeBetweenRuns(t *testing.T) {
+	opts4 := Options{LogShards: 4, ShardOf: byOffset, TruncateThreshold: -1}
+	v := newEnv(t, 1<<16, pageBytes(4), opts4)
+	r1, _ := v.eng.Map(v.segPath, 0, pageBytes(2))
+	r2, _ := v.eng.Map(v.segPath, pageBytes(2), pageBytes(2))
+	tx, _ := v.eng.Begin(Restore)
+	tx.Modify(r1, 0, []byte("four"))
+	tx.Modify(r2, 0, []byte("logs"))
+	if err := tx.Commit(Flush); err != nil {
+		t.Fatal(err)
+	}
+	// Crash, then reopen single-shard: recovery must still replay all four
+	// recorded logs before shrinking.
+	v.reopen(Options{TruncateThreshold: -1})
+	ra, _ := v.eng.Map(v.segPath, 0, pageBytes(2))
+	rb, _ := v.eng.Map(v.segPath, pageBytes(2), pageBytes(2))
+	if !bytes.Equal(ra.Data()[:4], []byte("four")) || !bytes.Equal(rb.Data()[:4], []byte("logs")) {
+		t.Fatal("4-shard state lost on single-shard reopen")
+	}
+	if n := len(v.eng.shards); n != 1 {
+		t.Fatalf("shards after shrink = %d, want 1", n)
+	}
+	v.commit1(ra, 100, []byte("single"))
+	// Crash again, grow to 2 shards.
+	v.reopen(Options{LogShards: 2, ShardOf: byOffset, TruncateThreshold: -1})
+	if n := len(v.eng.shards); n != 2 {
+		t.Fatalf("shards after growth = %d, want 2", n)
+	}
+	rc, _ := v.eng.Map(v.segPath, 0, pageBytes(2))
+	if !bytes.Equal(rc.Data()[100:106], []byte("single")) {
+		t.Fatal("single-shard commit lost on 2-shard reopen")
+	}
+}
+
+// TestSingleShardLayoutUnchanged: LogShards 0/1 must not write a shard
+// superblock or extra files, keeping the on-disk layout byte-compatible
+// with pre-sharding logs (acceptance criterion).
+func TestSingleShardLayoutUnchanged(t *testing.T) {
+	v := newEnv(t, 1<<16, pageBytes(2), Options{LogShards: 1})
+	r := v.mapWhole()
+	v.commit1(r, 0, []byte("plain"))
+	if got := v.eng.dict.shardCount(); got != 1 {
+		t.Fatalf("shard count = %d", got)
+	}
+	// The dictionary must not carry a #shards line for a 1-shard engine.
+	if err := v.eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v.eng = nil
+	data, err := os.ReadFile(dictPath(v.logPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(shardsPrefix)) {
+		t.Fatal("single-shard dictionary contains a shard superblock line")
+	}
+	if _, err := os.Stat(shardLogPath(v.logPath, 1)); !os.IsNotExist(err) {
+		t.Fatal("single-shard engine created an extra shard log file")
+	}
+}
+
+// TestShardDistribution: with the default hash and several regions, more
+// than one shard must actually receive work (smoke test that placement is
+// not degenerate).
+func TestShardDistribution(t *testing.T) {
+	v := newEnv(t, 1<<16, pageBytes(8), Options{LogShards: 4, TruncateThreshold: -1})
+	used := map[int]bool{}
+	for off := int64(0); off < pageBytes(8); off += pageBytes(1) {
+		r, err := v.eng.Map(v.segPath, off, pageBytes(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		used[r.sh.idx] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("8 regions landed on %d shard(s)", len(used))
+	}
+}

@@ -15,22 +15,28 @@ import (
 )
 
 // Flush blocks until all committed no-flush transactions have been forced
-// to the log (paper §4.2 flush).
+// to the log (paper §4.2 flush), on every shard.
 func (e *Engine) Flush() error {
 	if err := e.check(); err != nil {
 		return err
 	}
-	return e.maybePoison(e.flushSpool(false))
+	for _, sh := range e.shards {
+		if err := e.flushSpool(sh, false); err != nil {
+			return e.maybePoison(err)
+		}
+	}
+	return nil
 }
 
-// flushSpool drains the spool into the log and forces it.  claimed says
-// whether the caller already holds the truncation slot: it decides how a
-// full log is handled (an unclaimed caller claims the slot to truncate; a
-// claimed caller truncates inline, since waiting for the slot it already
-// owns would deadlock).  The force runs with no lock held.
-func (e *Engine) flushSpool(claimed bool) error {
+// flushSpool drains one shard's spool into its log and forces it.
+// claimed says whether the caller already holds the truncation slot: it
+// decides how a full log is handled (an unclaimed caller claims the slot
+// to truncate; a claimed caller truncates inline, since waiting for the
+// slot it already owns would deadlock).  The force runs with no lock
+// held.
+func (e *Engine) flushSpool(sh *shard, claimed bool) error {
 	t0 := time.Now()
-	p := &e.pipe
+	p := &sh.pipe
 	var drained int64
 	first := true
 	for attempt := 0; ; attempt++ {
@@ -39,7 +45,7 @@ func (e *Engine) flushSpool(claimed bool) error {
 			drained = p.spoolBytes
 			first = false
 		}
-		err := e.drainSpoolPipeLocked()
+		err := e.drainSpoolPipeLocked(sh)
 		var need int64
 		if err != nil && len(p.spool) > 0 {
 			need = wal.EncodedLen(p.spool[0].ranges)
@@ -57,13 +63,13 @@ func (e *Engine) flushSpool(claimed bool) error {
 			// record" from a log that is merely busy.
 			return fmt.Errorf(
 				"rvm: log full after %d inline truncations while flushing the spool (record needs %d bytes, log area %d bytes, %d live): %w",
-				attempt, need, e.log.AreaSize(), e.log.Used(), err)
+				attempt, need, sh.log.AreaSize(), sh.log.Used(), err)
 		}
-		if mkErr := e.makeLogSpace(need, claimed); mkErr != nil {
+		if mkErr := e.makeLogSpace(sh, need, claimed); mkErr != nil {
 			return mkErr
 		}
 	}
-	if err := e.retryIO(e.log.Force); err != nil {
+	if err := e.retryIO(sh.log.Force); err != nil {
 		return err
 	}
 	e.stats.flushes.Add(1)
@@ -73,35 +79,36 @@ func (e *Engine) flushSpool(claimed bool) error {
 	return nil
 }
 
-// makeLogSpace frees log space for a record of need bytes by running an
-// epoch truncation.  An unclaimed caller first claims the truncation slot
-// — which also waits out any truncation already in flight, after which the
-// space it freed may already suffice.
-func (e *Engine) makeLogSpace(need int64, claimed bool) error {
+// makeLogSpace frees log space on one shard for a record of need bytes by
+// running an epoch truncation of that shard.  An unclaimed caller first
+// claims the truncation slot — which also waits out any truncation
+// already in flight, after which the space it freed may already suffice.
+func (e *Engine) makeLogSpace(sh *shard, need int64, claimed bool) error {
 	if !claimed {
 		if err := e.claimTruncation(); err != nil {
 			return err
 		}
 		defer e.releaseTruncation()
-		if e.log.AreaSize()-e.log.Used() >= need {
+		if sh.log.AreaSize()-sh.log.Used() >= need {
 			return nil
 		}
 	}
-	return e.inlineEpochTruncate()
+	return e.inlineEpochTruncateShard(sh)
 }
 
-// Truncate blocks until all committed changes in the write-ahead log have
-// been reflected to the external data segments (paper §4.2 truncate).  A
-// full reflection is exactly an epoch truncation whose epoch is the whole
-// live log.
+// Truncate blocks until all committed changes in the write-ahead logs
+// have been reflected to the external data segments (paper §4.2
+// truncate).  A full reflection is exactly an epoch truncation of every
+// shard whose epoch is that shard's whole live log.
 func (e *Engine) Truncate() error {
 	return e.epochTruncate()
 }
 
-// epochTruncate runs one epoch truncation.  The epoch (the live log at
-// collection time) is applied to the segments while forward processing
-// continues; commits only stall on the pipeline lock during collection and
-// completion (paper §5.1.2, Figure 6).  Callers must hold no engine lock.
+// epochTruncate runs one epoch truncation on every shard.  Each shard's
+// epoch (its live log at collection time) is applied to the segments
+// while forward processing continues; commits only stall on their own
+// shard's pipeline lock during collection and completion (paper §5.1.2,
+// Figure 6).  Callers must hold no engine lock.
 func (e *Engine) epochTruncate() error {
 	t0 := time.Now()
 	e.met.OpEnter(obs.StallTruncation)
@@ -109,20 +116,36 @@ func (e *Engine) epochTruncate() error {
 	if err := e.claimTruncation(); err != nil {
 		return err
 	}
-	pause := time.Now() // the pipeline is busy while the epoch is collected
-	fail := func(err error) error {
+	var records uint64
+	for _, sh := range e.shards {
+		n, err := e.epochTruncateShard(sh)
+		records += n
+		if err != nil {
+			e.releaseTruncation()
+			return err
+		}
+	}
+	e.tr.SpanSince(obs.EvTruncEpoch, t0, 0, records, 0)
+	e.releaseTruncation()
+	return nil
+}
+
+// epochTruncateShard runs one shard's epoch truncation under the caller's
+// truncation claim, returning the number of records the epoch contained.
+func (e *Engine) epochTruncateShard(sh *shard) (uint64, error) {
+	pause := time.Now() // the shard's pipeline is busy while the epoch is collected
+	fail := func(err error) (uint64, error) {
 		err = e.maybePoison(err)
-		e.clearEpochSeq()
-		e.releaseTruncation()
-		return err
+		e.clearEpochSeq(sh)
+		return 0, err
 	}
 	// Spooled commits become log records now so the epoch covers them,
 	// and the force inside guarantees nothing unforced is ever applied to
 	// a segment (the no-undo/redo invariant).
-	if err := e.flushSpool(true); err != nil {
+	if err := e.flushSpool(sh, true); err != nil {
 		return fail(err)
 	}
-	ep, err := e.collectEpochPipe()
+	ep, err := e.collectEpochPipe(sh)
 	if err != nil {
 		return fail(err)
 	}
@@ -135,35 +158,60 @@ func (e *Engine) epochTruncate() error {
 
 	pause = time.Now()
 	if err == nil {
-		e.completeEpochPipe(ep.EndSeq())
+		e.completeEpochPipe(sh, ep.EndSeq())
 		e.stats.epochTruncs.Add(1)
 	} else {
 		// The head was not advanced, so the log still covers everything
 		// the segments may have partially absorbed; recovery stays
 		// correct.  The engine, however, can no longer trust the device.
 		err = e.maybePoison(err)
-		e.clearEpochSeq()
+		e.clearEpochSeq(sh)
 	}
 	e.met.ObserveTruncPause(time.Since(pause).Nanoseconds())
 	e.tr.SpanSince(obs.EvTruncPause, pause, 0, 0, 0)
-	e.tr.SpanSince(obs.EvTruncEpoch, t0, 0, uint64(ep.Records()), 0)
-	e.releaseTruncation()
-	return err
+	return uint64(ep.Records()), err
 }
 
-// collectEpochPipe snapshots the live log as a truncation epoch and
-// publishes its end sequence, all under the pipeline lock: any commit
-// appending after the collection then sees epochEndSeq set and promotes
-// re-modified pages to their new (surviving) log reference.  Records can
-// append unforced between the spool flush and the collection, so the
-// epoch's tail is forced before it may be applied.
-func (e *Engine) collectEpochPipe() (*recovery.Epoch, error) {
-	p := &e.pipe
+// epochBoundPipeLocked computes the highest end sequence an epoch on this
+// shard may use: the given log tail, lowered to a fixpoint so that no
+// in-doubt prepare is separated from its commit mark.  An entry whose
+// outcome is undecided (cmtSeq == 0), or decided at or beyond the
+// current bound, forces the bound down to its prepare — and that move
+// can expose another entry's mark, hence the fixpoint.  Without the
+// bound, an epoch could contain P(T1) but not C(T1) (for example with
+// another transaction's in-doubt prepare between them), and replaying or
+// discarding P(T1) alone would corrupt an acknowledged commit.  Caller
+// holds sh.pipe.mu.
+func epochBoundPipeLocked(p *pipeline, tailSeq uint64) uint64 {
+	end := tailSeq
+	for changed := true; changed; {
+		changed = false
+		for _, d := range p.inDoubt {
+			if (d.cmtSeq == 0 || d.cmtSeq >= end) && d.prepSeq < end {
+				end = d.prepSeq
+				changed = true
+			}
+		}
+	}
+	return end
+}
+
+// collectEpochPipe snapshots one shard's live log (bounded so no in-doubt
+// cross-shard prepare is split from its commit mark) as a truncation
+// epoch and publishes its end sequence, all under the shard's pipeline
+// lock: any commit appending after the collection then sees epochEndSeq
+// set and promotes re-modified pages to their new (surviving) log
+// reference.  Records can append unforced between the spool flush and
+// the collection, so the epoch's tail is forced before it may be applied.
+func (e *Engine) collectEpochPipe(sh *shard) (*recovery.Epoch, error) {
+	p := &sh.pipe
 	p.mu.Lock()
+	_, tailSeq := sh.log.Tail()
+	bound := epochBoundPipeLocked(p, tailSeq)
 	var ep *recovery.Epoch
 	err := e.retryIO(func() error {
 		var err error
-		ep, err = recovery.CollectEpoch(e.log)
+		ep, err = recovery.CollectEpochBounded(sh.log, bound)
 		return err
 	})
 	if err == nil {
@@ -173,8 +221,8 @@ func (e *Engine) collectEpochPipe() (*recovery.Epoch, error) {
 	if err != nil {
 		return nil, err
 	}
-	if end := ep.EndSeq(); end > 0 && e.log.ForcedThrough() < end-1 {
-		if ferr := e.retryIO(e.log.Force); ferr != nil {
+	if end := ep.EndSeq(); end > 0 && sh.log.ForcedThrough() < end-1 {
+		if ferr := e.retryIO(sh.log.Force); ferr != nil {
 			return nil, ferr
 		}
 	}
@@ -182,22 +230,30 @@ func (e *Engine) collectEpochPipe() (*recovery.Epoch, error) {
 }
 
 // clearEpochSeq resets the in-flight epoch marker after a failed epoch.
-func (e *Engine) clearEpochSeq() {
-	e.pipe.mu.Lock()
-	e.pipe.epochEndSeq = 0
-	e.pipe.mu.Unlock()
+func (e *Engine) clearEpochSeq(sh *shard) {
+	sh.pipe.mu.Lock()
+	sh.pipe.epochEndSeq = 0
+	sh.pipe.mu.Unlock()
 }
 
-// completeEpochPipe drops queue descriptors the epoch made obsolete and
+// completeEpochPipe drops queue descriptors the epoch made obsolete,
 // clears dirty bits for pages whose committed changes are now fully in
-// their segments.  Callers hold the truncation claim (so the regions
-// slice and mapped-state are stable); the queue/spool/dirty reconciliation
-// runs under the pipeline lock so it cannot interleave with a commit's
-// enqueue.
-func (e *Engine) completeEpochPipe(endSeq uint64) {
-	p := &e.pipe
+// their segments, and retires in-doubt entries whose commit mark the
+// epoch consumed.  Callers hold the truncation claim (so the regions
+// slice and mapped-state are stable); the queue/spool/dirty
+// reconciliation runs under the shard's pipeline lock so it cannot
+// interleave with a commit's enqueue.
+func (e *Engine) completeEpochPipe(sh *shard, endSeq uint64) {
+	p := &sh.pipe
 	p.mu.Lock()
 	p.queue.DropOlderThan(endSeq)
+	for tid, d := range p.inDoubt {
+		// Both the prepare and its mark are behind the new head; the
+		// entry no longer bounds anything.
+		if d.cmtSeq != 0 && d.cmtSeq < endSeq {
+			delete(p.inDoubt, tid)
+		}
+	}
 	// Pages referenced by still-spooled transactions keep their dirty
 	// bits: their changes are only in memory and in the spool.
 	spoolPages := make(map[pagevec.PageID]bool)
@@ -207,7 +263,9 @@ func (e *Engine) completeEpochPipe(endSeq uint64) {
 		}
 	}
 	for _, r := range e.regions {
-		if r == nil {
+		if r == nil || r.sh != sh {
+			// Another shard's epoch says nothing about this region's
+			// pages; its own epochs reconcile them.
 			continue
 		}
 		for pg := 0; pg < r.pvec.NumPages(); pg++ {
@@ -221,26 +279,37 @@ func (e *Engine) completeEpochPipe(endSeq uint64) {
 	p.mu.Unlock()
 }
 
-// inlineEpochTruncate is epoch truncation for callers that already hold
-// the truncation claim (log-full recovery, Close).  The spool is
-// intentionally not drained — there may be no room for it; it stays in
-// memory and flows into the next epoch.  The leading force makes every
-// record the epoch will contain durable before any of it reaches a
-// segment (no-undo/redo invariant).
+// inlineEpochTruncate is epoch truncation of every shard for callers that
+// already hold the truncation claim (Close).
 func (e *Engine) inlineEpochTruncate() error {
+	for _, sh := range e.shards {
+		if err := e.inlineEpochTruncateShard(sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// inlineEpochTruncateShard is one shard's epoch truncation for callers
+// that already hold the truncation claim (log-full recovery, Close).
+// The spool is intentionally not drained — there may be no room for it;
+// it stays in memory and flows into the next epoch.  The leading force
+// makes every record the epoch will contain durable before any of it
+// reaches a segment (no-undo/redo invariant).
+func (e *Engine) inlineEpochTruncateShard(sh *shard) error {
 	tt := time.Now()
-	if err := e.retryIO(e.log.Force); err != nil {
+	if err := e.retryIO(sh.log.Force); err != nil {
 		return err
 	}
-	ep, err := e.collectEpochPipe()
+	ep, err := e.collectEpochPipe(sh)
 	if err != nil {
 		return err
 	}
 	if _, err := ep.Apply(e.lookupSegmentSync, e.retryIO); err != nil {
-		e.clearEpochSeq()
+		e.clearEpochSeq(sh)
 		return err
 	}
-	e.completeEpochPipe(ep.EndSeq())
+	e.completeEpochPipe(sh, ep.EndSeq())
 	e.stats.epochTruncs.Add(1)
 	e.met.ObserveTruncPause(time.Since(tt).Nanoseconds())
 	e.tr.SpanSince(obs.EvTruncEpoch, tt, 0, uint64(ep.Records()), 0)
@@ -256,10 +325,10 @@ func (e *Engine) lookupSegmentSync(id uint64) (*segment.Segment, error) {
 }
 
 // incrementalSteps performs incremental truncation steps (paper Figure 7)
-// until the live log shrinks to targetUsed bytes or the head of the page
-// queue is blocked by an uncommitted reference.  It reports whether the
-// target was reached.  Caller holds the truncation claim and must have
-// flushed the spool.
+// on one shard until its live log shrinks to targetUsed bytes or the head
+// of the shard's page queue is blocked by an uncommitted reference.  It
+// reports whether the target was reached.  Caller holds the truncation
+// claim and must have flushed the shard's spool.
 //
 // Each step holds the page's region lock across the write-out, the dirty
 // clear, and the queue pop: the region lock excludes commits on that
@@ -269,9 +338,15 @@ func (e *Engine) lookupSegmentSync(id uint64) (*segment.Segment, error) {
 // lock held, and only then does the log head move — a single status write
 // per batch instead of one per page, with the same guarantee (a page is
 // durably in its segment before the head passes its first log reference).
-func (e *Engine) incrementalSteps(targetUsed int64) (bool, error) {
+//
+// In-doubt prepares need no special casing here: a cross-shard
+// transaction holds its pages' uncommitted reference counts until the
+// commit completes, so the queue blocks on them exactly as it does for a
+// single-shard commit in flight, and once the counts drop the pages are
+// committed and safe to write.
+func (e *Engine) incrementalSteps(sh *shard, targetUsed int64) (bool, error) {
 	ps := int64(mapping.PageSize)
-	p := &e.pipe
+	p := &sh.pipe
 	wrote := make(map[*segment.Segment]bool)
 	var newPos int64
 	var newSeq uint64
@@ -282,14 +357,14 @@ func (e *Engine) incrementalSteps(targetUsed int64) (bool, error) {
 	// transient references to drain before declaring the queue blocked
 	// and reverting to an epoch truncation.
 	blockDeadline := time.Now().Add(50 * time.Millisecond)
-	for e.log.Used()-e.reclaimableTo(newPos, moved) > targetUsed {
+	for sh.log.Used()-e.reclaimableTo(sh, newPos, moved) > targetUsed {
 		p.mu.Lock()
 		d, ok := p.queue.First()
 		p.mu.Unlock()
 		if !ok {
 			// Every live record's pages have been written out: the whole
 			// log is reflected; the head can move to the tail.
-			newPos, newSeq = e.log.Tail()
+			newPos, newSeq = sh.log.Tail()
 			moved = true
 			break
 		}
@@ -318,7 +393,7 @@ func (e *Engine) incrementalSteps(targetUsed int64) (bool, error) {
 			// but not yet logged, so writing the page (and moving the head
 			// past its log reference) would break atomicity on a crash.
 			p.mu.Lock()
-			spooled = e.spoolRefsPagePipeLocked(d.ID)
+			spooled = spoolRefsPagePipeLocked(p, d.ID)
 			p.mu.Unlock()
 		}
 		if blocked || spooled {
@@ -335,7 +410,7 @@ func (e *Engine) incrementalSteps(targetUsed int64) (bool, error) {
 				// spooled bytes into log records (legal: the caller holds
 				// the truncation claim and no locks are held here) so the
 				// page becomes writable and stepping continues.
-				if err := e.flushSpool(true); err != nil {
+				if err := e.flushSpool(sh, true); err != nil {
 					return false, err
 				}
 			}
@@ -359,7 +434,7 @@ func (e *Engine) incrementalSteps(targetUsed int64) (bool, error) {
 		if next, ok := p.queue.First(); ok {
 			newPos, newSeq = next.Pos, next.Seq
 		} else {
-			newPos, newSeq = e.log.Tail()
+			newPos, newSeq = sh.log.Tail()
 		}
 		p.mu.Unlock()
 		r.mu.Unlock()
@@ -374,37 +449,37 @@ func (e *Engine) incrementalSteps(targetUsed int64) (bool, error) {
 		}
 	}
 	if moved {
-		if hp, hs := e.log.Head(); hp != newPos || hs != newSeq {
+		if hp, hs := sh.log.Head(); hp != newPos || hs != newSeq {
 			err := e.retryIO(func() error {
-				return e.log.SetHead(newPos, newSeq)
+				return sh.log.SetHead(newPos, newSeq)
 			})
 			if err != nil {
 				return false, err
 			}
 		}
 	}
-	return e.log.Used() <= targetUsed, nil
+	return sh.log.Used() <= targetUsed, nil
 }
 
 // reclaimableTo returns the bytes that a pending head move to pos would
-// free (0 when no move is pending).  Used to decide when a batch has
-// reclaimed enough.
-func (e *Engine) reclaimableTo(pos int64, moved bool) int64 {
+// free on the shard (0 when no move is pending).  Used to decide when a
+// batch has reclaimed enough.
+func (e *Engine) reclaimableTo(sh *shard, pos int64, moved bool) int64 {
 	if !moved {
 		return 0
 	}
-	hp, _ := e.log.Head()
+	hp, _ := sh.log.Head()
 	freed := pos - hp
 	if freed < 0 {
-		freed += e.log.AreaSize()
+		freed += sh.log.AreaSize()
 	}
 	return freed
 }
 
 // TruncateIncremental runs incremental truncation down to targetFraction
-// of the log size, reverting to an epoch truncation if it blocks while the
-// log remains above the fraction.  Exposed for tests, tools, and
-// benchmarks; background truncation uses the same path.
+// of each shard's log size, reverting to an epoch truncation if any shard
+// blocks while its log remains above the fraction.  Exposed for tests,
+// tools, and benchmarks; background truncation uses the same path.
 func (e *Engine) TruncateIncremental(targetFraction float64) error {
 	// Like Commit, the operation span starts at the call so traces show
 	// truncation overlapping the commits it contended with.
@@ -416,11 +491,25 @@ func (e *Engine) TruncateIncremental(targetFraction float64) error {
 	}
 	pause := time.Now()
 	stepsBefore := e.stats.incrSteps.Load()
-	target := int64(targetFraction * float64(e.log.AreaSize()))
-	err := e.flushSpool(true)
-	var done bool
-	if err == nil {
-		done, err = e.incrementalSteps(target)
+	done := true
+	var err error
+	for _, sh := range e.shards {
+		// The spool flush runs even on a shard already below target:
+		// truncation's contract includes making spooled no-flush commits
+		// durable.
+		if err = e.flushSpool(sh, true); err != nil {
+			break
+		}
+		target := int64(targetFraction * float64(sh.log.AreaSize()))
+		if sh.log.Used() <= target {
+			continue
+		}
+		var shardDone bool
+		shardDone, err = e.incrementalSteps(sh, target)
+		if err != nil {
+			break
+		}
+		done = done && shardDone
 	}
 	err = e.maybePoison(err)
 	pages := e.stats.incrSteps.Load() - stepsBefore
@@ -428,7 +517,7 @@ func (e *Engine) TruncateIncremental(targetFraction float64) error {
 	e.tr.SpanSince(obs.EvTruncPause, pause, 0, pages, 0)
 	e.releaseTruncation()
 	if err == nil && !done {
-		// Blocked with the log still above target: revert to epoch
+		// Blocked with a log still above target: revert to epoch
 		// truncation (paper §5.1.2).
 		err = e.epochTruncate()
 	}
@@ -447,7 +536,12 @@ func (e *Engine) shouldAutoTruncate() bool {
 	if thr <= 0 || e.truncating.Load() || e.closed.Load() {
 		return false
 	}
-	return float64(e.log.Used()) > thr*float64(e.log.AreaSize())
+	for _, sh := range e.shards {
+		if float64(sh.log.Used()) > thr*float64(sh.log.AreaSize()) {
+			return true
+		}
+	}
+	return false
 }
 
 // autoTruncate is the background truncation started after a commit crosses

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/rvm-go/rvm/internal/itree"
@@ -237,6 +238,28 @@ func (t *Tx) sortedRegions() []int {
 	return idxs
 }
 
+// txShards returns the distinct WAL shards the transaction's regions log
+// through, in ascending shard order — the order every cross-shard phase
+// visits them in.
+func (t *Tx) txShards() []*shard {
+	var shs []*shard
+	for _, tr := range t.regions {
+		sh := tr.region.sh
+		found := false
+		for _, s := range shs {
+			if s == sh {
+				found = true
+				break
+			}
+		}
+		if !found {
+			shs = append(shs, sh)
+		}
+	}
+	sort.Slice(shs, func(i, j int) bool { return shs[i].idx < shs[j].idx })
+	return shs
+}
+
 // lockRegions acquires the lock of every region the transaction touched,
 // in ascending index order (the hierarchy's rule for multi-region
 // transactions), and returns the sorted indices.  With metrics on, each
@@ -332,8 +355,13 @@ func (t *Tx) buildRanges(idxs []int, copyData bool) ([]wal.Range, []pagevec.Page
 
 // Commit ends the transaction, making its changes permanent per the commit
 // mode (paper §4.2 end_transaction).  The hot path takes only the locks of
-// the regions the transaction touched plus the log-pipeline lock for the
-// append; the force (group or serialized) runs with no lock at all.
+// the regions the transaction touched plus that shard's log-pipeline lock
+// for the append; the force (group or serialized) runs with no lock at
+// all.  A transaction whose regions span several WAL shards commits via
+// the two-phase shard protocol (commitCross); such a commit is always
+// durable when it returns, so a cross-shard NoFlush commit is silently
+// upgraded to flush semantics — spooling one shard's half of an atomic
+// commit would let a crash split it.
 func (t *Tx) Commit(mode CommitMode) error {
 	if t.done {
 		return ErrTxDone
@@ -361,17 +389,22 @@ func (t *Tx) Commit(mode CommitMode) error {
 		return nil
 	}
 
+	shs := t.txShards()
+	if len(shs) > 1 {
+		return t.commitCross(shs, flags, t0)
+	}
+
 	switch mode {
 	case NoFlush:
-		return t.commitNoFlush(flags|flagNoFlush, t0)
+		return t.commitNoFlush(shs[0], flags|flagNoFlush, t0)
 	case Flush:
-		return t.commitFlush(flags, t0)
+		return t.commitFlush(shs[0], flags, t0)
 	default:
 		return fmt.Errorf("rvm: unknown commit mode %d", int(mode))
 	}
 }
 
-func (t *Tx) commitNoFlush(flags uint8, t0 time.Time) error {
+func (t *Tx) commitNoFlush(sh *shard, flags uint8, t0 time.Time) error {
 	e := t.eng
 	idxs := t.lockRegions()
 	ranges, _, saved := t.buildRanges(idxs, true)
@@ -385,18 +418,19 @@ func (t *Tx) commitNoFlush(flags uint8, t0 time.Time) error {
 			sp.pages = append(sp.pages, pagevec.PageID{Region: idx, Page: p})
 		}
 	}
-	p := &e.pipe
+	p := &sh.pipe
 	p.mu.Lock()
 	if !e.opts.NoInterOpt {
-		e.subsumeSpoolPipeLocked(sp)
+		e.subsumeSpoolPipeLocked(sh, sp)
 	}
 	p.spool = append(p.spool, sp)
 	p.spoolBytes += sp.bytes
 	spoolBytes := p.spoolBytes
-	t.markDirtyPipeLocked(nil, 0, 0) // dirty bits only; queue entries at flush
+	t.markDirtyPipeLocked(sh, idxs, nil, 0, 0) // dirty bits only; queue entries at flush
 	p.mu.Unlock()
 	t.unlockRegions(idxs)
 	t.finish()
+	sh.commits.Add(1)
 	e.stats.noFlushCommits.Add(1)
 	e.stats.intraSavedBytes.Add(uint64(saved))
 	e.met.SetSpoolBytes(spoolBytes)
@@ -405,10 +439,10 @@ func (t *Tx) commitNoFlush(flags uint8, t0 time.Time) error {
 		limit = 1 << 20
 	}
 	if limit > 0 && spoolBytes > limit {
-		// Implicit flush: the spool is full.  Persistence stays
+		// Implicit flush: this shard's spool is full.  Persistence stays
 		// "bounded by the period between log flushes" (§4.2) — this
 		// just bounds the period by memory as well as by time.
-		if err := e.flushSpool(false); err != nil {
+		if err := e.flushSpool(sh, false); err != nil {
 			return e.maybePoison(err)
 		}
 	}
@@ -421,7 +455,7 @@ func (t *Tx) commitNoFlush(flags uint8, t0 time.Time) error {
 	return nil
 }
 
-func (t *Tx) commitFlush(flags uint8, t0 time.Time) error {
+func (t *Tx) commitFlush(sh *shard, flags uint8, t0 time.Time) error {
 	e := t.eng
 	var pos int64
 	var seq uint64
@@ -455,7 +489,7 @@ func (t *Tx) commitFlush(flags uint8, t0 time.Time) error {
 			encodeNs += now.Sub(pt).Nanoseconds()
 			pt = now
 		}
-		p := &e.pipe
+		p := &sh.pipe
 		if !timed {
 			p.mu.Lock()
 		} else if p.mu.TryLock() {
@@ -473,9 +507,9 @@ func (t *Tx) commitFlush(flags uint8, t0 time.Time) error {
 		}
 		// Older spooled transactions must reach the log first to keep
 		// commit order intact.
-		err := e.drainSpoolPipeLocked()
+		err := e.drainSpoolPipeLocked(sh)
 		if err == nil {
-			pos, seq, nbytes, err = e.appendPipeLocked(t.id, flags, ranges)
+			pos, seq, nbytes, err = e.appendPipeLocked(sh, t.id, flags, ranges)
 		}
 		if err == nil {
 			// Dirty bits and page enqueues happen here, in the same
@@ -484,7 +518,7 @@ func (t *Tx) commitFlush(flags uint8, t0 time.Time) error {
 			// the force completes: this transaction still holds their
 			// uncommitted reference counts until finish, and epoch
 			// truncation forces the log before applying records.
-			t.markDirtyPipeLocked(pages, pos, seq)
+			t.markDirtyPipeLocked(sh, idxs, pages, pos, seq)
 		}
 		p.mu.Unlock()
 		t.unlockRegions(idxs)
@@ -502,10 +536,10 @@ func (t *Tx) commitFlush(flags uint8, t0 time.Time) error {
 				// for this record" from a log that is merely busy.
 				return fmt.Errorf(
 					"rvm: log full after %d inline truncations (record needs %d bytes, log area %d bytes, %d live): %w",
-					attempt, wal.EncodedLen(ranges), e.log.AreaSize(), e.log.Used(), err)
+					attempt, wal.EncodedLen(ranges), sh.log.AreaSize(), sh.log.Used(), err)
 			}
 			need = wal.EncodedLen(ranges)
-			if mkErr := e.makeLogSpace(need, false); mkErr != nil {
+			if mkErr := e.makeLogSpace(sh, need, false); mkErr != nil {
 				mkErr = e.maybePoison(mkErr)
 				t.abandonIfPoisoned(mkErr)
 				return mkErr
@@ -528,13 +562,13 @@ func (t *Tx) commitFlush(flags uint8, t0 time.Time) error {
 	}
 	if e.opts.GroupCommit {
 		var err error
-		led, fsyncNs, err = e.waitForced(seq)
+		led, fsyncNs, err = e.waitForced(sh, seq)
 		if err != nil {
 			t.abandonIfPoisoned(err)
 			return err
 		}
 	} else {
-		if err := e.retryIO(e.log.Force); err != nil {
+		if err := e.retryIO(sh.log.Force); err != nil {
 			err = e.maybePoison(err)
 			t.abandonIfPoisoned(err)
 			return err
@@ -550,6 +584,7 @@ func (t *Tx) commitFlush(flags uint8, t0 time.Time) error {
 		}
 	}
 	t.finish()
+	sh.commits.Add(1)
 	e.stats.flushCommits.Add(1)
 	e.stats.intraSavedBytes.Add(uint64(saved))
 	trigger := e.shouldAutoTruncate()
@@ -562,6 +597,318 @@ func (t *Tx) commitFlush(flags uint8, t0 time.Time) error {
 	return nil
 }
 
+// commitCross commits a transaction whose regions span several WAL
+// shards, atomically, via a two-phase shard protocol (DESIGN.md §15)
+// turned inward from the rvmdist machinery the paper sketches in §8:
+//
+//  1. Prepare: each participating shard, visited in ascending shard
+//     order, gets a prepare record carrying that shard's value ranges
+//     (appended under its pipeline lock, behind its spool).  The
+//     transaction is registered in-doubt on the shard so epoch
+//     truncation never separates the prepare from its commit mark.
+//  2. Force the prepares on every participant (in parallel): all of the
+//     transaction's data is durable everywhere before any outcome
+//     record exists.
+//  3. Commit: every participant gets a tiny commit-mark record carrying
+//     the global commit-ID (the TID).  The first durable mark is the
+//     commit point — recovery unions the commit marks of all shards, so
+//     one surviving mark commits the transaction everywhere, and a
+//     prepare whose ID no mark confirms is discarded on every shard.
+//  4. Force the marks and acknowledge.
+//
+// Region locks are released after phase 1: per-byte redo order is still
+// exact because same-region appends are serialized by the region lock,
+// so within each shard's log sequence order equals memory write order
+// for any byte (the property per-shard recovery and truncation sort by).
+// A failure before any mark is appended aborts cleanly (the orphaned
+// prepares are discarded by truncation and recovery); a failure after
+// the first mark poisons the engine — the outcome may already be
+// durable on one shard but can no longer be completed on the rest.
+func (t *Tx) commitCross(shs []*shard, flags uint8, t0 time.Time) error {
+	e := t.eng
+	timed := e.met != nil
+	var lockNs, encodeNs, pipeNs, appendNs int64
+	var pt time.Time
+	var saved, nbytes int64
+	prepSeqs := make([]uint64, len(shs))
+	slot := func(sh *shard) int {
+		for i, s := range shs {
+			if s == sh {
+				return i
+			}
+		}
+		return -1
+	}
+	for attempt := 0; ; attempt++ {
+		// Ranges are rebuilt per attempt: they alias region memory, which
+		// is only stable while the region locks are held.
+		if timed {
+			pt = time.Now()
+		}
+		idxs := t.lockRegions()
+		if timed {
+			now := time.Now()
+			lockNs += now.Sub(pt).Nanoseconds()
+			pt = now
+		}
+		groups := make([][]int, len(shs))
+		for _, idx := range idxs {
+			gi := slot(t.regions[idx].region.sh)
+			groups[gi] = append(groups[gi], idx)
+		}
+		saved, nbytes = 0, 0
+		var err error
+		var fullShard *shard
+		var fullNeed int64
+		for gi, sh := range shs {
+			ranges, pages, sv := t.buildRanges(groups[gi], false)
+			if timed {
+				now := time.Now()
+				encodeNs += now.Sub(pt).Nanoseconds()
+				pt = now
+			}
+			p := &sh.pipe
+			if !timed {
+				p.mu.Lock()
+			} else if p.mu.TryLock() {
+				e.met.LockAcquired(obs.LockPipeline)
+				now := time.Now()
+				pipeNs += now.Sub(pt).Nanoseconds()
+				pt = now
+			} else {
+				p.mu.Lock()
+				now := time.Now()
+				w := now.Sub(pt).Nanoseconds()
+				e.met.LockContended(obs.LockPipeline, w)
+				pipeNs += w
+				pt = now
+			}
+			err = e.drainSpoolPipeLocked(sh)
+			var pos int64
+			var seq uint64
+			var nb int64
+			if err == nil {
+				err = e.retryIO(func() error {
+					var aerr error
+					pos, seq, nb, aerr = sh.log.AppendPrepare(t.id, flags, ranges)
+					return aerr
+				})
+			}
+			if err == nil {
+				if p.inDoubt == nil {
+					p.inDoubt = make(map[uint64]*inDoubtTx)
+				}
+				// Keep the seq of the *first* prepare across ErrLogFull
+				// retries: an earlier attempt's orphaned prepare must stay
+				// inside the same truncation epoch as the final commit
+				// mark, or epoch replay would see it unpaired.
+				if p.inDoubt[t.id] == nil {
+					p.inDoubt[t.id] = &inDoubtTx{prepSeq: seq}
+				}
+				t.markDirtyPipeLocked(sh, groups[gi], pages, pos, seq)
+				prepSeqs[gi] = seq
+				nbytes += nb
+			}
+			p.mu.Unlock()
+			if timed {
+				now := time.Now()
+				appendNs += now.Sub(pt).Nanoseconds()
+				pt = now
+			}
+			if err != nil {
+				fullShard = sh
+				fullNeed = wal.EncodedLen(ranges)
+				break
+			}
+			saved += sv
+		}
+		t.unlockRegions(idxs)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, wal.ErrLogFull) {
+			if attempt >= 3 {
+				// Giving up: the orphaned prepares of earlier attempts can
+				// never gain a commit mark — drop the in-doubt entries so
+				// truncation stops fencing epochs on them (epoch replay and
+				// recovery both discard unconfirmed prepares).
+				e.dropInDoubt(shs, t.id)
+				return fmt.Errorf(
+					"rvm: log full on shard %d after %d inline truncations (record needs %d bytes, log area %d bytes, %d live): %w",
+					fullShard.idx, attempt, fullNeed, fullShard.log.AreaSize(), fullShard.log.Used(), err)
+			}
+			if mkErr := e.makeLogSpace(fullShard, fullNeed, false); mkErr != nil {
+				mkErr = e.maybePoison(mkErr)
+				if !errors.Is(mkErr, ErrPoisoned) {
+					e.dropInDoubt(shs, t.id)
+				}
+				t.abandonIfPoisoned(mkErr)
+				return mkErr
+			}
+			continue
+		}
+		err = e.maybePoison(err)
+		if !errors.Is(err, ErrPoisoned) {
+			e.dropInDoubt(shs, t.id)
+		}
+		t.abandonIfPoisoned(err)
+		return err
+	}
+
+	// Phase 2: force every participant's prepares, in parallel — the
+	// transaction's whole payload must be durable on every shard before
+	// any commit mark exists, or a crash could surface a mark whose data
+	// did not survive.  No lock is held.
+	if timed {
+		pt = time.Now()
+	}
+	led, fsyncNs, err := t.forceShards(shs, prepSeqs)
+	if err != nil {
+		t.abandonIfPoisoned(err)
+		return err
+	}
+
+	// Phase 3: append the commit marks, ascending.  The transaction's
+	// commit point is the first mark that reaches a platter; marks are
+	// appended on every participant so each shard's log is self-
+	// contained for truncation.
+	cmtSeqs := make([]uint64, len(shs))
+	for gi, sh := range shs {
+		p := &sh.pipe
+		p.mu.Lock()
+		var seq uint64
+		err := e.retryIO(func() error {
+			var aerr error
+			_, seq, _, aerr = sh.log.AppendCommitMark(t.id)
+			return aerr
+		})
+		if err == nil {
+			if d := p.inDoubt[t.id]; d != nil {
+				d.cmtSeq = seq
+			}
+			cmtSeqs[gi] = seq
+		}
+		p.mu.Unlock()
+		if err != nil {
+			if gi == 0 {
+				// No mark exists anywhere: abort cleanly.  The durable
+				// prepares are orphans recovery and truncation discard.
+				err = e.maybePoison(err)
+				if !errors.Is(err, ErrPoisoned) {
+					e.dropInDoubt(shs, t.id)
+				}
+				t.abandonIfPoisoned(err)
+				return err
+			}
+			// A mark is already in some shard's log (and may reach its
+			// device at any moment), but the rest cannot be written: the
+			// outcome is undecidable at runtime.  Fail stop; the next
+			// recovery decides it consistently from the surviving marks.
+			err = e.poison(fmt.Errorf("rvm: cross-shard commit %d: mark write failed on shard %d after %d mark(s): %w",
+				t.id, sh.idx, gi, err))
+			t.abandonIfPoisoned(err)
+			return err
+		}
+	}
+
+	// Phase 4: force the marks everywhere; the commit is acknowledged
+	// only once every shard's mark is durable.
+	led2, fsyncNs2, err := t.forceShards(shs, cmtSeqs)
+	if err != nil {
+		t.abandonIfPoisoned(err)
+		return err
+	}
+	led = led || led2
+	fsyncNs += fsyncNs2
+	var forceNs int64
+	if timed {
+		forceNs = time.Since(pt).Nanoseconds()
+		if !e.opts.GroupCommit {
+			fsyncNs = forceNs
+		}
+	}
+
+	t.finish()
+	for _, sh := range shs {
+		sh.commits.Add(1)
+	}
+	e.stats.flushCommits.Add(1)
+	e.stats.crossShardCommits.Add(1)
+	e.stats.intraSavedBytes.Add(uint64(saved))
+	trigger := e.shouldAutoTruncate()
+	e.met.ObserveCommitPhases(lockNs, encodeNs, pipeNs, appendNs, forceNs, fsyncNs, e.opts.GroupCommit, led)
+	e.met.ObserveCommitFlush(time.Since(t0).Nanoseconds())
+	e.tr.SpanSince(obs.EvCommitFlush, t0, t.id, uint64(nbytes), cmtSeqs[len(cmtSeqs)-1])
+	if trigger {
+		go e.autoTruncate()
+	}
+	return nil
+}
+
+// forceShards makes every shard's log durable through the given seq (one
+// per shard, parallel across shards): group-commit tickets when enabled,
+// direct forces otherwise.  It returns whether any force was self-led and
+// the summed leader fsync time; the first error wins.
+func (t *Tx) forceShards(shs []*shard, seqs []uint64) (led bool, fsyncNs int64, err error) {
+	if len(shs) == 1 {
+		return t.forceOne(shs[0], seqs[0])
+	}
+	var wg sync.WaitGroup
+	results := make([]struct {
+		led     bool
+		fsyncNs int64
+		err     error
+	}, len(shs))
+	for i := range shs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i].led, results[i].fsyncNs, results[i].err = t.forceOne(shs[i], seqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, r := range results {
+		led = led || r.led
+		fsyncNs += r.fsyncNs
+		if err == nil {
+			err = r.err
+		}
+	}
+	return led, fsyncNs, err
+}
+
+// forceOne forces one shard's log through seq, via its group-commit
+// ticket protocol when enabled.
+func (t *Tx) forceOne(sh *shard, seq uint64) (led bool, fsyncNs int64, err error) {
+	e := t.eng
+	if e.opts.GroupCommit {
+		return e.waitForced(sh, seq)
+	}
+	var fst time.Time
+	if e.met != nil {
+		fst = time.Now()
+	}
+	if err := e.retryIO(sh.log.Force); err != nil {
+		return true, 0, e.maybePoison(err)
+	}
+	if e.met != nil {
+		fsyncNs = time.Since(fst).Nanoseconds()
+	}
+	return true, fsyncNs, nil
+}
+
+// dropInDoubt removes the transaction's in-doubt entries on every
+// participating shard after a two-phase commit failed before any commit
+// mark was appended: the orphaned prepares will never be confirmed, so
+// truncation must stop fencing epochs on them.
+func (e *Engine) dropInDoubt(shs []*shard, tid uint64) {
+	for _, sh := range shs {
+		sh.pipe.mu.Lock()
+		delete(sh.pipe.inDoubt, tid)
+		sh.pipe.mu.Unlock()
+	}
+}
+
 // abandonIfPoisoned resolves a transaction whose commit just poisoned the
 // engine: it can never commit, and leaving it active would wedge Close
 // behind ErrActiveTx.  Logical failures (log full) keep the transaction
@@ -572,28 +919,30 @@ func (t *Tx) abandonIfPoisoned(err error) {
 	}
 }
 
-// markDirtyPipeLocked marks the transaction's pages dirty; when queue
-// position info is supplied (flush path) the pages are also enqueued for
-// incremental truncation.  Caller holds e.pipe.mu — the dirty bits are
-// atomic, but setting them inside the pipeline section keeps them
-// consistent with the spool/queue state that epoch completion reads.
-func (t *Tx) markDirtyPipeLocked(pages []pagevec.PageID, pos int64, seq uint64) {
+// markDirtyPipeLocked marks the pages of the given regions dirty; when
+// queue position info is supplied (flush path) the supplied pages are
+// also enqueued for incremental truncation on the shard.  Caller holds
+// sh.pipe.mu — the dirty bits are atomic, but setting them inside the
+// pipeline section keeps them consistent with the spool/queue state that
+// epoch completion reads.
+func (t *Tx) markDirtyPipeLocked(sh *shard, idxs []int, pages []pagevec.PageID, pos int64, seq uint64) {
 	e := t.eng
-	for _, tr := range t.regions {
+	for _, idx := range idxs {
+		tr := t.regions[idx]
 		for p := range tr.pages {
 			tr.region.pvec.SetDirty(int(p))
 		}
 	}
 	for _, id := range pages {
-		e.enqueuePagePipeLocked(id, pos, seq)
+		e.enqueuePagePipeLocked(sh, id, pos, seq)
 	}
 }
 
-// enqueuePagePipeLocked records a page's log reference in the FIFO queue,
-// honouring the no-duplicates rule and the epoch-promotion rule.  Caller
-// holds e.pipe.mu.
-func (e *Engine) enqueuePagePipeLocked(id pagevec.PageID, pos int64, seq uint64) {
-	p := &e.pipe
+// enqueuePagePipeLocked records a page's log reference in the shard's
+// FIFO queue, honouring the no-duplicates rule and the epoch-promotion
+// rule.  Caller holds sh.pipe.mu.
+func (e *Engine) enqueuePagePipeLocked(sh *shard, id pagevec.PageID, pos int64, seq uint64) {
+	p := &sh.pipe
 	if d, ok := p.queue.Get(id); ok {
 		// Already queued at its earliest reference — unless that reference
 		// is inside an epoch being truncated right now, in which case the
@@ -606,12 +955,13 @@ func (e *Engine) enqueuePagePipeLocked(id pagevec.PageID, pos int64, seq uint64)
 	p.queue.Push(id, pos, seq)
 }
 
-// appendPipeLocked appends one record, retrying transient faults.  Caller
-// holds e.pipe.mu, which is what serializes commit order into the log.
-func (e *Engine) appendPipeLocked(tid uint64, flags uint8, ranges []wal.Range) (pos int64, seq uint64, n int64, err error) {
+// appendPipeLocked appends one record to the shard's log, retrying
+// transient faults.  Caller holds sh.pipe.mu, which is what serializes
+// commit order into that log.
+func (e *Engine) appendPipeLocked(sh *shard, tid uint64, flags uint8, ranges []wal.Range) (pos int64, seq uint64, n int64, err error) {
 	err = e.retryIO(func() error {
 		var aerr error
-		pos, seq, n, aerr = e.log.Append(tid, flags, ranges)
+		pos, seq, n, aerr = sh.log.Append(tid, flags, ranges)
 		return aerr
 	})
 	return pos, seq, n, err
@@ -619,9 +969,10 @@ func (e *Engine) appendPipeLocked(tid uint64, flags uint8, ranges []wal.Range) (
 
 // subsumeSpoolPipeLocked applies the inter-transaction optimization (paper
 // §5.2): if sp's modifications subsume those of an earlier unflushed
-// transaction, the older records are discarded.  Caller holds e.pipe.mu.
-func (e *Engine) subsumeSpoolPipeLocked(sp *spooled) {
-	p := &e.pipe
+// transaction spooled on the same shard, the older records are discarded.
+// Caller holds sh.pipe.mu.
+func (e *Engine) subsumeSpoolPipeLocked(sh *shard, sp *spooled) {
+	p := &sh.pipe
 	// Coverage of the new transaction, per segment.
 	cover := make(map[uint64]*rangeset)
 	for _, r := range sp.ranges {
@@ -659,16 +1010,16 @@ func spoolSubsumed(old *spooled, cover map[uint64]*rangeset) bool {
 	return true
 }
 
-// drainSpoolPipeLocked appends every spooled transaction to the log
-// (without forcing) and enqueues their pages.  Drained slots are nilled
-// out and the slice head is reset once empty, so spooled payloads become
-// garbage-collectable the moment they reach the log.  Caller holds
-// e.pipe.mu; the regions slice is readable under it (see Engine.regions).
-func (e *Engine) drainSpoolPipeLocked() error {
-	p := &e.pipe
+// drainSpoolPipeLocked appends every transaction spooled on the shard to
+// its log (without forcing) and enqueues their pages.  Drained slots are
+// nilled out and the slice head is reset once empty, so spooled payloads
+// become garbage-collectable the moment they reach the log.  Caller holds
+// sh.pipe.mu; the regions slice is readable under it (see Engine.regions).
+func (e *Engine) drainSpoolPipeLocked(sh *shard) error {
+	p := &sh.pipe
 	for len(p.spool) > 0 {
 		sp := p.spool[0]
-		pos, seq, _, err := e.appendPipeLocked(sp.tid, sp.flags, sp.ranges)
+		pos, seq, _, err := e.appendPipeLocked(sh, sp.tid, sp.flags, sp.ranges)
 		if err != nil {
 			return err
 		}
@@ -677,7 +1028,7 @@ func (e *Engine) drainSpoolPipeLocked() error {
 			// entry was created; Unmap flushed the spool first, so this
 			// cannot happen — but guard against stale region slots anyway.
 			if id.Region < len(e.regions) && e.regions[id.Region] != nil {
-				e.enqueuePagePipeLocked(id, pos, seq)
+				e.enqueuePagePipeLocked(sh, id, pos, seq)
 			}
 		}
 		p.spool[0] = nil

@@ -77,7 +77,12 @@ type Stats struct {
 	Segments      int    // distinct segments written
 	WritesMerged  int    // maximal intervals written (tree writes)
 	ScannedBytes  uint64 // log bytes visited by the analysis pass
-	CheckpointSeq uint64 // stable seq of the bounding checkpoint (0: none)
+	CheckpointSeq uint64 // stable seq of shard 0's bounding checkpoint (0: none)
+	// DiscardedPrepares counts cross-shard prepare records whose global
+	// commit-ID no shard's commit mark confirmed: the transaction never
+	// reached its commit point, so its prepares are dropped on every
+	// shard, keeping the crash atomic.
+	DiscardedPrepares int
 }
 
 // treeSet accumulates ranges into per-segment trees under a policy.
@@ -177,13 +182,32 @@ func Recover(l *wal.Log, lookup SegmentLookup, retry Retry) (Stats, error) {
 // workers decode records, build stripe-sharded redo trees, and replay them
 // concurrently.  On error the returned Stats hold partial progress.
 func RecoverParallel(l *wal.Log, lookup SegmentLookup, retry Retry, cfg Config) (Stats, error) {
+	return RecoverShards([]*wal.Log{l}, lookup, retry, cfg)
+}
+
+// RecoverShards replays a sharded engine's logs in parallel.  Analysis
+// runs once per shard, the commit marks of every shard are unioned into
+// one committed set, and then each shard replays concurrently — a
+// prepare record applies only when its global commit-ID is in the union
+// (the transaction reached its commit point on some shard before the
+// crash), and is discarded otherwise.  The shards' heads advance only
+// after every shard has applied and synced, so a crash mid-recovery
+// replays all of it.  Distinct shards never log the same page (a region
+// lives on exactly one shard for the life of a run), so cross-shard
+// apply order is free.  On error the returned Stats hold partial
+// progress summed across shards.
+func RecoverShards(logs []*wal.Log, lookup SegmentLookup, retry Retry, cfg Config) (Stats, error) {
 	par := cfg.Parallelism
 	if par < 1 {
 		par = 1
 	}
+	perShard := par / len(logs)
+	if perShard < 1 {
+		perShard = 1
+	}
 	var st Stats
-	tr := l.Tracer()
-	met := l.Metrics()
+	tr := logs[0].Tracer()
+	met := logs[0].Metrics()
 	// The whole replay runs under the recovery stall gate: restart hangs
 	// (a dead segment device, a wedged read) surface through the watchdog
 	// like any other stalled operation.
@@ -192,15 +216,89 @@ func RecoverParallel(l *wal.Log, lookup SegmentLookup, retry Retry, cfg Config) 
 
 	scanStart := tr.Now()
 	t0 := time.Now()
-	refs, stable, scanned, err := l.AnalyzeBackward()
+	analyses := make([]wal.Analysis, len(logs))
+	err := runWorkers(len(logs), func(w int) error {
+		an, err := logs[w].AnalyzeBackward()
+		analyses[w] = an
+		return err
+	})
 	if err != nil {
 		return st, err
 	}
+	// The commit point of a cross-shard transaction is the first durable
+	// commit mark on any shard, so the committed set is the union.
+	committed := make(map[uint64]bool)
+	var scanned int64
+	for _, an := range analyses {
+		scanned += an.Scanned
+		for _, tid := range an.Committed {
+			committed[tid] = true
+		}
+	}
 	st.ScannedBytes = uint64(scanned)
 	met.SetRecoveryScanBytes(scanned)
-	st.CheckpointSeq = stable
-	st.Records = len(refs)
+	st.CheckpointSeq = analyses[0].Stable
 
+	// Filter each shard's refs: transaction records always replay;
+	// prepares replay only with a confirming commit mark.
+	shardRefs := make([][]wal.RecordRef, len(logs))
+	for i, an := range analyses {
+		refs := an.Refs[:0]
+		for _, ref := range an.Refs {
+			if ref.Type == wal.RecPrepare && !committed[ref.TID] {
+				st.DiscardedPrepares++
+				continue
+			}
+			refs = append(refs, ref)
+		}
+		shardRefs[i] = refs
+		st.Records += len(refs)
+	}
+
+	// Replay every shard concurrently.  lookup is not safe for concurrent
+	// use, so shard replays share it behind a mutex; segment writes from
+	// different shards touch disjoint byte ranges by construction.
+	var lookupMu sync.Mutex
+	locked := func(segID uint64) (*segment.Segment, error) {
+		lookupMu.Lock()
+		defer lookupMu.Unlock()
+		return lookup(segID)
+	}
+	scanDur := time.Since(t0).Nanoseconds()
+	tr.Span(obs.EvRecovScan, scanStart, 0, uint64(st.Records), st.CheckpointSeq)
+	met.ObserveRecoveryScan(scanDur)
+	sub := make([]Stats, len(logs))
+	err = runWorkers(len(logs), func(w int) error {
+		return replayShard(logs[w], shardRefs[w], locked, retry, perShard, met, &sub[w])
+	})
+	for i := range sub {
+		st.Ranges += sub[i].Ranges
+		st.RecordBytes += sub[i].RecordBytes
+		st.TreeBytes += sub[i].TreeBytes
+		st.WritesMerged += sub[i].WritesMerged
+		st.Segments += sub[i].Segments
+	}
+	if err != nil {
+		return st, err
+	}
+
+	// All recovery actions are complete; only now mark the logs empty.
+	// Records older than a shard checkpoint's stable seq were skipped
+	// above precisely because they are already in the segments, so each
+	// whole live region — prefix included — is safe to discard.
+	for _, l := range logs {
+		pos, seq := l.Tail()
+		if err := retried(retry, func() error { return l.SetHead(pos, seq) }); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// replayShard decodes one shard's filtered refs, builds stripe-sharded
+// redo trees, and applies them to the segments with par workers.
+func replayShard(l *wal.Log, refs []wal.RecordRef, lookup SegmentLookup, retry Retry, par int, met *obs.Metrics, st *Stats) error {
+	tr := l.Tracer()
 	shards := make([]treeSet, par)
 	for i := range shards {
 		shards[i] = make(treeSet)
@@ -228,7 +326,7 @@ func RecoverParallel(l *wal.Log, lookup SegmentLookup, retry Retry, cfg Config) 
 			return nil
 		})
 		if err != nil {
-			return st, err
+			return err
 		}
 		for _, rec := range recs {
 			st.Ranges += len(rec.Ranges)
@@ -259,18 +357,14 @@ func RecoverParallel(l *wal.Log, lookup SegmentLookup, retry Retry, cfg Config) 
 			return nil
 		})
 		if err != nil {
-			return st, err
+			return err
 		}
 		lo = hi
 	}
-	scanDur := time.Since(t0).Nanoseconds()
-	tr.Span(obs.EvRecovScan, scanStart, 0, uint64(st.Records), stable)
-	met.ObserveRecoveryScan(scanDur)
 
 	applyStart := tr.Now()
 	ta := time.Now()
-	// Resolve every referenced segment serially; lookup may mutate engine
-	// state and is not safe for concurrent calls.
+	// Resolve every referenced segment before fanning out apply workers.
 	segs := make(map[uint64]*segment.Segment)
 	for _, ts := range shards {
 		for id := range ts {
@@ -279,7 +373,7 @@ func RecoverParallel(l *wal.Log, lookup SegmentLookup, retry Retry, cfg Config) 
 			}
 			seg, err := lookup(id)
 			if err != nil {
-				return st, fmt.Errorf("recovery: segment %d referenced by log: %w", id, err)
+				return fmt.Errorf("recovery: segment %d referenced by log: %w", id, err)
 			}
 			segs[id] = seg
 		}
@@ -296,7 +390,7 @@ func RecoverParallel(l *wal.Log, lookup SegmentLookup, retry Retry, cfg Config) 
 	}
 	var nextTask atomic.Int64
 	var treeBytes, writesMerged atomic.Uint64
-	err = runWorkers(par, func(int) error {
+	err := runWorkers(par, func(int) error {
 		for {
 			i := int(nextTask.Add(1)) - 1
 			if i >= len(tasks) {
@@ -324,27 +418,18 @@ func RecoverParallel(l *wal.Log, lookup SegmentLookup, retry Retry, cfg Config) 
 	st.WritesMerged = int(writesMerged.Load())
 	st.TreeBytes = treeBytes.Load()
 	if err != nil {
-		return st, err
+		return err
 	}
 	for _, seg := range segs {
 		if err := retried(retry, seg.Sync); err != nil {
-			return st, err
+			return err
 		}
 		st.Segments++
 	}
 	applyDur := time.Since(ta).Nanoseconds()
 	tr.Span(obs.EvRecovApply, applyStart, 0, st.TreeBytes, uint64(par))
 	met.ObserveRecoveryApply(applyDur)
-
-	// All recovery actions are complete; only now mark the log empty.
-	// Records older than the checkpoint's stable seq were skipped above
-	// precisely because they are already in the segments, so the whole
-	// live region — prefix included — is safe to discard.
-	pos, seq := l.Tail()
-	if err := retried(retry, func() error { return l.SetHead(pos, seq) }); err != nil {
-		return st, err
-	}
-	return st, nil
+	return nil
 }
 
 // CollectEpoch snapshots the log's current live records (the "truncation
@@ -353,17 +438,101 @@ func RecoverParallel(l *wal.Log, lookup SegmentLookup, retry Retry, cfg Config) 
 // epoch is applied: collection takes the log lock only for the scan, and
 // Apply advances the head to the snapshotted tail afterwards (Figure 6).
 func CollectEpoch(l *wal.Log) (*Epoch, error) {
-	pos, seq := l.Tail()
+	return CollectEpochBounded(l, ^uint64(0))
+}
+
+// CollectEpochBounded is CollectEpoch with an upper sequence bound: no
+// record with Seq >= limit enters the epoch.  A sharded engine passes
+// the bound computed from its in-flight cross-shard transactions
+// (epochBoundPipeLocked) so an epoch never separates a prepare record
+// from the commit mark that decides it.
+//
+// When the epoch contains cross-shard records, collection runs two
+// passes: the first notes which commit-IDs have a mark inside the epoch,
+// the second rebuilds the trees inserting plain transaction records and
+// confirmed prepares each at their own log position — per-page redo order
+// is exactly log order, because region locks serialize same-region
+// appends regardless of where a transaction's commit mark later lands.
+// A prepare with no mark in the epoch is discarded: the engine's bound
+// keeps every undecided or committed prepare with its mark, so an
+// unpaired prepare can only be the remnant of a cleanly aborted
+// cross-shard commit, and its bytes must not reach the segments.  The
+// common case — no prepares — stays single-pass.
+func CollectEpochBounded(l *wal.Log, limit uint64) (*Epoch, error) {
+	tailPos, tailSeq := l.Tail()
+	pos, seq := tailPos, tailSeq
+	if limit < seq {
+		// The epoch ends early: its head lands at the first record the
+		// scan delivers with Seq >= limit, discovered below.
+		seq = limit
+		pos = -1
+	}
 	e := &Epoch{trees: make(treeSet), headPos: pos, headSeq: seq, log: l}
+	var committed map[uint64]bool
+	prepares := false
 	stop := fmt.Errorf("stop")
 	err := l.ScanForward(func(rec *wal.Record) error {
 		if rec.Seq >= seq {
-			// A record appended between the Tail snapshot and the scan:
-			// it belongs to the current epoch, not this truncation.
+			if e.headPos < 0 {
+				// First record past the bound: the epoch's new head.
+				// (Wrap records are skipped by the scan but are freed
+				// with the epoch since the head lands beyond them.)
+				e.headPos = rec.Pos
+				e.headSeq = rec.Seq
+			}
+			// A record at or past the bound (or appended between the
+			// Tail snapshot and the scan) belongs to the current epoch,
+			// not this truncation.
 			return stop
 		}
-		if rec.Type != wal.RecTx {
-			return nil // checkpoint records carry no segment bytes
+		switch rec.Type {
+		case wal.RecTx:
+			e.stats.Records++
+			for _, r := range rec.Ranges {
+				e.stats.Ranges++
+				e.stats.RecordBytes += uint64(len(r.Data))
+				e.trees.add(r, itree.OverwriteExisting)
+			}
+		case wal.RecPrepare:
+			prepares = true
+		case wal.RecCommit:
+			if committed == nil {
+				committed = make(map[uint64]bool)
+			}
+			committed[rec.TID] = true
+		}
+		return nil // checkpoint records carry no segment bytes
+	})
+	if err != nil && err != stop {
+		return nil, err
+	}
+	if e.headPos < 0 {
+		// No live record reached the bound: the epoch is the whole
+		// snapshot after all.
+		e.headPos, e.headSeq = tailPos, tailSeq
+	}
+	if !prepares {
+		return e, nil
+	}
+	// Second pass: cross-shard records are present, so rebuild with
+	// confirmed prepares merged in at their own positions.  The epoch's
+	// end is already fixed; records appended since the first pass fall
+	// outside it.
+	e.trees = make(treeSet)
+	e.stats = Stats{}
+	err = l.ScanForward(func(rec *wal.Record) error {
+		if rec.Seq >= e.headSeq {
+			return stop
+		}
+		switch rec.Type {
+		case wal.RecTx:
+		case wal.RecPrepare:
+			if !committed[rec.TID] {
+				e.stats.DiscardedPrepares++
+				return nil
+			}
+		default:
+			return nil
 		}
 		e.stats.Records++
 		for _, r := range rec.Ranges {

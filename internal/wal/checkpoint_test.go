@@ -78,18 +78,18 @@ func TestAnalyzeBackwardNoCheckpoint(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	refs, stable, scanned, err := l.AnalyzeBackward()
+	an, err := l.AnalyzeBackward()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stable != 0 {
-		t.Fatalf("stable = %d without any checkpoint", stable)
+	if an.Stable != 0 {
+		t.Fatalf("stable = %d without any checkpoint", an.Stable)
 	}
-	if scanned != l.Used() {
-		t.Fatalf("scanned %d bytes, log has %d live", scanned, l.Used())
+	if an.Scanned != l.Used() {
+		t.Fatalf("scanned %d bytes, log has %d live", an.Scanned, l.Used())
 	}
 	want := []uint64{4, 3, 2, 1}
-	got := seqs(refs)
+	got := seqs(an.Refs)
 	if len(got) != len(want) {
 		t.Fatalf("refs %v, want %v", got, want)
 	}
@@ -119,19 +119,19 @@ func TestAnalyzeBackwardCheckpointCutoff(t *testing.T) {
 		}
 	}
 
-	refs, stable, scanned, err := l.AnalyzeBackward()
+	an, err := l.AnalyzeBackward()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stable != 4 {
-		t.Fatalf("stable = %d, want 4", stable)
+	if an.Stable != 4 {
+		t.Fatalf("stable = %d, want 4", an.Stable)
 	}
-	if scanned >= l.Used() {
-		t.Fatalf("scanned %d bytes, want a bounded suffix of the %d live", scanned, l.Used())
+	if an.Scanned >= l.Used() {
+		t.Fatalf("scanned %d bytes, want a bounded suffix of the %d live", an.Scanned, l.Used())
 	}
 	// Replay set: seq >= stable, newest first; seq 1..3 are cut off.
 	want := []uint64{8, 7, 5, 4}
-	got := seqs(refs)
+	got := seqs(an.Refs)
 	if len(got) != len(want) {
 		t.Fatalf("refs %v, want %v", got, want)
 	}
@@ -158,14 +158,14 @@ func TestAnalyzeBackwardNewestCheckpointWins(t *testing.T) {
 	if _, _, err := l.AppendCheckpoint(5); err != nil { // seq 6
 		t.Fatal(err)
 	}
-	refs, stable, _, err := l.AnalyzeBackward()
+	an, err := l.AnalyzeBackward()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stable != 5 {
-		t.Fatalf("stable = %d, want the newest checkpoint's 5", stable)
+	if an.Stable != 5 {
+		t.Fatalf("stable = %d, want the newest checkpoint's 5", an.Stable)
 	}
-	got := seqs(refs)
+	got := seqs(an.Refs)
 	if len(got) != 1 || got[0] != 5 {
 		t.Fatalf("refs %v, want [5]", got)
 	}
@@ -178,10 +178,11 @@ func TestReadRecordMatchesScan(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	refs, _, _, err := l.AnalyzeBackward()
+	an, err := l.AnalyzeBackward()
 	if err != nil {
 		t.Fatal(err)
 	}
+	refs := an.Refs
 	fwd := collectForward(t, l)
 	byseq := map[uint64]*Record{}
 	for _, r := range fwd {

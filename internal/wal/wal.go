@@ -67,6 +67,8 @@ const (
 	recTx   uint8 = 1 // a committed transaction's new-value records
 	recWrap uint8 = 2 // padding to the end of the record area
 	recCkpt uint8 = 3 // fuzzy checkpoint: stable LSN, no ranges
+	recPrep uint8 = 4 // cross-shard prepare: one shard's ranges of a 2PC commit
+	recCmt  uint8 = 5 // cross-shard commit mark: global commit-ID, no ranges
 )
 
 // Exported record types, as reported in Record.Type.
@@ -74,6 +76,8 @@ const (
 	RecTx         = recTx
 	RecWrap       = recWrap
 	RecCheckpoint = recCkpt
+	RecPrepare    = recPrep
+	RecCommit     = recCmt
 )
 
 var (
@@ -125,6 +129,8 @@ type Stats struct {
 	Forces        uint64 // fsyncs issued
 	Wraps         uint64 // wrap records written
 	Checkpoints   uint64 // checkpoint records appended
+	Prepares      uint64 // cross-shard prepare records appended
+	CommitMarks   uint64 // cross-shard commit marks appended
 }
 
 // Log is an open write-ahead log.  All methods are safe for concurrent use.
@@ -398,7 +404,14 @@ func readRecord(dev Device, areaSize, pos int64, wantSeq uint64) (*Record, int64
 		rec.CkptSeq = rec.TID
 		rec.TID = 0
 		return rec, totalLen, nil
-	case recTx:
+	case recCmt:
+		// The global commit-ID rides in the TID header slot; a commit
+		// mark carries no ranges — its presence is the commit point.
+		if nranges != 0 {
+			return nil, 0, nil
+		}
+		return rec, totalLen, nil
+	case recTx, recPrep:
 	default:
 		return nil, 0, nil
 	}
@@ -457,6 +470,29 @@ func (l *Log) tailPos() int64 { return (l.head + l.used) % l.areaSize }
 // It returns the record's area position, its sequence number, and the total
 // bytes consumed (including any wrap record).
 func (l *Log) Append(tid uint64, flags uint8, ranges []Range) (pos int64, seq uint64, nbytes int64, err error) {
+	return l.appendTimed(recTx, tid, flags, ranges)
+}
+
+// AppendPrepare writes the prepare half of a cross-shard commit: this
+// shard's modification ranges for transaction tid.  A prepare is inert
+// until a commit mark carrying the same tid exists — recovery discards
+// prepares whose tid is confirmed by no shard's commit mark.
+func (l *Log) AppendPrepare(tid uint64, flags uint8, ranges []Range) (pos int64, seq uint64, nbytes int64, err error) {
+	return l.appendTimed(recPrep, tid, flags, ranges)
+}
+
+// AppendCommitMark writes the commit point of a cross-shard transaction:
+// a record carrying the global commit-ID and no ranges.  The engine
+// appends one to every participating shard after all prepares are
+// durable, so any surviving prepare finds a commit mark in its own log
+// or in a peer's.
+func (l *Log) AppendCommitMark(tid uint64) (pos int64, seq uint64, nbytes int64, err error) {
+	return l.appendTimed(recCmt, tid, 0, nil)
+}
+
+// appendTimed is the locked append shared by the commit-path record
+// types, with lock-contention accounting.
+func (l *Log) appendTimed(typ uint8, tid uint64, flags uint8, ranges []Range) (pos int64, seq uint64, nbytes int64, err error) {
 	// The pre-lock read of l.met is safe under the SetObs contract (set
 	// once before the log is shared).  The uncontended path costs one
 	// TryLock instead of one Lock; the contended path adds two clock reads.
@@ -469,7 +505,7 @@ func (l *Log) Append(tid uint64, flags uint8, ranges []Range) (pos int64, seq ui
 		l.mu.Lock()
 		m.LockContended(obs.LockWAL, time.Since(wt).Nanoseconds())
 	}
-	pos, seq, nbytes, err = l.appendLocked(recTx, tid, flags, ranges)
+	pos, seq, nbytes, err = l.appendLocked(typ, tid, flags, ranges)
 	used := l.used
 	tr, met := l.tr, l.met
 	l.mu.Unlock()
@@ -540,9 +576,14 @@ func (l *Log) appendLocked(typ uint8, tid uint64, flags uint8, ranges []Range) (
 	seq = l.nextSeq - 1
 	l.used += need
 	l.dirty = true
-	if typ == recCkpt {
+	switch typ {
+	case recCkpt:
 		l.stats.Checkpoints++
-	} else {
+	case recPrep:
+		l.stats.Prepares++
+	case recCmt:
+		l.stats.CommitMarks++
+	default:
 		l.stats.Appends++
 	}
 	l.stats.BytesAppended += uint64(need)
@@ -867,26 +908,47 @@ func (l *Log) ScanBackward(fn func(*Record) error) error {
 
 // RecordRef locates one live record for later decoding by ReadRecord.
 type RecordRef struct {
-	Pos int64  // area offset of the record's first byte
-	Len int64  // encoded size on disk
-	Seq uint64 // sequence number
+	Pos  int64  // area offset of the record's first byte
+	Len  int64  // encoded size on disk
+	Seq  uint64 // sequence number
+	Type uint8  // record type (RecTx or RecPrepare from analysis)
+	TID  uint64 // transaction / global commit ID from the header
+}
+
+// Analysis is the result of AnalyzeBackward: the records redo must
+// consider, the commit marks seen, and the scan's bookkeeping.
+type Analysis struct {
+	// Refs are the transaction and prepare records, newest first.  A
+	// prepare ref (Type == RecPrepare) must only be replayed when its
+	// TID appears in some shard's Committed set.
+	Refs []RecordRef
+	// Committed holds the global commit-IDs of every commit mark in the
+	// scanned suffix.  With sharded logs the caller unions the sets of
+	// all shards before filtering prepares.
+	Committed []uint64
+	// Stable is the newest checkpoint's stable sequence number (0 when
+	// no checkpoint bounds the scan).
+	Stable uint64
+	// Scanned is the log bytes visited by the walk.
+	Scanned int64
 }
 
 // AnalyzeBackward is recovery's analysis pass: it walks the live region
 // tail-to-head reading only each record's trailer and header, and collects
-// references (newest first) to the transaction records redo must replay.
+// references (newest first) to the transaction and prepare records redo
+// must consider, plus the commit marks that decide the prepares' fate.
 // The walk ends early at the newest checkpoint record's stable sequence
 // number: every record with Seq < stable is already reflected in its
-// segment.  It returns the refs, that stable sequence number (0 when no
-// checkpoint bounds the scan), and the log bytes visited.  The refs are
-// decoded later — possibly concurrently — with ReadRecord; full CRC
-// validation happens there, while this pass relies on the structural
-// checks findTail already ran over the live region at Open.
-func (l *Log) AnalyzeBackward() (refs []RecordRef, stable uint64, scanned int64, err error) {
+// segment.  The refs are decoded later — possibly concurrently — with
+// ReadRecord; full CRC validation happens there, while this pass relies
+// on the structural checks findTail already ran over the live region at
+// Open.
+func (l *Log) AnalyzeBackward() (Analysis, error) {
+	var an Analysis
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.dev == nil {
-		return nil, 0, 0, ErrLogClosed
+		return an, ErrLogClosed
 	}
 	pos := l.tailPos()
 	seq := l.nextSeq
@@ -894,44 +956,49 @@ func (l *Log) AnalyzeBackward() (refs []RecordRef, stable uint64, scanned int64,
 	trailer := make([]byte, trailerSize)
 	hdr := make([]byte, headerSize)
 	for seen < l.used {
-		if stable != 0 && seq-1 < stable {
+		if an.Stable != 0 && seq-1 < an.Stable {
 			break // everything older is reflected in the segments
 		}
 		if pos == 0 {
 			pos = l.areaSize
 		}
 		if _, err := l.dev.ReadAt(trailer, areaOff(pos-trailerSize)); err != nil {
-			return nil, 0, 0, fmt.Errorf("wal: read trailer before %d: %w", pos, err)
+			return an, fmt.Errorf("wal: read trailer before %d: %w", pos, err)
 		}
 		totalLen := int64(binary.BigEndian.Uint32(trailer[8:]))
 		if totalLen < minRecordSize || totalLen > pos {
-			return nil, 0, 0, fmt.Errorf("wal: bad reverse displacement %d at %d", totalLen, pos)
+			return an, fmt.Errorf("wal: bad reverse displacement %d at %d", totalLen, pos)
 		}
 		start := pos - totalLen
 		seq--
 		if _, err := l.dev.ReadAt(hdr, areaOff(start)); err != nil {
-			return nil, 0, 0, fmt.Errorf("wal: read header at %d: %w", start, err)
+			return an, fmt.Errorf("wal: read header at %d: %w", start, err)
 		}
 		if binary.BigEndian.Uint32(hdr[0:]) != recMagic ||
 			int64(binary.BigEndian.Uint32(hdr[4:])) != totalLen ||
 			binary.BigEndian.Uint64(hdr[16:]) != seq {
-			return nil, 0, 0, fmt.Errorf("wal: live region corrupt at %d (analysis, seq %d)", start, seq)
+			return an, fmt.Errorf("wal: live region corrupt at %d (analysis, seq %d)", start, seq)
 		}
 		seen += totalLen
-		scanned += totalLen
+		an.Scanned += totalLen
 		pos = start
 		switch hdr[8] {
-		case recTx:
-			refs = append(refs, RecordRef{Pos: start, Len: totalLen, Seq: seq})
+		case recTx, recPrep:
+			an.Refs = append(an.Refs, RecordRef{
+				Pos: start, Len: totalLen, Seq: seq,
+				Type: hdr[8], TID: binary.BigEndian.Uint64(hdr[24:]),
+			})
+		case recCmt:
+			an.Committed = append(an.Committed, binary.BigEndian.Uint64(hdr[24:]))
 		case recCkpt:
-			if stable == 0 {
+			if an.Stable == 0 {
 				// Newest checkpoint wins; older ones carry smaller
 				// stable values and are subsumed.
-				stable = binary.BigEndian.Uint64(hdr[24:])
+				an.Stable = binary.BigEndian.Uint64(hdr[24:])
 			}
 		}
 	}
-	return refs, stable, scanned, nil
+	return an, nil
 }
 
 // ReadRecord decodes and fully validates the record a RecordRef points at.

@@ -178,6 +178,9 @@ func TestPrometheusEndpoint(t *testing.T) {
 		`rvm_stalls_total{class="force"}`,
 		"rvm_log_used_bytes",
 		"rvm_recovery_replayed_records",
+		`rvm_shard_commits_total{shard="0"} 6`,
+		`rvm_shard_log_bytes{shard="0"}`,
+		`rvm_shard_log_forces_total{shard="0"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics body missing %q", want)
@@ -193,6 +196,11 @@ func TestPrometheusLintRejectsBadFormat(t *testing.T) {
 		"# HELP rvm_x x\n# TYPE rvm_x counter\nrvm_x 1\n",                 // counter without _total
 		"# HELP rvm_y_total y\n# TYPE rvm_y_total gauge\nrvm_y_total 1\n", // _total on a gauge
 		"# HELP rvm_z_total z\n# TYPE rvm_z_total counter\nrvm_z_total notanumber\n",
+		// The per-shard families: label names are lowercase, label values
+		// quoted, and the gauge must not take the counter suffix.
+		"# HELP rvm_shard_commits_total c\n# TYPE rvm_shard_commits_total counter\nrvm_shard_commits_total{Shard=\"0\"} 1\n",
+		"# HELP rvm_shard_log_bytes b\n# TYPE rvm_shard_log_bytes gauge\nrvm_shard_log_bytes{shard=0} 1\n",
+		"# HELP rvm_shard_log_bytes_total b\n# TYPE rvm_shard_log_bytes_total gauge\nrvm_shard_log_bytes_total{shard=\"0\"} 1\n",
 	}
 	for i, body := range bad {
 		rec := &lintRecorder{}
@@ -201,6 +209,59 @@ func TestPrometheusLintRejectsBadFormat(t *testing.T) {
 			t.Errorf("case %d: lint accepted %q", i, body)
 		}
 	}
+}
+
+// TestPrometheusShardFamilies scrapes a 2-shard store after a
+// cross-shard commit: every shard appears in the labelled families, the
+// two-phase counter registers the commit, and the body still lints.
+func TestPrometheusShardFamilies(t *testing.T) {
+	pair := 2 * int64(rvm.PageSize)
+	s := newStore(t, rvm.Options{
+		Metrics:   true,
+		LogShards: 2,
+		ShardOf:   func(seg uint64, off int64) int { return int(off / pair) },
+	})
+	ra, err := s.db.Map(s.segPath, 0, pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := s.db.Map(s.segPath, pair, pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, s.db, ra, 3, rvm.Flush)
+	tx, _ := s.db.Begin(rvm.NoRestore)
+	tx.Modify(ra, 0, []byte("x"))
+	tx.Modify(rb, 0, []byte("y"))
+	if err := tx.Commit(rvm.Flush); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(s.db.DebugHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`rvm_shard_commits_total{shard="0"} 4`,
+		`rvm_shard_commits_total{shard="1"} 1`,
+		`rvm_shard_log_bytes{shard="0"}`,
+		`rvm_shard_log_bytes{shard="1"}`,
+		`rvm_shard_log_forces_total{shard="1"}`,
+		"rvm_tx_cross_shard_commits_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics body missing %q", want)
+		}
+	}
+	lintProm(t, body)
 }
 
 // TestPrometheusMetricsDisabled serves a counters-only exposition when
